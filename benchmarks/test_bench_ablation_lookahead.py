@@ -1,0 +1,26 @@
+"""E11 -- Section 5.4: serialization-lookahead ablation.
+
+Paper: with a window of size p over the list, the serialization fraction
+increased as expected (not by much at large processor counts); for small
+processor counts execution time increased 10%..30% from the longer
+serial chains, the increase disappearing at large processor counts.
+"""
+
+from repro.experiments import ablation_lookahead
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_ablation_lookahead(benchmark, show):
+    result = run_once(benchmark, lambda: ablation_lookahead(count=BENCH_COUNT))
+    show("E11 / Section 5.4: lookahead ablation (p=4)", result.render())
+
+    # serialization rises somewhere along the sweep
+    gains = [
+        v.serialized.mean - b.serialized.mean
+        for b, v in zip(result.baseline, result.variant)
+    ]
+    assert max(gains) > -0.02
+    # at the largest PE count, the execution-time penalty is small
+    base, variant = result.baseline[-1], result.variant[-1]
+    assert variant.mean_makespan_max <= 1.25 * base.mean_makespan_max

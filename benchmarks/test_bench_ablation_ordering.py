@@ -1,0 +1,25 @@
+"""E10 -- Section 5.4: list-ordering ablation (h_min first).
+
+Paper: sorting by minimum height first (maximum as tie-break) trades the
+best case against the worst case -- the minimum execution time of the
+benchmarks decreased while the maximum increased -- but "the changes
+were quite small".
+"""
+
+from repro.experiments import ablation_ordering
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_ablation_ordering(benchmark, show):
+    result = run_once(benchmark, lambda: ablation_ordering(count=BENCH_COUNT))
+    show("E10 / Section 5.4: ordering ablation (h_min-first)", result.render())
+
+    for base, variant in zip(result.baseline, result.variant):
+        # quite small changes: worst-case makespans within 20% of each other
+        assert abs(variant.mean_makespan_max - base.mean_makespan_max) <= (
+            0.20 * base.mean_makespan_max
+        )
+        assert abs(variant.mean_makespan_min - base.mean_makespan_min) <= (
+            0.20 * base.mean_makespan_min
+        )

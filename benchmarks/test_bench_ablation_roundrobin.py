@@ -1,0 +1,23 @@
+"""E9 -- Section 5.4: round-robin assignment ablation.
+
+Paper: with round-robin node assignment the serialization fraction
+nearly vanishes for large numbers of processors; the barrier fraction
+increases significantly, in some cases reaching 50%; both execution
+times increase, with the gap to list scheduling narrowing at large
+processor counts.
+"""
+
+from repro.experiments import ablation_round_robin
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_ablation_roundrobin(benchmark, show):
+    result = run_once(benchmark, lambda: ablation_round_robin(count=BENCH_COUNT))
+    show("E9 / Section 5.4: round-robin ablation", result.render())
+
+    last_base = result.baseline[-1]
+    last_rr = result.variant[-1]
+    assert last_rr.serialized.mean < 0.12, "serialization nearly vanishes"
+    assert last_rr.barrier.mean > 1.5 * last_base.barrier.mean
+    assert last_rr.mean_makespan_max >= last_base.mean_makespan_max

@@ -1,0 +1,23 @@
+"""E12 -- Section 5.4: instruction timing-variation sensitivity.
+
+Paper: "the barrier sync fraction was not very sensitive to increases in
+instruction timing variation, increasing only slightly for large
+variations."  We scale every instruction's [min,max] width by factors
+0x..8x and watch the barrier fraction.
+"""
+
+from repro.experiments import ablation_timing_variation
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_ablation_timing_variation(benchmark, show):
+    result = run_once(
+        benchmark, lambda: ablation_timing_variation(count=BENCH_COUNT)
+    )
+    show("E12 / Section 5.4: timing-variation ablation", result.render())
+
+    spread = max(result.barrier_fraction) - min(result.barrier_fraction)
+    assert spread < 0.15, "barrier fraction should be fairly insensitive"
+    # zero variation -> perfect static knowledge -> fewest barriers
+    assert result.barrier_fraction[0] <= min(result.barrier_fraction) + 0.02

@@ -1,0 +1,25 @@
+"""E15 (extension) -- cost of non-ideal barrier hardware.
+
+The paper's experiments assume barriers "execute immediately upon
+arrival of the last participating processor" (section 5); the [OKDi90]
+companion paper studies the hardware that makes that nearly true.  This
+bench sweeps the release latency the compiler budgets per barrier and
+reports the makespan growth and the (slightly falling) barrier fraction.
+"""
+
+from repro.experiments import barrier_cost_experiment
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_barrier_cost(benchmark, show):
+    result = run_once(benchmark, lambda: barrier_cost_experiment(count=BENCH_COUNT))
+    show("E15 / extension: barrier hardware cost", result.render())
+
+    # makespan grows monotonically with the latency
+    assert list(result.mean_makespan_max) == sorted(result.mean_makespan_max)
+    # at latency 0 we are at the paper's numbers; at 8 the machine is
+    # clearly slower but still functional
+    assert result.mean_makespan_max[-1] > result.mean_makespan_max[0]
+    # the *fraction* of barriers does not explode with cost
+    assert max(result.barrier_fraction) - min(result.barrier_fraction) < 0.10

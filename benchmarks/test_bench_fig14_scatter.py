@@ -1,0 +1,20 @@
+"""E2 -- Figure 14: scatter of serialized vs statically scheduled fractions.
+
+Paper: benchmarks with 65..132 implied synchronizations; the center of
+mass of the point cloud lies near the 85% line -- about 85% of all
+synchronizations are either serialized or statically scheduled away
+(and, per the abstract, more than 77% need no runtime synchronization).
+"""
+
+from repro.experiments import figure14_scatter
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_fig14_scatter(benchmark, show):
+    result = run_once(
+        benchmark, lambda: figure14_scatter(count=max(60, BENCH_COUNT * 2))
+    )
+    show("E2 / Figure 14: serialized vs static scatter", result.render())
+    # the abstract's headline claim
+    assert result.center_no_runtime > 0.77

@@ -1,0 +1,24 @@
+"""E3 -- Figure 15: sync fractions vs number of statements.
+
+Fixed: 8 processors, 15 variables; statements 5..60.  Paper: the barrier
+fraction decreases as statements grow from 5 to 20 (the early Load
+concentration dilutes), then flattens as Mul/Div/Mod appear; the
+serialization fraction decreases with block size; the static fraction
+grows.
+"""
+
+from repro.experiments import figure15_statements
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_fig15_statements(benchmark, show):
+    result = run_once(benchmark, lambda: figure15_statements(count=BENCH_COUNT))
+    show("E3 / Figure 15: fractions vs statements (8 PEs, 15 vars)", result.render())
+
+    serialized = [s.serialized.mean for s in result.stats]
+    static = [s.static.mean for s in result.stats]
+    assert serialized[0] > serialized[-1], "serialization must fall with size"
+    assert static[0] < static[-1], "static fraction must grow with size"
+    for stats in result.stats:
+        assert stats.barrier.mean <= 0.30

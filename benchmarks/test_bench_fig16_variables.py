@@ -1,0 +1,23 @@
+"""E4 -- Figure 16: sync fractions vs number of variables.
+
+Fixed: 8 processors, 60 statements; variables 2..15.  Paper: the barrier
+fraction first increases with the parallelism width, then remains
+constant once the width exceeds the processor count; the serialization
+fraction decreases as more variables are used.
+"""
+
+from repro.experiments import figure16_variables
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_fig16_variables(benchmark, show):
+    result = run_once(benchmark, lambda: figure16_variables(count=BENCH_COUNT))
+    show("E4 / Figure 16: fractions vs variables (8 PEs, 60 stmts)", result.render())
+
+    barrier = [s.barrier.mean for s in result.stats]
+    serialized = [s.serialized.mean for s in result.stats]
+    assert barrier[0] < barrier[-1], "barrier fraction rises with width"
+    assert serialized[0] > serialized[-1], "serialization falls with width"
+    # plateau: last two variable counts close
+    assert abs(barrier[-1] - barrier[-2]) < 0.06

@@ -1,0 +1,27 @@
+"""E5 -- Figure 17: sync fractions vs number of processors.
+
+Fixed: 100 statements, 10 variables; processors 2..128.  Paper: the
+barrier fraction increases while the processor count is below the
+benchmark's parallelism width, then remains constant; the serialization
+fraction stays nearly constant throughout.
+"""
+
+from repro.experiments import figure17_processors
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_fig17_processors(benchmark, show):
+    result = run_once(benchmark, lambda: figure17_processors(count=BENCH_COUNT))
+    show(
+        "E5 / Figure 17: fractions vs processors (100 stmts, 10 vars)",
+        result.render(),
+    )
+
+    barrier = [s.barrier.mean for s in result.stats]
+    serialized = [s.serialized.mean for s in result.stats]
+    assert barrier[0] < barrier[2], "barrier fraction rises while PEs < width"
+    # constant once saturated: the last three machine sizes agree closely
+    assert max(barrier[-3:]) - min(barrier[-3:]) < 0.05
+    # serialization nearly constant (paper: two canceling effects)
+    assert max(serialized) - min(serialized) < 0.25

@@ -1,0 +1,34 @@
+"""E6 -- Figure 18: VLIW vs barrier architecture completion times.
+
+Fixed: 60 statements, 10 variables; processors 2..128; times normalized
+to VLIW execution (all instructions at maximum time, lock-step).  Paper:
+the maximum times of barrier MIMD and VLIW are nearly identical (barrier
+slightly longer at small processor counts, from barriers forced by
+timing variation); the minimum barrier-MIMD completion time is about 25%
+below the VLIW time; the VLIW schedule hits the critical path for almost
+all benchmarks.
+"""
+
+from repro.experiments import figure18_vliw
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_fig18_vliw(benchmark, show):
+    result = run_once(benchmark, lambda: figure18_vliw(count=BENCH_COUNT))
+    show("E6 / Figure 18: VLIW vs barrier MIMD (60 stmts, 10 vars)", result.render())
+
+    # max times nearly identical (within ~20% here; paper: "nearly identical")
+    for ratio in result.barrier_max:
+        assert 0.85 <= ratio <= 1.35
+    # min completion well below VLIW once parallelism is available
+    assert min(result.barrier_min) <= 0.85
+    # VLIW optimal (== critical path) for almost all benchmarks -- once the
+    # machine is wide enough to hold the block's parallelism (at 2 PEs no
+    # schedule can reach the critical path, the total work doesn't fit)
+    wide_enough = [
+        frac
+        for pes, frac in zip(result.x_values, result.vliw_optimal_fraction)
+        if pes >= 8
+    ]
+    assert min(wide_enough) >= 0.9

@@ -1,0 +1,28 @@
+"""E16 (extension) -- control-flow scheduling overhead.
+
+The paper's section 7 lists "extension of the basic scheduling
+techniques to more complex code structures (including arbitrary control
+flow)" as ongoing work.  The :mod:`repro.flow` extension implements the
+conservative block-boundary discipline; this bench quantifies its cost:
+how much of the runtime synchronization is block-boundary barriers, and
+how far measured executions sit inside the compile-time path bounds.
+Every execution in the corpus is also value-checked against the
+reference interpreter.
+"""
+
+from repro.experiments import flow_overhead_experiment
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_flow_overhead(benchmark, show):
+    result = run_once(
+        benchmark, lambda: flow_overhead_experiment(count=max(20, BENCH_COUNT // 2))
+    )
+    show("E16 / extension: control-flow scheduling overhead", result.render())
+
+    assert result.value_mismatches == 0, "end-to-end value corruption"
+    assert result.mean_total_time <= result.mean_path_bound_hi
+    # short random blocks make boundary barriers a large share -- the
+    # quantitative motivation for smarter inter-block scheduling
+    assert 0.10 <= result.mean_boundary_share <= 0.9

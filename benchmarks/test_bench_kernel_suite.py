@@ -1,0 +1,32 @@
+"""E17 (extension) -- real kernels vs synthetic benchmarks.
+
+The paper argues its synthetic evaluation is "conservative" compared to
+real code (section 2).  The curated kernel suite (FIR, matmul, Horner,
+checksum, complex MAC, geometry, fixed-point, hash-mix) lets us test
+that: hand-written kernels should land in the synthetic envelope, with
+serial-chain kernels (Horner, hash-mix) serializing almost entirely and
+parallel kernels (matmul, geometry) spreading across processors.
+"""
+
+from repro.experiments import kernel_suite_experiment
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_kernel_suite(benchmark, show):
+    result = run_once(
+        benchmark, lambda: kernel_suite_experiment(synthetic_count=BENCH_COUNT)
+    )
+    show("E17 / extension: real kernels vs synthetic", result.render())
+
+    by_name = {row.name: row for row in result.rows}
+    # serial chains: almost fully serialized, near-zero barriers, ~1x speedup
+    assert by_name["horner5"].fractions.serialized >= 0.4
+    assert by_name["hashmix"].fractions.barrier <= 0.10
+    assert by_name["hashmix"].worst_case_speedup <= 1.3
+    # parallel kernels actually use the machine
+    assert by_name["matmul2"].worst_case_speedup >= 2.0
+    assert by_name["geometry3"].worst_case_speedup >= 2.0
+    # the suite as a whole sits in the synthetic envelope
+    mean_barrier = sum(r.fractions.barrier for r in result.rows) / len(result.rows)
+    assert abs(mean_barrier - result.synthetic_barrier) < 0.15

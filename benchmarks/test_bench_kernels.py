@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the pipeline kernels (throughput, not a figure).
+
+These give pytest-benchmark real multi-round timing data for the hot
+paths: compiling a benchmark, scheduling it, lowering it, and one
+simulated execution.
+"""
+
+import random
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.ir import generate_tuples, optimize
+from repro.ir.dag import InstructionDAG
+from repro.machine.durations import UniformSampler
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import simulate_sbm
+from repro.machine.vliw import vliw_schedule
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig, generate_block
+
+CFG = GeneratorConfig(n_statements=60, n_variables=10)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return compile_case(CFG, 4242)
+
+
+@pytest.fixture(scope="module")
+def scheduled(case):
+    return schedule_dag(case.dag, SchedulerConfig(n_pes=8, seed=4242))
+
+
+@pytest.fixture(scope="module")
+def program(scheduled):
+    return MachineProgram.from_schedule(scheduled.schedule)
+
+
+def test_bench_kernel_generate_and_compile(benchmark):
+    def compile_one():
+        block = generate_block(CFG, random.Random(7))
+        return optimize(generate_tuples(block))
+
+    program = benchmark(compile_one)
+    assert len(program) > 10
+
+
+def test_bench_kernel_dag_construction(benchmark, case):
+    dag = benchmark(InstructionDAG.from_program, case.program)
+    assert dag.implied_synchronizations > 0
+
+
+def test_bench_kernel_schedule(benchmark, case):
+    result = benchmark(schedule_dag, case.dag, SchedulerConfig(n_pes=8, seed=1))
+    assert result.counts.total_edges == case.implied_synchronizations
+
+
+def test_bench_kernel_schedule_128_pes(benchmark, case):
+    result = benchmark(schedule_dag, case.dag, SchedulerConfig(n_pes=128, seed=1))
+    assert result.counts.repairs >= 0
+
+
+def test_bench_kernel_lower_to_machine(benchmark, scheduled):
+    program = benchmark(MachineProgram.from_schedule, scheduled.schedule)
+    assert program.n_instructions > 0
+
+
+def test_bench_kernel_simulate_sbm(benchmark, program):
+    trace = benchmark(simulate_sbm, program, UniformSampler(), 3)
+    assert trace.verify(program.edges) == []
+
+
+def test_bench_kernel_vliw_schedule(benchmark, case):
+    sched = benchmark(vliw_schedule, case.dag, 8)
+    assert sched.makespan >= case.dag.critical_path().hi

@@ -1,0 +1,21 @@
+"""E8 -- Section 4.4.3: SBM barrier merging.
+
+Paper (10 variables, 80 statements): merging produced ~35% fewer
+barriers; the static scheduling fraction increased as a result of the
+larger barriers; merging increased SBM completion time relative to the
+DBM, "although these times are quite close".
+"""
+
+from repro.experiments import merging_experiment
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_merging(benchmark, show):
+    result = run_once(benchmark, lambda: merging_experiment(count=BENCH_COUNT))
+    show("E8 / Section 4.4.3: barrier merging (10 vars, 80 stmts)", result.render())
+
+    assert result.reduction > 0.15, "merging must remove a sizable share"
+    assert result.static_merged > result.static_unmerged
+    ratio = result.sbm_mean_completion / result.dbm_mean_completion
+    assert 0.85 <= ratio <= 1.25, "SBM and DBM completion should be close"

@@ -1,0 +1,31 @@
+"""E14 -- Section 4.4.2: conservative vs "optimal" barrier insertion.
+
+Paper: the optimal algorithm never inserts a barrier unless absolutely
+necessary (it accounts for overlap between the producer's max-paths and
+the consumer's min-path, figure 13); the conservative algorithm was used
+for all the paper's experiments "because [it] is much simpler and the
+results were very good" -- i.e. the difference is small.
+"""
+
+from repro.experiments import optimal_vs_conservative
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_optimal_vs_conservative(benchmark, show):
+    result = run_once(
+        benchmark, lambda: optimal_vs_conservative(count=BENCH_COUNT)
+    )
+    show("E14 / Section 4.4.2: conservative vs optimal insertion", result.render())
+
+    # optimal never needs more barriers (tiny tolerance for random
+    # tie-break divergence after the first differing insertion)
+    assert (
+        result.mean_barriers_optimal
+        <= result.mean_barriers_conservative + 0.25
+    )
+    # and the difference is small, justifying the paper's choice
+    assert (
+        result.mean_barriers_conservative - result.mean_barriers_optimal
+        <= 0.15 * result.mean_barriers_conservative + 0.5
+    )

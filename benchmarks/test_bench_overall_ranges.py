@@ -1,0 +1,26 @@
+"""E7 -- Section 5 headline ranges over the full parameter grid.
+
+Paper (over 3500+ benchmarks): the barrier fraction varies from 3% to
+23%; the serialization fraction from 50% to 90%; the statically
+scheduled fraction from 8% to 40%; and "more than 77% of all
+synchronizations ... will be accomplished without runtime
+synchronization" (abstract), with the figure 14 center of mass near 85%.
+"""
+
+from repro.experiments import overall_ranges
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_overall_ranges(benchmark, show):
+    result = run_once(
+        benchmark, lambda: overall_ranges(count_per_point=max(6, BENCH_COUNT // 4))
+    )
+    show("E7 / Section 5: overall fraction ranges", result.render())
+
+    # ranges must straddle the paper's envelopes (degenerate tiny-block
+    # points widen ours slightly at both ends)
+    assert result.barrier_range[0] <= 0.08
+    assert 0.15 <= result.barrier_range[1] <= 0.35
+    assert result.serialized_range[1] >= 0.70
+    assert result.static_range[1] >= 0.25

@@ -1,0 +1,23 @@
+"""E13 -- Section 3 (figures 7/8): the secondary effect of barriers.
+
+Paper: inserting a barrier for one producer/consumer pair tightens the
+timing of later pairs, which "often (about 28% of the time in our
+current studies) allows the compiler to avoid inserting further
+barriers".  We measure resolutions that leaned on a previously inserted
+barrier as a fraction of all would-be barrier insertions.
+"""
+
+from repro.experiments import secondary_effect
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_secondary_effect(benchmark, show):
+    result = run_once(benchmark, lambda: secondary_effect(count=BENCH_COUNT * 2))
+    show("E13 / Section 3: secondary effect (figures 7/8)", result.render())
+
+    # the figure 7/8 mechanism (timing proofs leaning on an inserted
+    # barrier) lands on the paper's number
+    assert 0.18 <= result.timing_only_fraction <= 0.40
+    # the broader measure including barrier-chain transitivity is larger
+    assert result.broad_fraction >= result.timing_only_fraction

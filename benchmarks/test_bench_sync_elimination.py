@@ -1,0 +1,28 @@
+"""E18 (extension) -- conventional-MIMD synchronization removal.
+
+The paper's section 7 proposes applying the barrier-MIMD timing
+machinery to remove directed synchronizations in conventional MIMDs.
+This bench compares, per block: naive directed syncs, Shaffer-style
+transitive reduction (structure only), interval-timing elimination
+(ours), both combined, and -- for context -- the barrier MIMD's own
+barrier count.  Expected ordering: timing beats structure, combination
+beats both, and the barrier MIMD beats everything (its barriers are
+many-to-one).
+"""
+
+from repro.experiments import sync_elimination_experiment
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_sync_elimination(benchmark, show):
+    result = run_once(
+        benchmark, lambda: sync_elimination_experiment(count=BENCH_COUNT)
+    )
+    show("E18 / extension: conventional-MIMD sync removal", result.render())
+
+    assert result.mean_structural < result.mean_naive
+    assert result.mean_timing < result.mean_structural + 1.0
+    assert result.mean_combined <= result.mean_timing
+    assert result.mean_combined <= result.mean_structural
+    assert result.mean_barriers < result.mean_combined

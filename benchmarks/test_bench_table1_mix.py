@@ -1,0 +1,18 @@
+"""E1 -- Table 1: instruction frequencies and execution time ranges.
+
+Paper: Add 45.8%, Sub 33.9%, And 8.8%, Or 5.2%, Mul 2.9%, Div 2.2%,
+Mod 1.2%; Load [1,4], Store/Add/Sub/And/Or [1,1], Mul [16,24],
+Div/Mod [24,32].
+"""
+
+from repro.experiments import table1_instruction_mix
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_table1_instruction_mix(benchmark, show):
+    result = run_once(
+        benchmark, lambda: table1_instruction_mix(n_blocks=max(100, BENCH_COUNT * 4))
+    )
+    show("E1 / Table 1: instruction mix and latencies", result.render())
+    assert result.max_abs_deviation < 0.02

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Architecture exploration with custom timing models (section 2.1 / 5.4).
+
+Run:  python examples/custom_timing_model.py
+
+The paper motivates its Load interval [1,4] with shared-bus cache/main
+memory access and notes that interconnection networks make the spread
+"more pronounced".  Because the timing model is a first-class parameter
+here, we can ask the paper's what-if questions directly:
+
+* an interconnection-network machine where Loads take 1..20 units;
+* a machine with a pipelined (fixed 16-cycle) multiplier, the hardware
+  trade-off section 2.1 discusses;
+* a fully deterministic machine (every latency pinned at its minimum),
+  where the compiler can resolve *everything* statically.
+
+For each machine the script reports how the synchronization fractions
+and the completion window move.
+"""
+
+from repro import DEFAULT_TIMING, GeneratorConfig, Interval, SchedulerConfig, schedule_dag
+from repro.metrics.fractions import fractions_of
+from repro.metrics.stats import aggregate_results
+from repro.synth.corpus import generate_cases
+
+MODELS = [
+    ("Table 1 (paper)", DEFAULT_TIMING),
+    ("network loads [1,20]", DEFAULT_TIMING.override(load=Interval(1, 20), name="netload")),
+    ("pipelined mul [16,16]", DEFAULT_TIMING.override(mul=Interval(16, 16), name="pipemul")),
+    ("no variation at all", DEFAULT_TIMING.scaled(0.0, name="deterministic")),
+]
+
+GEN = GeneratorConfig(n_statements=60, n_variables=10)
+N = 30
+
+
+def main() -> None:
+    print(f"{N} benchmarks, 60 statements, 10 variables, 8 PEs\n")
+    print(f"{'machine':<24}{'barrier':>9}{'serial':>9}{'static':>9}"
+          f"{'makespan (mean)':>20}")
+    print("-" * 71)
+    for name, timing in MODELS:
+        results = []
+        for case in generate_cases(GEN, N, master_seed=11, timing=timing):
+            results.append(
+                schedule_dag(
+                    case.dag,
+                    SchedulerConfig(n_pes=8, seed=case.seed & 0xFFFFFFFF),
+                )
+            )
+        stats = aggregate_results(results)
+        print(
+            f"{name:<24}{stats.barrier.mean:>9.1%}{stats.serialized.mean:>9.1%}"
+            f"{stats.static.mean:>9.1%}"
+            f"{stats.mean_makespan_min:>10.1f}..{stats.mean_makespan_max:<8.1f}"
+        )
+
+    print(
+        "\nReading the rows: wider Load variation widens the completion\n"
+        "window but barely moves the barrier fraction (the section 5.4\n"
+        "sensitivity result); with no timing variation the completion\n"
+        "window collapses to a point and noticeably more synchronization\n"
+        "resolves statically -- the remaining barriers only align streams,\n"
+        "playing the role of a VLIW's NOP padding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Barrier MIMD vs VLIW vs conventional MIMD on one workload (section 6).
+
+Run:  python examples/vliw_comparison.py
+
+The paper's central architectural argument in miniature:
+
+* a VLIW must budget every instruction at its maximum latency -- its
+  clock can never profit when a Load hits in cache or a multiply
+  early-outs;
+* a conventional MIMD pays a runtime synchronization for every
+  cross-processor value, even after Shaffer-style transitive reduction;
+* the barrier MIMD resolves most synchronizations statically and lets
+  execution finish anywhere inside the compiler-proven [min,max] window.
+
+The script schedules a corpus of synthetic benchmarks for all three
+models and prints average completion times and synchronization counts.
+"""
+
+import random
+import statistics
+
+from repro import (
+    GeneratorConfig,
+    MachineProgram,
+    SchedulerConfig,
+    schedule_dag,
+    simulate_conventional_mimd,
+    simulate_sbm,
+    vliw_schedule,
+)
+from repro.machine.durations import UniformSampler
+from repro.synth.corpus import generate_cases
+
+N_PES = 8
+N_BENCHMARKS = 25
+
+
+def main() -> None:
+    gen = GeneratorConfig(n_statements=60, n_variables=10)
+    vliw_times, sbm_times, mimd_times = [], [], []
+    sbm_syncs, mimd_syncs = [], []
+
+    for case in generate_cases(gen, N_BENCHMARKS, master_seed=6):
+        seed = case.seed & 0xFFFFFFFF
+        vliw = vliw_schedule(case.dag, N_PES)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=N_PES, seed=seed))
+        program = MachineProgram.from_schedule(result.schedule)
+
+        # average of a few stochastic runs (real executions, verified)
+        runs = []
+        for k in range(5):
+            trace = simulate_sbm(program, UniformSampler(), rng=k)
+            trace.assert_sound(program.edges)
+            runs.append(trace.makespan)
+
+        conventional = simulate_conventional_mimd(
+            result.schedule, UniformSampler(), rng=seed, sync_latency=2
+        )
+
+        vliw_times.append(vliw.makespan)
+        sbm_times.append(statistics.mean(runs))
+        mimd_times.append(conventional.makespan)
+        sbm_syncs.append(result.counts.barriers_final)
+        mimd_syncs.append(conventional.n_after_reduction)
+
+    mean = statistics.mean
+    v = mean(vliw_times)
+    print(f"{N_BENCHMARKS} benchmarks, 60 statements, 10 variables, {N_PES} PEs\n")
+    print(f"{'model':<22}{'completion':>12}{'vs VLIW':>10}{'runtime syncs':>16}")
+    print("-" * 60)
+    print(f"{'VLIW (lock-step)':<22}{v:>12.1f}{1.0:>10.2f}{'0 (by clock)':>16}")
+    print(
+        f"{'barrier MIMD (SBM)':<22}{mean(sbm_times):>12.1f}"
+        f"{mean(sbm_times) / v:>10.2f}{mean(sbm_syncs):>16.1f}"
+    )
+    print(
+        f"{'conventional MIMD':<22}{mean(mimd_times):>12.1f}"
+        f"{mean(mimd_times) / v:>10.2f}{mean(mimd_syncs):>16.1f}"
+    )
+    print(
+        "\nThe barrier MIMD runs VLIW-class schedules while executing only "
+        "a handful\nof barriers -- and unlike the VLIW it speeds up whenever "
+        "variable-time\ninstructions finish early."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The normal `pip install -e .` path (PEP 660) requires the `wheel` package,
+which is unavailable in fully offline environments; this shim lets pip fall
+back to the legacy `setup.py develop` editable install there
+(`pip install -e . --no-build-isolation --no-use-pep517`).
+All project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

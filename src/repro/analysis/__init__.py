@@ -1,0 +1,10 @@
+"""Schedule quality analysis and reporting."""
+
+from repro.analysis.report import (
+    BarrierStats,
+    ScheduleReport,
+    UtilizationStats,
+    analyze_schedule,
+)
+
+__all__ = ["BarrierStats", "UtilizationStats", "ScheduleReport", "analyze_schedule"]

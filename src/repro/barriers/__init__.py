@@ -1,0 +1,32 @@
+"""Barrier synchronization substrate (paper sections 3.1 and 4.4).
+
+The *barrier dag* ``(B, <_b)`` is the partially ordered set of barriers in
+a schedule; its edges carry the ``[min,max]`` execution time of the code
+regions between consecutive barriers.  All of the paper's static-timing
+machinery -- dominator trees, longest min/max paths from a common
+dominating barrier, and the k-longest-path overlap analysis of the
+"optimal" insertion algorithm -- lives here.
+"""
+
+from repro.barriers.model import Barrier
+from repro.barriers.dag import BarrierDag, BarrierEdge
+from repro.barriers.dominators import DominatorTree
+from repro.barriers.mask import BarrierMask
+from repro.barriers.paths import (
+    PathExplosionError,
+    all_paths,
+    k_longest_max_paths,
+    longest_min_path_with_forced_max,
+)
+
+__all__ = [
+    "Barrier",
+    "BarrierDag",
+    "BarrierEdge",
+    "DominatorTree",
+    "BarrierMask",
+    "PathExplosionError",
+    "all_paths",
+    "k_longest_max_paths",
+    "longest_min_path_with_forced_max",
+]

@@ -1,0 +1,234 @@
+"""The barrier dag ``(B, <_b)`` with weighted edges (paper section 3.1/4.4).
+
+Nodes are :class:`~repro.barriers.model.Barrier` objects; there is an edge
+``u -> v`` iff some processor executes ``v`` as the *next* barrier after
+``u`` in its stream.  The edge carries the ``[min,max]`` execution time of
+the code between the two barriers, combined over every processor sharing
+the pair with the **join** rule of figure 13: because no processor
+proceeds past ``v`` until all arrive, the minimum edge time is the
+*maximum over processors* of the per-processor region minimum (and
+likewise for the maximum).
+
+The dag is immutable; the scheduler rebuilds it (cheaply -- schedules have
+few barriers) whenever the schedule mutates, caching by revision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.barriers.model import Barrier
+from repro.timing import Interval, ZERO
+
+__all__ = ["BarrierEdge", "BarrierDag"]
+
+
+@dataclass(frozen=True, slots=True)
+class BarrierEdge:
+    """A directed edge of the barrier dag with its region time interval."""
+
+    src: int  # barrier id
+    dst: int  # barrier id
+    weight: Interval
+
+
+class BarrierDag:
+    """Immutable snapshot of the barrier partial order with region weights."""
+
+    def __init__(
+        self,
+        barriers: Iterable[Barrier],
+        region_times: Mapping[tuple[int, int], Interval],
+        initial: Barrier,
+        barrier_latency: int = 0,
+    ) -> None:
+        """``barrier_latency`` models non-ideal barrier hardware: every
+        (non-initial) barrier takes that many extra time units between the
+        last arrival and the synchronous release.  The paper's experiments
+        assume 0 ("barriers were assumed to always execute immediately",
+        section 5); the [OKDi90] companion paper studies the hardware cost
+        this knob stands in for.  Folding the latency into every incoming
+        edge weight is exact: ``fire(v) = max(fire(u) + region + L)``.
+        """
+        if barrier_latency < 0:
+            raise ValueError("barrier_latency must be >= 0")
+        self.barrier_latency = barrier_latency
+        self._barriers: dict[int, Barrier] = {b.id: b for b in barriers}
+        if initial.id not in self._barriers:
+            raise ValueError("initial barrier missing from barrier set")
+        self.initial = initial
+        self._weight: dict[tuple[int, int], Interval] = {
+            edge: (weight + barrier_latency if barrier_latency else weight)
+            for edge, weight in region_times.items()
+        }
+        self._succs: dict[int, list[int]] = {bid: [] for bid in self._barriers}
+        self._preds: dict[int, list[int]] = {bid: [] for bid in self._barriers}
+        for (u, v) in self._weight:
+            if u not in self._barriers or v not in self._barriers:
+                raise ValueError(f"edge ({u},{v}) references unknown barrier")
+            self._succs[u].append(v)
+            self._preds[v].append(u)
+        self._topo: tuple[int, ...] = self._topological_order()
+        self._order_index = {bid: k for k, bid in enumerate(self._topo)}
+        self._fire: dict[int, Interval] | None = None
+        self._descendants: dict[int, frozenset[int]] | None = None
+
+    # -- basic structure ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._barriers)
+
+    def __contains__(self, barrier_id: int) -> bool:
+        return barrier_id in self._barriers
+
+    @property
+    def barrier_ids(self) -> tuple[int, ...]:
+        """All barrier ids in topological order (initial barrier first)."""
+        return self._topo
+
+    def barrier(self, barrier_id: int) -> Barrier:
+        return self._barriers[barrier_id]
+
+    def barriers(self) -> Iterator[Barrier]:
+        for bid in self._topo:
+            yield self._barriers[bid]
+
+    def succs(self, barrier_id: int) -> tuple[int, ...]:
+        return tuple(self._succs[barrier_id])
+
+    def preds(self, barrier_id: int) -> tuple[int, ...]:
+        return tuple(self._preds[barrier_id])
+
+    def weight(self, u: int, v: int) -> Interval:
+        return self._weight[(u, v)]
+
+    def edges(self) -> Iterator[BarrierEdge]:
+        for (u, v), w in self._weight.items():
+            yield BarrierEdge(u, v, w)
+
+    def _topological_order(self) -> tuple[int, ...]:
+        in_deg = {bid: len(self._preds[bid]) for bid in self._barriers}
+        frontier = sorted((bid for bid, d in in_deg.items() if d == 0), reverse=True)
+        order: list[int] = []
+        while frontier:
+            bid = frontier.pop()
+            order.append(bid)
+            for s in self._succs[bid]:
+                in_deg[s] -= 1
+                if in_deg[s] == 0:
+                    frontier.append(s)
+        if len(order) != len(self._barriers):
+            raise ValueError("barrier graph contains a cycle: <_b is not a partial order")
+        if order and order[0] != self.initial.id and len(order) > 1:
+            # The initial barrier has no predecessors and must come first for
+            # the fire-time propagation; reorder deterministically.
+            order.remove(self.initial.id)
+            order.insert(0, self.initial.id)
+        return tuple(order)
+
+    # -- reachability -----------------------------------------------------------
+
+    def descendants(self, barrier_id: int) -> frozenset[int]:
+        """All barriers ordered after ``barrier_id`` (excluding itself)."""
+        if self._descendants is None:
+            desc: dict[int, set[int]] = {bid: set() for bid in self._barriers}
+            for bid in reversed(self._topo):
+                acc = desc[bid]
+                for s in self._succs[bid]:
+                    acc.add(s)
+                    acc |= desc[s]
+            self._descendants = {bid: frozenset(s) for bid, s in desc.items()}
+        return self._descendants[barrier_id]
+
+    def has_path(self, u: int, v: int) -> bool:
+        """True iff ``u == v`` or ``u <_b v`` (a chain of barriers orders them).
+
+        This is the *PathFind* procedure of the conservative insertion
+        algorithm, step [1]."""
+        return u == v or v in self.descendants(u)
+
+    def ordered(self, u: int, v: int) -> bool:
+        """True iff the two barriers are comparable under ``<_b``."""
+        return self.has_path(u, v) or self.has_path(v, u)
+
+    # -- timing ---------------------------------------------------------------------
+
+    def fire_times(self) -> dict[int, Interval]:
+        """``[min,max]`` fire time of every barrier relative to the initial
+        barrier's release (time 0).
+
+        ``fire(v) = join over in-edges (u,v) of fire(u) + weight(u,v)`` --
+        the join implements "a barrier fires when its last participant
+        arrives" for both bounds at once.
+        """
+        if self._fire is None:
+            fire: dict[int, Interval] = {}
+            for bid in self._topo:
+                acc = ZERO
+                for u in self._preds[bid]:
+                    acc = acc.join(fire[u] + self._weight[(u, bid)])
+                fire[bid] = acc
+            self._fire = fire
+        return dict(self._fire)
+
+    def longest_path_max(self, u: int, v: int) -> int | None:
+        """``l(psi_max(u, v))``: the longest ``u -> v`` path length assuming
+        maximum execution times for all regions; ``None`` if no path.
+        ``u == v`` gives 0."""
+        return self._longest(u, v, use_max=True)
+
+    def longest_path_min(self, u: int, v: int) -> int | None:
+        """``l(psi_min(u, v))``: longest path under minimum region times.
+
+        Note this is still a *longest* path: the earliest ``v`` can fire
+        after ``u`` is governed by the slowest chain of arrivals even when
+        every region takes its minimum time (figure 13)."""
+        return self._longest(u, v, use_max=False)
+
+    def _longest(self, u: int, v: int, use_max: bool) -> int | None:
+        if u == v:
+            return 0
+        if v not in self.descendants(u):
+            return None
+        start = self._order_index[u]
+        end = self._order_index[v]
+        best: dict[int, int] = {u: 0}
+        for bid in self._topo[start:end + 1]:
+            if bid not in best:
+                continue
+            base = best[bid]
+            for s in self._succs[bid]:
+                if self._order_index[s] > end and s != v:
+                    continue
+                w = self._weight[(bid, s)]
+                cand = base + (w.hi if use_max else w.lo)
+                if cand > best.get(s, -1):
+                    best[s] = cand
+        return best.get(v)
+
+    # -- interoperability -----------------------------------------------------------
+
+    def to_networkx(self) -> "nx.DiGraph":
+        graph = nx.DiGraph()
+        for bid in self._topo:
+            graph.add_node(bid, barrier=self._barriers[bid])
+        for (u, v), w in self._weight.items():
+            graph.add_edge(u, v, weight=w)
+        return graph
+
+    def render(self) -> str:
+        """Debug listing: each barrier with its successors and weights."""
+        fire = self.fire_times()
+        lines = []
+        for bid in self._topo:
+            b = self._barriers[bid]
+            outs = ", ".join(
+                f"b{s}{self._weight[(bid, s)]}" for s in sorted(self._succs[bid])
+            )
+            lines.append(
+                f"b{bid:<3} fire={fire[bid]!s:<10} PEs={sorted(b.participants)} -> {outs or '-'}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Dominator tree over the barrier dag (paper section 4.4).
+
+"A barrier x *dominates* barrier y, written x dom y, if every path from
+the initial node of the barrier dag to y goes through x.  With this
+definition, the initial barrier dominates all other barriers in the dag
+and every barrier dominates itself."
+
+The conservative insertion algorithm needs the *nearest common dominating
+barrier* ``CommonDom(g, i)`` of ``LastBar(g)`` and ``LastBar(i)``: the
+last synchronization point shared by the producer's and consumer's
+processors, from which relative timing can be propagated.  That is the
+nearest common ancestor of the two barriers in the dominator tree.
+
+We use the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm"): immediate dominators are computed by intersecting
+predecessor dominators in reverse postorder until a fixpoint.  Barrier
+dags are small, so this is effectively linear in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.barriers.dag import BarrierDag
+
+__all__ = ["DominatorTree"]
+
+
+class DominatorTree:
+    """Immediate-dominator tree of a :class:`BarrierDag`."""
+
+    def __init__(self, dag: BarrierDag) -> None:
+        self._dag = dag
+        self._idom: dict[int, int] = _compute_idoms(dag)
+        self._depth: dict[int, int] = {}
+        root = dag.initial.id
+        self._depth[root] = 0
+        # Nodes come out of barrier_ids topologically sorted, and an idom
+        # always precedes its node topologically, so one sweep sets depths.
+        for bid in dag.barrier_ids:
+            if bid == root:
+                continue
+            self._depth[bid] = self._depth[self._idom[bid]] + 1
+
+    @property
+    def root(self) -> int:
+        return self._dag.initial.id
+
+    def idom(self, barrier_id: int) -> int | None:
+        """Immediate dominator, or ``None`` for the initial barrier."""
+        if barrier_id == self.root:
+            return None
+        return self._idom[barrier_id]
+
+    def depth(self, barrier_id: int) -> int:
+        return self._depth[barrier_id]
+
+    def dominates(self, x: int, y: int) -> bool:
+        """True iff ``x dom y`` (every barrier dominates itself)."""
+        while self._depth[y] > self._depth[x]:
+            y = self._idom[y]
+        return x == y
+
+    def nearest_common_dominator(self, x: int, y: int) -> int:
+        """``CommonDom``: nearest common ancestor in the dominator tree."""
+        while x != y:
+            if self._depth[x] >= self._depth[y]:
+                x = self._idom[x]
+            else:
+                y = self._idom[y]
+        return x
+
+    def as_mapping(self) -> Mapping[int, int | None]:
+        """``barrier id -> immediate dominator id`` (root maps to None)."""
+        out: dict[int, int | None] = {self.root: None}
+        out.update(self._idom)
+        return out
+
+
+def _compute_idoms(dag: BarrierDag) -> dict[int, int]:
+    """Cooper-Harvey-Kennedy iterative dominator computation."""
+    # barrier_ids is a topological order, which is a reverse postorder of
+    # an acyclic graph for the purposes of the CHK fixpoint iteration.
+    order = dag.barrier_ids
+    index = {bid: k for k, bid in enumerate(order)}
+    root = dag.initial.id
+    idom: dict[int, int] = {root: root}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for bid in order:
+            if bid == root:
+                continue
+            preds = [p for p in dag.preds(bid) if p in idom]
+            if not preds:
+                raise ValueError(
+                    f"barrier {bid} is unreachable from the initial barrier"
+                )
+            new = preds[0]
+            for p in preds[1:]:
+                new = intersect(new, p)
+            if idom.get(bid) != new:
+                idom[bid] = new
+                changed = True
+
+    idom.pop(root)
+    return idom

@@ -1,0 +1,71 @@
+"""The :class:`Barrier` object shared by the scheduler and the simulators.
+
+A barrier is identified by a small integer id and spans a set of
+processors.  Semantics (section 3.1): no participating processor proceeds
+past the barrier until all participants have arrived, and when the barrier
+*fires* all participants resume **simultaneously** -- that exact-synchrony
+release is what distinguishes a barrier MIMD from machines with ordinary
+barriers and what re-zeroes the compiler's timing uncertainty.
+
+Barriers are mutable only through :meth:`absorb` (the SBM merging step of
+section 4.4.3); identity, not value, is what matters, so they hash by id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """A synchronization barrier across a set of processor indices."""
+
+    __slots__ = ("id", "participants", "is_initial", "merged_from")
+
+    def __init__(
+        self,
+        barrier_id: int,
+        participants: Iterable[int],
+        is_initial: bool = False,
+    ) -> None:
+        self.id = barrier_id
+        self.participants: set[int] = set(participants)
+        if not self.participants:
+            raise ValueError("a barrier must span at least one processor")
+        self.is_initial = is_initial
+        #: ids of barriers merged into this one (provenance for statistics).
+        self.merged_from: list[int] = []
+
+    def absorb(self, other: "Barrier") -> None:
+        """Merge ``other`` into this barrier (participant sets must be
+        disjoint: unordered barriers never share a processor)."""
+        if other is self:
+            raise ValueError("cannot merge a barrier with itself")
+        overlap = self.participants & other.participants
+        if overlap:
+            raise ValueError(
+                f"merging barriers {self.id} and {other.id} that share "
+                f"processors {sorted(overlap)}: they must be dag-ordered"
+            )
+        self.participants |= other.participants
+        self.merged_from.append(other.id)
+        self.merged_from.extend(other.merged_from)
+
+    def spans(self, pe: int) -> bool:
+        return pe in self.participants
+
+    @property
+    def width(self) -> int:
+        return len(self.participants)
+
+    def __repr__(self) -> str:
+        tag = "b0" if self.is_initial else f"b{self.id}"
+        pes = ",".join(str(p) for p in sorted(self.participants))
+        return f"<{tag} PEs={{{pes}}}>"
+
+    def __hash__(self) -> int:
+        return hash(("barrier", self.id))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

@@ -1,0 +1,135 @@
+"""Path analyses for the "optimal" barrier-insertion algorithm (section 4.4.2).
+
+The conservative algorithm can insert a needless barrier when the longest
+max-time path to the producer and the longest min-time path to the
+consumer *overlap* (figure 13): the overlapping edges cannot
+simultaneously take their maximum time on one path and their minimum on
+the other.  The optimal algorithm therefore examines the k longest
+max-paths to the producer in decreasing length order, and for each
+recomputes the consumer's min-path with the overlapping edges forced to
+their maximum time.
+
+Barrier dags are small (a few dozen barriers), so the k longest paths are
+obtained by enumerating all ``u -> v`` paths and sorting.  A hard cap
+(:data:`MAX_PATHS`) guards against pathological blowup; callers fall back
+to the conservative answer when it is hit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.barriers.dag import BarrierDag
+
+__all__ = [
+    "MAX_PATHS",
+    "PathExplosionError",
+    "all_paths",
+    "k_longest_max_paths",
+    "longest_min_path_with_forced_max",
+]
+
+#: Maximum number of paths enumerated before giving up.
+MAX_PATHS = 20_000
+
+
+class PathExplosionError(RuntimeError):
+    """Raised when a barrier dag has too many ``u -> v`` paths to enumerate."""
+
+
+def all_paths(dag: BarrierDag, u: int, v: int) -> Iterator[tuple[int, ...]]:
+    """Yield every path from ``u`` to ``v`` as a tuple of barrier ids.
+
+    ``u == v`` yields the trivial single-node path.  Paths in a dag are
+    automatically simple.  Raises :class:`PathExplosionError` past
+    :data:`MAX_PATHS`.
+    """
+    if u == v:
+        yield (u,)
+        return
+    if not dag.has_path(u, v):
+        return
+
+    produced = 0
+    stack: list[int] = [u]
+
+    def dfs(node: int) -> Iterator[tuple[int, ...]]:
+        nonlocal produced
+        if node == v:
+            produced += 1
+            if produced > MAX_PATHS:
+                raise PathExplosionError(
+                    f"more than {MAX_PATHS} paths between barriers {u} and {v}"
+                )
+            yield tuple(stack)
+            return
+        for s in dag.succs(node):
+            if s == v or dag.has_path(s, v):
+                stack.append(s)
+                yield from dfs(s)
+                stack.pop()
+
+    yield from dfs(u)
+
+
+def _path_edges(path: Sequence[int]) -> tuple[tuple[int, int], ...]:
+    return tuple(zip(path, path[1:]))
+
+
+def path_length(dag: BarrierDag, path: Sequence[int], use_max: bool) -> int:
+    total = 0
+    for u, v in _path_edges(path):
+        w = dag.weight(u, v)
+        total += w.hi if use_max else w.lo
+    return total
+
+
+def k_longest_max_paths(
+    dag: BarrierDag, u: int, v: int
+) -> list[tuple[int, tuple[int, ...]]]:
+    """All ``u -> v`` paths as ``(max_length, path)`` sorted by length desc.
+
+    This realizes the sequence ``psi_max(u,v), psi^2_max(u,v), ...`` of
+    section 4.4.2.  Ties are broken by path contents for determinism.
+    """
+    scored = [
+        (path_length(dag, p, use_max=True), p) for p in all_paths(dag, u, v)
+    ]
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return scored
+
+
+def longest_min_path_with_forced_max(
+    dag: BarrierDag,
+    u: int,
+    w: int,
+    forced_edges: Iterable[tuple[int, int]],
+) -> int | None:
+    """``l(psi*_min(u, w))``: longest ``u -> w`` path assuming minimum
+    region times, *except* that edges in ``forced_edges`` (those lying on
+    the producer path currently under examination) take their maximum time.
+
+    Returns ``None`` when no path exists.
+    """
+    if u == w:
+        return 0
+    if not dag.has_path(u, w):
+        return None
+    forced = set(forced_edges)
+    order = dag.barrier_ids
+    index = {bid: k for k, bid in enumerate(order)}
+    end = index[w]
+    best: dict[int, int] = {u: 0}
+    for bid in order[index[u]:end + 1]:
+        if bid not in best:
+            continue
+        base = best[bid]
+        for s in dag.succs(bid):
+            if index[s] > end:
+                continue
+            weight = dag.weight(bid, s)
+            length = weight.hi if (bid, s) in forced else weight.lo
+            cand = base + length
+            if cand > best.get(s, -1):
+                best[s] = cand
+    return best.get(w)

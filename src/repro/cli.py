@@ -1,0 +1,335 @@
+"""Command-line interface: ``python -m repro`` / ``repro-sbm``.
+
+Subcommands mirror the pipeline stages:
+
+``generate``    emit a random synthetic basic block (mini-language source)
+``compile``     compile source (file or stdin) and print tuples + DAG
+``schedule``    schedule source onto a barrier MIMD; print streams,
+                embedding, barrier dag, sync fractions, quality report
+``simulate``    schedule then execute under a duration sampler; print the
+                trace and a Gantt chart
+``flow``        schedule a structured program (if/while extension) and
+                execute it dynamically with verified timing
+``experiment``  run one of the paper's experiments (fig14..fig18,
+                table1, ranges, merging, ablations, ...)
+
+Examples::
+
+    repro-sbm generate --statements 20 --variables 8 --seed 7
+    repro-sbm generate -s 30 | repro-sbm schedule --pes 8
+    repro-sbm simulate --pes 4 --runs 3 examples/block.src
+    repro-sbm experiment fig15 --count 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.experiments import (
+    ablation_lookahead,
+    barrier_cost_experiment,
+    flow_overhead_experiment,
+    kernel_suite_experiment,
+    sync_elimination_experiment,
+    ablation_ordering,
+    ablation_round_robin,
+    ablation_timing_variation,
+    figure14_scatter,
+    figure15_statements,
+    figure16_variables,
+    figure17_processors,
+    figure18_vliw,
+    merging_experiment,
+    optimal_vs_conservative,
+    overall_ranges,
+    secondary_effect,
+    table1_instruction_mix,
+)
+from repro.ir import compile_source, generate_tuples, optimize, parse_block
+from repro.ir.dag import InstructionDAG
+from repro.machine.durations import BimodalSampler, MaxSampler, MinSampler, UniformSampler
+from repro.machine.program import MachineProgram
+from repro.machine.dbm import simulate_dbm
+from repro.machine.sbm import simulate_sbm
+from repro.synth.generator import GeneratorConfig, generate_block
+from repro.viz import render_barrier_dag, render_embedding, render_gantt
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "table1": lambda args: table1_instruction_mix(),
+    "fig14": lambda args: figure14_scatter(count=args.count),
+    "fig15": lambda args: figure15_statements(count=args.count),
+    "fig16": lambda args: figure16_variables(count=args.count),
+    "fig17": lambda args: figure17_processors(count=args.count),
+    "fig18": lambda args: figure18_vliw(count=args.count),
+    "ranges": lambda args: overall_ranges(count_per_point=max(4, args.count // 4)),
+    "merging": lambda args: merging_experiment(count=args.count),
+    "roundrobin": lambda args: ablation_round_robin(count=args.count),
+    "ordering": lambda args: ablation_ordering(count=args.count),
+    "lookahead": lambda args: ablation_lookahead(count=args.count),
+    "timing": lambda args: ablation_timing_variation(count=args.count),
+    "secondary": lambda args: secondary_effect(count=args.count),
+    "optimal": lambda args: optimal_vs_conservative(count=args.count),
+    "barriercost": lambda args: barrier_cost_experiment(count=args.count),
+    "flowoverhead": lambda args: flow_overhead_experiment(count=args.count),
+    "kernels": lambda args: kernel_suite_experiment(synthetic_count=args.count),
+    "syncelim": lambda args: sync_elimination_experiment(count=args.count),
+}
+
+_SAMPLERS = {
+    "uniform": UniformSampler,
+    "min": MinSampler,
+    "max": MaxSampler,
+    "bimodal": BimodalSampler,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sbm",
+        description="Static scheduling for barrier MIMD architectures "
+        "(Zaafrani, Dietz, O'Keefe 1990) -- reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit a random synthetic basic block")
+    gen.add_argument("--statements", "-s", type=int, default=20)
+    gen.add_argument("--variables", "-v", type=int, default=8)
+    gen.add_argument("--constants", "-c", type=int, default=4)
+    gen.add_argument("--seed", type=int, default=0)
+
+    comp = sub.add_parser("compile", help="compile source to tuples and a DAG")
+    comp.add_argument("source", nargs="?", help="source file (default: stdin)")
+    comp.add_argument("--no-optimize", action="store_true")
+
+    sched = sub.add_parser("schedule", help="schedule a basic block")
+    _add_schedule_args(sched)
+
+    sim = sub.add_parser("simulate", help="schedule and execute a basic block")
+    _add_schedule_args(sim)
+    sim.add_argument("--runs", type=int, default=1)
+    sim.add_argument("--sampler", choices=sorted(_SAMPLERS), default="uniform")
+    sim.add_argument("--sim-seed", type=int, default=0)
+
+    flow = sub.add_parser(
+        "flow", help="schedule and run a structured (if/while) program"
+    )
+    flow.add_argument("source", nargs="?", help="source file (default: stdin)")
+    flow.add_argument("--pes", "-p", type=int, default=4)
+    flow.add_argument("--machine", choices=("sbm", "dbm"), default="sbm")
+    flow.add_argument("--seed", type=int, default=0)
+    flow.add_argument(
+        "--input",
+        "-i",
+        action="append",
+        default=[],
+        metavar="VAR=INT",
+        help="initial variable binding (repeatable)",
+    )
+    flow.add_argument("--runs", type=int, default=1)
+
+    dot = sub.add_parser(
+        "dot", help="emit Graphviz DOT for a block's DAG and barrier dag"
+    )
+    dot.add_argument("source", nargs="?", help="source file (default: stdin)")
+    dot.add_argument("--pes", "-p", type=int, default=8)
+    dot.add_argument("--seed", type=int, default=0)
+    dot.add_argument(
+        "--what",
+        choices=("dag", "barriers", "both"),
+        default="both",
+        help="which graph(s) to emit",
+    )
+
+    arch = sub.add_parser(
+        "archive", help="schedule a corpus and write per-benchmark JSONL records"
+    )
+    arch.add_argument("output", help="JSONL file to write")
+    arch.add_argument("--statements", "-s", type=int, default=60)
+    arch.add_argument("--variables", "-v", type=int, default=10)
+    arch.add_argument("--pes", "-p", type=int, default=8)
+    arch.add_argument("--count", type=int, default=100)
+    arch.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run one of the paper's experiments")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--count", type=int, default=50, help="benchmarks per point")
+
+    return parser
+
+
+def _add_schedule_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("source", nargs="?", help="source file (default: stdin)")
+    p.add_argument("--pes", "-p", type=int, default=8)
+    p.add_argument("--machine", choices=("sbm", "dbm"), default="sbm")
+    p.add_argument("--insertion", choices=("conservative", "optimal"), default="conservative")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-optimize", action="store_true")
+    p.add_argument("--quiet", "-q", action="store_true", help="fractions only")
+
+
+def _read_source(path: str | None) -> str:
+    if path is None or path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_generate(args) -> int:
+    config = GeneratorConfig(
+        n_statements=args.statements,
+        n_variables=args.variables,
+        n_constants=args.constants,
+    )
+    block = generate_block(config, args.seed)
+    print(block.source())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    block = parse_block(_read_source(args.source))
+    program = generate_tuples(block)
+    print("== raw tuples ==")
+    print(program.render())
+    if not args.no_optimize:
+        program = optimize(program)
+        print("\n== optimized tuples ==")
+        print(program.render())
+    dag = InstructionDAG.from_program(program)
+    print("\n== instruction DAG ==")
+    print(dag.render())
+    print(
+        f"\n{len(program)} instructions, {dag.implied_synchronizations} implied "
+        f"synchronizations, critical path {dag.critical_path()}"
+    )
+    return 0
+
+
+def _schedule_from_args(args):
+    dag = compile_source(
+        _read_source(args.source), run_optimizer=not args.no_optimize
+    )
+    config = SchedulerConfig(
+        n_pes=args.pes,
+        machine=args.machine,
+        insertion=args.insertion,
+        seed=args.seed,
+    )
+    return dag, schedule_dag(dag, config)
+
+
+def _cmd_schedule(args) -> int:
+    from repro.analysis import analyze_schedule
+
+    _, result = _schedule_from_args(args)
+    if not args.quiet:
+        print("== barrier embedding ==")
+        print(render_embedding(result.schedule))
+        print("\n== barrier dag ==")
+        print(render_barrier_dag(result.schedule))
+        print()
+    print(result.describe())
+    print(analyze_schedule(result).render())
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    from repro.flow import execute_flow_schedule, parse_program, schedule_program
+
+    program = parse_program(_read_source(args.source))
+    env: dict[str, int] = {}
+    for binding in args.input:
+        name, _, value = binding.partition("=")
+        if not name or not value.lstrip("-").isdigit():
+            raise SystemExit(f"bad --input {binding!r}; expected VAR=INT")
+        env[name.strip()] = int(value)
+    config = SchedulerConfig(n_pes=args.pes, machine=args.machine, seed=args.seed)
+    flow = schedule_program(program, config)
+    print(flow.cfg.render())
+    print()
+    print(flow.describe())
+    for run in range(args.runs):
+        trace = execute_flow_schedule(flow, env, rng=args.seed + run)
+        bound = flow.static_path_bound(trace.block_sequence)
+        print(f"\nrun {run}: {trace.describe()}")
+        print(f"  path bound {bound}; final state:")
+        for name, value in sorted(trace.final_state().items()):
+            print(f"    {name} = {value}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    _, result = _schedule_from_args(args)
+    program = MachineProgram.from_schedule(result.schedule)
+    sim = simulate_sbm if args.machine == "sbm" else simulate_dbm
+    sampler = _SAMPLERS[args.sampler]()
+    for run in range(args.runs):
+        trace = sim(program, sampler, rng=args.sim_seed + run)
+        trace.assert_sound(program.edges)
+        if not args.quiet:
+            print(f"== run {run} ==")
+            print(render_gantt(program, trace))
+            print()
+        else:
+            print(trace.describe())
+    print(result.describe())
+    print(f"static makespan bound {result.makespan}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.viz.dot import barrier_dag_to_dot, instruction_dag_to_dot
+
+    dag = compile_source(_read_source(args.source))
+    if args.what in ("dag", "both"):
+        print(instruction_dag_to_dot(dag))
+    if args.what in ("barriers", "both"):
+        result = schedule_dag(dag, SchedulerConfig(n_pes=args.pes, seed=args.seed))
+        print(barrier_dag_to_dot(result.schedule))
+    return 0
+
+
+def _cmd_archive(args) -> int:
+    from repro.experiments.archive import archive_corpus, stats_from_archive
+    from repro.experiments.sweeps import ExperimentPoint
+
+    point = ExperimentPoint(
+        generator=GeneratorConfig(
+            n_statements=args.statements, n_variables=args.variables
+        ),
+        scheduler=SchedulerConfig(n_pes=args.pes),
+        count=args.count,
+        master_seed=args.seed,
+    )
+    written = archive_corpus(point, args.output)
+    print(f"wrote {written} records to {args.output}")
+    print(stats_from_archive(args.output).render())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = _EXPERIMENTS[args.name](args)
+    print(result.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "compile": _cmd_compile,
+        "schedule": _cmd_schedule,
+        "simulate": _cmd_simulate,
+        "flow": _cmd_flow,
+        "dot": _cmd_dot,
+        "archive": _cmd_archive,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

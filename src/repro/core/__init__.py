@@ -1,0 +1,79 @@
+"""Core scheduling package: the paper's contribution.
+
+List scheduling with min/max-height ordering (sections 4.1-4.2),
+serialization-aware processor assignment (4.3), conservative and optimal
+barrier insertion (4.4.1-4.4.2), SBM barrier merging (4.4.3), and a final
+soundness validation sweep.
+"""
+
+from repro.timing import Interval, ZERO, interval_max, interval_sum
+from repro.core.labeling import compute_heights, critical_path_nodes
+from repro.core.ordering import order_nodes
+from repro.core.assignment import (
+    ListPolicy,
+    LookaheadPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.core.schedule import Item, Schedule
+from repro.core.barrier_insert import (
+    BarrierInserter,
+    EdgeResolution,
+    ResolutionKind,
+    classify_edge,
+)
+from repro.core.merging import find_merge_candidate, merge_new_barrier
+from repro.core.validate import (
+    ScheduleError,
+    Violation,
+    check_structure,
+    find_violations,
+    repair_schedule,
+)
+from repro.core.sync_elimination import (
+    SyncEliminationResult,
+    compute_sync_bounds,
+    eliminate_directed_syncs,
+    simulate_directed,
+)
+from repro.core.scheduler import (
+    ScheduleResult,
+    SchedulerConfig,
+    SyncCounts,
+    schedule_dag,
+)
+
+__all__ = [
+    "Interval",
+    "ZERO",
+    "interval_max",
+    "interval_sum",
+    "compute_heights",
+    "critical_path_nodes",
+    "order_nodes",
+    "ListPolicy",
+    "LookaheadPolicy",
+    "RoundRobinPolicy",
+    "make_policy",
+    "Item",
+    "Schedule",
+    "BarrierInserter",
+    "EdgeResolution",
+    "ResolutionKind",
+    "classify_edge",
+    "find_merge_candidate",
+    "merge_new_barrier",
+    "ScheduleError",
+    "Violation",
+    "check_structure",
+    "find_violations",
+    "repair_schedule",
+    "ScheduleResult",
+    "SchedulerConfig",
+    "SyncCounts",
+    "schedule_dag",
+    "SyncEliminationResult",
+    "compute_sync_bounds",
+    "eliminate_directed_syncs",
+    "simulate_directed",
+]

@@ -1,0 +1,242 @@
+"""Node-to-processor assignment policies (paper sections 4.3 and 5.4).
+
+The default :class:`ListPolicy` implements section 4.3:
+
+[1] Compute ``ProdProc(i)``, the processors hosting producers of ``i``.
+    Among those, find the processors whose *last scheduled instruction*
+    is a producer of ``i`` (an open "serialization slot").  Exactly one
+    such processor: take it.  Several: take the one with the largest
+    current maximum completion time ("to possibly avoid inserting a
+    barrier"); full ties are broken at random.
+
+[2] Otherwise assign ``i`` to a processor on which it can start as early
+    as possible (estimated from producer finish times and processor
+    completion times); ties are again broken at random, which "helps
+    balance the number of nodes assigned to each processor".
+
+:class:`RoundRobinPolicy` (section 5.4) assigns the k-th list node to
+processor ``k mod N`` -- the ablation that makes the serialization
+fraction "nearly vanish" and pushes the barrier fraction toward 50%.
+
+:class:`LookaheadPolicy` (section 5.4) wraps the list policy with a
+window of size ``p``: a step-[2] placement that would fill another
+pending node's open serialization slot is diverted to the next-best
+processor when possible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.schedule import Schedule
+from repro.ir.dag import NodeId
+
+__all__ = [
+    "AssignmentPolicy",
+    "ListPolicy",
+    "RoundRobinPolicy",
+    "LookaheadPolicy",
+    "make_policy",
+]
+
+
+class AssignmentPolicy(Protocol):
+    """Strategy interface: pick the processor for the next list node."""
+
+    def choose(
+        self,
+        schedule: Schedule,
+        node: NodeId,
+        list_index: int,
+        upcoming: Sequence[NodeId],
+        rng: random.Random,
+    ) -> int:
+        """Return the processor index for ``node``.
+
+        ``list_index`` is the node's position in the scheduling list and
+        ``upcoming`` the nodes that follow it (used by lookahead).
+        """
+        ...
+
+
+def _ready_time_hi(schedule: Schedule, node: NodeId, pe: int) -> int:
+    """Worst-case time at which ``node``'s cross-processor operands are
+    available if ``node`` runs on ``pe`` (same-processor producers are
+    ordered by the stream itself)."""
+    ready = 0
+    for g in schedule.dag.real_preds(node):
+        if schedule.processor_of(g) != pe:
+            ready = max(ready, schedule.global_finish(g).hi)
+    return ready
+
+
+def _earliest_start_estimate(schedule: Schedule, node: NodeId, pe: int) -> int:
+    """Worst-case estimated start of ``node`` on ``pe`` (step [2] metric)."""
+    return max(schedule.completion(pe).hi, _ready_time_hi(schedule, node, pe))
+
+
+def serialization_candidates(schedule: Schedule, node: NodeId) -> list[int]:
+    """Producer processors whose last instruction is a producer of ``node``."""
+    producer_pes = {
+        schedule.processor_of(g) for g in schedule.dag.real_preds(node)
+    }
+    return [
+        pe
+        for pe in sorted(producer_pes)
+        if schedule.last_instruction_on(pe) in set(schedule.dag.real_preds(node))
+    ]
+
+
+@dataclass
+class ListPolicy:
+    """The paper's default assignment heuristic (section 4.3).
+
+    ``serialization_slack`` is an extension knob (0 = the paper's exact
+    rule): in step [2], a producer processor whose estimated start is
+    within ``slack`` time units of the global best is preferred over a
+    foreign processor.  Small positive values trade a slightly longer
+    worst-case makespan for noticeably fewer barriers (see the
+    serialization-slack ablation bench and EXPERIMENTS.md).
+    """
+
+    serialization_slack: int = 0
+
+    def choose(
+        self,
+        schedule: Schedule,
+        node: NodeId,
+        list_index: int,
+        upcoming: Sequence[NodeId],
+        rng: random.Random,
+    ) -> int:
+        pe = self._step1(schedule, node, rng)
+        if pe is not None:
+            return pe
+        return self._step2(schedule, node, rng)
+
+    # Step [1]: serialization-preferring placement.
+    def _step1(self, schedule: Schedule, node: NodeId, rng: random.Random) -> int | None:
+        candidates = serialization_candidates(schedule, node)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        best_hi = max(schedule.completion(pe).hi for pe in candidates)
+        top = [pe for pe in candidates if schedule.completion(pe).hi == best_hi]
+        return top[0] if len(top) == 1 else rng.choice(top)
+
+    # Step [2]: earliest-start placement.
+    def _step2(self, schedule: Schedule, node: NodeId, rng: random.Random) -> int:
+        estimates = [
+            _earliest_start_estimate(schedule, node, pe)
+            for pe in range(schedule.n_pes)
+        ]
+        best = min(estimates)
+        if self.serialization_slack > 0:
+            producer_pes = sorted(
+                {schedule.processor_of(g) for g in schedule.dag.real_preds(node)}
+            )
+            close = [
+                (estimates[pe], pe)
+                for pe in producer_pes
+                if estimates[pe] <= best + self.serialization_slack
+            ]
+            if close:
+                return min(close)[1]
+        ties = [pe for pe, est in enumerate(estimates) if est == best]
+        return ties[0] if len(ties) == 1 else rng.choice(ties)
+
+
+@dataclass
+class RoundRobinPolicy:
+    """Section 5.4 ablation: the i-th list node goes to processor i mod N."""
+
+    def choose(
+        self,
+        schedule: Schedule,
+        node: NodeId,
+        list_index: int,
+        upcoming: Sequence[NodeId],
+        rng: random.Random,
+    ) -> int:
+        return list_index % schedule.n_pes
+
+
+@dataclass
+class LookaheadPolicy:
+    """Section 5.4 ablation: protect upcoming serialization opportunities.
+
+    When the inner list policy resolves via step [2] (no serialization for
+    the current node), examine the next ``window`` list nodes; if the
+    chosen processor's last instruction is a producer of one of them --
+    an open slot the placement would destroy -- divert to the
+    earliest-start processor that does not conflict, when one exists.
+    """
+
+    window: int = 4
+    inner: ListPolicy = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("lookahead window must be >= 1")
+        if self.inner is None:
+            self.inner = ListPolicy()
+
+    def choose(
+        self,
+        schedule: Schedule,
+        node: NodeId,
+        list_index: int,
+        upcoming: Sequence[NodeId],
+        rng: random.Random,
+    ) -> int:
+        serial = self.inner._step1(schedule, node, rng)
+        if serial is not None:
+            return serial  # the node's own serialization always wins
+        default = self.inner._step2(schedule, node, rng)
+        if not self._conflicts(schedule, node, default, upcoming):
+            return default
+
+        # Divert to the best non-conflicting processor, if any.
+        alternatives = sorted(
+            (
+                (_earliest_start_estimate(schedule, node, pe), pe)
+                for pe in range(schedule.n_pes)
+                if pe != default
+                and not self._conflicts(schedule, node, pe, upcoming)
+            ),
+        )
+        return alternatives[0][1] if alternatives else default
+
+    def _conflicts(
+        self,
+        schedule: Schedule,
+        node: NodeId,
+        pe: int,
+        upcoming: Sequence[NodeId],
+    ) -> bool:
+        last = schedule.last_instruction_on(pe)
+        if last is None:
+            return False
+        for waiting in upcoming[: self.window]:
+            if last in schedule.dag.real_preds(waiting):
+                return True
+        return False
+
+
+def make_policy(
+    name: str,
+    lookahead: int = 0,
+    serialization_slack: int = 0,
+) -> AssignmentPolicy:
+    """Factory used by :class:`~repro.core.scheduler.SchedulerConfig`."""
+    if name == "list":
+        inner = ListPolicy(serialization_slack=serialization_slack)
+        if lookahead > 0:
+            return LookaheadPolicy(window=lookahead, inner=inner)
+        return inner
+    if name == "roundrobin":
+        return RoundRobinPolicy()
+    raise ValueError(f"unknown assignment policy {name!r}")

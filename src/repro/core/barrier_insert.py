@@ -1,0 +1,316 @@
+"""Barrier insertion: conservative and "optimal" algorithms (section 4.4).
+
+For every producer/consumer edge ``(g, i)`` whose endpoints land on
+different processors ``P`` and ``C``, the inserter decides how the
+synchronization is discharged:
+
+``SERIALIZED``
+    ``g`` and ``i`` share a processor; program order suffices.
+``PATH``
+    Step [1], *PathFind*: a chain of existing barriers already orders
+    ``NextBar(g)`` before ``LastBar(i)``, so ``g`` completes before ``i``
+    starts regardless of timing.
+``TIMING``
+    Steps [2]-[5]: relative to the nearest common dominating barrier
+    ``CommonDom(g, i)``, the consumer's earliest start
+    ``T_min(i-) = l(psi_min(dom, LastBar(i))) + delta_min(i-)``
+    is no earlier than the producer's latest finish
+    ``T_max(g) = l(psi_max(dom, LastBar(g))) + delta_max(g)``.
+    In ``optimal`` mode the k-longest-path overlap analysis of section
+    4.4.2 is applied before giving up: paths to the producer that overlap
+    the consumer's min-path cannot take maximum time on one and minimum
+    on the other simultaneously.
+``BARRIER``
+    Step [6]: a new barrier is inserted across ``P`` (after ``g``, or
+    after a later instruction ``g+`` whose worst-case execution window
+    contains ``T_max(i-)``, letting ``P`` do more work before stalling)
+    and across ``C`` (immediately before ``i``).
+
+The same classification logic, made read-only, backs the final
+validation sweep in :mod:`repro.core.validate`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.barriers.model import Barrier
+from repro.barriers.paths import (
+    PathExplosionError,
+    k_longest_max_paths,
+    longest_min_path_with_forced_max,
+)
+from repro.core.merging import merge_new_barrier
+from repro.core.schedule import Schedule
+from repro.ir.dag import NodeId
+
+__all__ = [
+    "ResolutionKind",
+    "EdgeResolution",
+    "BarrierInserter",
+    "classify_edge",
+    "choose_safe_placements",
+    "PlacementError",
+]
+
+
+class PlacementError(RuntimeError):
+    """No barrier placement for the edge keeps happens-before acyclic."""
+
+
+def choose_safe_placements(
+    schedule,
+    g: NodeId,
+    i: NodeId,
+    preferred_p: int | None = None,
+) -> dict[int, int]:
+    """Pick stream positions for a barrier enforcing edge ``(g, i)``.
+
+    Correctness only requires the barrier to sit *somewhere after* ``g``
+    on the producer's stream and *somewhere before* ``i`` on the
+    consumer's.  But any concrete position pair also imposes new
+    cross-processor orderings (everything before the barrier on either
+    stream precedes everything after it on either stream), and those can
+    contradict orderings H already guarantees -- e.g. an instruction
+    following ``g`` that happens-before an instruction preceding ``i``.
+    Such a contradiction would be an unrepairable inversion, so the
+    placement pair is searched: the paper's preferred ``g+`` position
+    first (section 4.4.1 step [6]), then later producer-side positions
+    (delaying the producer's arrival is always sound), combined with
+    consumer-side positions moving earlier from "just before ``i``".
+
+    A safe pair is returned as ``{pe: index}``; :class:`PlacementError`
+    is raised if none exists (not observed on any corpus -- the search
+    space degenerates only if H is already inconsistent).
+    """
+    pe_p, pos_g = schedule.position_of(g)
+    pe_c, pos_i = schedule.position_of(i)
+    p_candidates: list[int] = []
+    if preferred_p is not None:
+        p_candidates.append(preferred_p)
+    p_candidates.extend(
+        idx for idx in range(pos_g + 1, len(schedule.streams[pe_p]) + 1)
+        if idx not in p_candidates
+    )
+    for c_idx in range(pos_i, 0, -1):
+        for p_idx in p_candidates:
+            placements = {pe_p: p_idx, pe_c: c_idx}
+            if not schedule.insertion_creates_hb_cycle(placements):
+                return placements
+    raise PlacementError(
+        f"no sound barrier placement for edge {g!r} -> {i!r}"
+    )
+
+
+class ResolutionKind(enum.Enum):
+    SERIALIZED = "serialized"
+    PATH = "path"
+    TIMING = "timing"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeResolution:
+    """How one producer/consumer edge was discharged."""
+
+    producer: NodeId
+    consumer: NodeId
+    kind: ResolutionKind
+    barrier: Barrier | None = None
+    dominator: int | None = None
+    #: Resolution leaned on previously *inserted* barriers (the figure 7/8
+    #: secondary effect): a PathFind hit, or a timing proof whose producer
+    #: or consumer sits past a non-initial barrier.
+    secondary: bool = False
+    #: The timing proof needed the section 4.4.2 overlap analysis.
+    via_optimal: bool = False
+    #: Barriers absorbed into the new barrier by SBM merging.
+    merges: int = 0
+
+
+def _timing_check(
+    schedule: Schedule,
+    g: NodeId,
+    i: NodeId,
+    mode: str,
+) -> tuple[bool, bool, int]:
+    """Steps [2]-[5] (+ section 4.4.2 in ``optimal`` mode).
+
+    Returns ``(resolved, via_optimal, dominator_id)``.
+    """
+    bd = schedule.barrier_dag()
+    dom_tree = schedule.dominator_tree()
+    pe_p, pos_g = schedule.position_of(g)
+    pe_c, pos_i = schedule.position_of(i)
+    last_g = schedule.last_barrier_before(pe_p, pos_g)
+    last_i = schedule.last_barrier_before(pe_c, pos_i)
+    dom = dom_tree.nearest_common_dominator(last_g.id, last_i.id)
+
+    delta_max_g = schedule.delta_through(g).hi
+    delta_min_i = schedule.delta_before(pe_c, pos_i).lo
+
+    lp_max = bd.longest_path_max(dom, last_g.id)
+    lp_min = bd.longest_path_min(dom, last_i.id)
+    assert lp_max is not None and lp_min is not None, "dominator must reach both"
+
+    t_max_g = lp_max + delta_max_g
+    t_min_i = lp_min + delta_min_i
+    if t_min_i >= t_max_g:
+        return True, False, dom
+
+    if mode == "optimal":
+        try:
+            resolved = _optimal_check(
+                bd, dom, last_g.id, last_i.id, delta_max_g, delta_min_i, lp_min
+            )
+        except PathExplosionError:
+            resolved = False  # fall back to the conservative verdict
+        if resolved:
+            return True, True, dom
+    return False, False, dom
+
+
+def _optimal_check(
+    bd,
+    dom: int,
+    v: int,
+    w: int,
+    delta_max_g: int,
+    delta_min_i: int,
+    base_min: int,
+) -> bool:
+    """Section 4.4.2: walk the k longest max-paths ``dom -> LastBar(g)``.
+
+    For each path, the consumer min-path is recomputed with the path's
+    edges forced to maximum time; if even then the producer can finish
+    after the consumer starts, a barrier is required.  The walk stops as
+    soon as a path satisfies the *plain* condition, since all shorter
+    paths then satisfy it too.
+    """
+    rhs_plain = base_min + delta_min_i
+    for length, path in k_longest_max_paths(bd, dom, v):
+        lhs = length + delta_max_g
+        if lhs <= rhs_plain:
+            return True  # this and every shorter path is harmless
+        edges = tuple(zip(path, path[1:]))
+        adjusted = longest_min_path_with_forced_max(bd, dom, w, edges)
+        assert adjusted is not None
+        if lhs <= adjusted + delta_min_i:
+            continue  # overlap correlation covers this path; check the next
+        return False
+    return True
+
+
+def classify_edge(
+    schedule: Schedule, g: NodeId, i: NodeId, mode: str = "conservative"
+) -> EdgeResolution:
+    """Read-only resolution of edge ``(g, i)`` against the current schedule.
+
+    Returns a :class:`EdgeResolution` whose kind is ``BARRIER`` when a new
+    barrier *would be* required (none is inserted here).
+    """
+    pe_p, pos_g = schedule.position_of(g)
+    pe_c, pos_i = schedule.position_of(i)
+    if pe_p == pe_c:
+        if pos_g >= pos_i:
+            raise ValueError(
+                f"consumer {i!r} precedes its producer {g!r} on PE {pe_p}"
+            )
+        return EdgeResolution(g, i, ResolutionKind.SERIALIZED)
+
+    bd = schedule.barrier_dag()
+    next_g = schedule.next_barrier_after(pe_p, pos_g)
+    last_i = schedule.last_barrier_before(pe_c, pos_i)
+    if next_g is not None and bd.has_path(next_g.id, last_i.id):
+        return EdgeResolution(g, i, ResolutionKind.PATH, secondary=True)
+
+    resolved, via_optimal, dom = _timing_check(schedule, g, i, mode)
+    if resolved:
+        last_g = schedule.last_barrier_before(pe_p, pos_g)
+        secondary = not (last_g.is_initial and last_i.is_initial)
+        return EdgeResolution(
+            g,
+            i,
+            ResolutionKind.TIMING,
+            dominator=dom,
+            secondary=secondary,
+            via_optimal=via_optimal,
+        )
+    return EdgeResolution(g, i, ResolutionKind.BARRIER, dominator=dom)
+
+
+@dataclass
+class BarrierInserter:
+    """Stateful edge resolver that inserts (and optionally merges) barriers."""
+
+    schedule: Schedule
+    mode: str = "conservative"
+    merge: bool = False
+    resolutions: list[EdgeResolution] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("conservative", "optimal"):
+            raise ValueError(f"unknown insertion mode {self.mode!r}")
+
+    def ensure_edge(self, g: NodeId, i: NodeId) -> EdgeResolution:
+        """Resolve edge ``(g, i)``, inserting a barrier if required."""
+        verdict = classify_edge(self.schedule, g, i, self.mode)
+        if verdict.kind is not ResolutionKind.BARRIER:
+            self.resolutions.append(verdict)
+            return verdict
+
+        barrier, merges = self._insert(g, i, verdict.dominator)
+        outcome = EdgeResolution(
+            g,
+            i,
+            ResolutionKind.BARRIER,
+            barrier=barrier,
+            dominator=verdict.dominator,
+            merges=merges,
+        )
+        self.resolutions.append(outcome)
+        return outcome
+
+    # -- step [6]: placement ---------------------------------------------------
+
+    def _insert(self, g: NodeId, i: NodeId, dom: int | None) -> tuple[Barrier, int]:
+        schedule = self.schedule
+        bd = schedule.barrier_dag()
+        pe_p, pos_g = schedule.position_of(g)
+        pe_c, pos_i = schedule.position_of(i)
+        last_g = schedule.last_barrier_before(pe_p, pos_g)
+        last_i = schedule.last_barrier_before(pe_c, pos_i)
+        if dom is None:
+            dom = schedule.dominator_tree().nearest_common_dominator(
+                last_g.id, last_i.id
+            )
+
+        t_max_g = (bd.longest_path_max(dom, last_g.id) or 0) + schedule.delta_through(g).hi
+        t_max_i_minus = (
+            (bd.longest_path_max(dom, last_i.id) or 0)
+            + schedule.delta_before(pe_c, pos_i).hi
+        )
+
+        insert_at_p = pos_g + 1
+        if t_max_i_minus > t_max_g:
+            # Let the producer processor run further: advance the insertion
+            # point past instructions whose worst-case start is still no
+            # later than the consumer side's worst-case arrival.
+            cum = t_max_g
+            stream = schedule.streams[pe_p]
+            for idx in range(pos_g + 1, len(stream)):
+                item = stream[idx]
+                if isinstance(item, Barrier):
+                    break
+                start_q = cum
+                cum += schedule.dag.latency(item).hi
+                if start_q <= t_max_i_minus:
+                    insert_at_p = idx + 1
+                else:
+                    break
+
+        placements = choose_safe_placements(schedule, g, i, preferred_p=insert_at_p)
+        barrier = schedule.insert_barrier(placements)
+        merges = merge_new_barrier(schedule, barrier) if self.merge else 0
+        return barrier, merges

@@ -1,0 +1,105 @@
+"""SBM barrier merging (paper section 4.4.3).
+
+"If the execution time range of the new barrier overlaps with any other
+barriers currently scheduled, and if the overlapping barriers are not
+ordered with respect to the barrier dag, then they are merged into a
+single barrier."
+
+Merging is required for the *static* barrier MIMD, whose hardware executes
+barriers from a FIFO queue in one compile-time total order: two unordered
+barriers whose fire-time windows overlap could arrive in either order at
+run time, so the SBM fuses them into one wider barrier.  (The dynamic
+barrier MIMD's associative matching hardware handles either order, so DBM
+schedules skip this step.)
+
+Orderedness is judged against the full **happens-before graph H**
+(:meth:`repro.core.schedule.Schedule.hb_barrier_ordered`): stream
+adjacency plus every committed producer/consumer data edge.  The bare
+barrier dag is too weak a test -- two barriers can be dag-unordered yet
+forced into one run-time order by an instruction edge that was discharged
+by *timing*, and merging such a pair would demand the consumer's region
+complete before its producer's, an unrepairable inversion.  H-unordered
+pairs are genuinely concurrent, so merging them is always sound (possibly
+after a cheap revalidation, since a merge can still *delay* a producer --
+the finalization loop in :mod:`repro.core.validate` handles that).
+
+Two structural facts keep the operation well-defined:
+
+* H-unordered barriers never share a processor (a shared processor's
+  stream would chain them), so participant sets union disjointly;
+* merging two H-unordered nodes cannot create a cycle in H (a path
+  between the merge partners would have made them ordered).
+"""
+
+from __future__ import annotations
+
+from repro.barriers.model import Barrier
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "merge_new_barrier",
+    "find_merge_candidate",
+    "merge_all_overlapping",
+]
+
+
+def find_merge_candidate(schedule: Schedule, barrier: Barrier) -> Barrier | None:
+    """The first scheduled barrier that is H-unordered with ``barrier``
+    and whose fire-time interval overlaps it, or ``None``."""
+    fire = schedule.fire_times()
+    window = fire[barrier.id]
+    for other in schedule.barriers():
+        if other is barrier:
+            continue
+        if schedule.hb_barrier_ordered(barrier.id, other.id):
+            continue
+        if window.overlaps(fire[other.id]):
+            return other
+    return None
+
+
+def merge_new_barrier(schedule: Schedule, barrier: Barrier) -> int:
+    """Merge every eligible barrier into ``barrier``; return how many were
+    absorbed.  ``barrier`` survives and widens."""
+    absorbed = 0
+    while True:
+        other = find_merge_candidate(schedule, barrier)
+        if other is None:
+            return absorbed
+        barrier.absorb(other)
+        schedule.replace_barrier(other, barrier)
+        absorbed += 1
+
+
+def merge_all_overlapping(schedule: Schedule) -> int:
+    """Global merge sweep: fuse *every* H-unordered,
+    fire-window-overlapping barrier pair, to a fixpoint; return the number
+    of merges performed.
+
+    Per-insertion merging only examines the barrier just inserted, but a
+    later insertion can shift other barriers' fire windows and re-create
+    an overlap between two older barriers.  The SBM requires the invariant
+    globally -- it is what makes the happens-before-consistent FIFO queue
+    free of head-of-line blocking -- so the scheduler runs this sweep when
+    an SBM schedule is finalized.
+    """
+    absorbed = 0
+    while True:
+        fire = schedule.fire_times()
+        barriers = schedule.barriers()
+        pair: tuple[Barrier, Barrier] | None = None
+        for a_idx, a in enumerate(barriers):
+            for b in barriers[a_idx + 1:]:
+                if schedule.hb_barrier_ordered(a.id, b.id):
+                    continue
+                if fire[a.id].overlaps(fire[b.id]):
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        if pair is None:
+            return absorbed
+        survivor, victim = pair
+        survivor.absorb(victim)
+        schedule.replace_barrier(victim, survivor)
+        absorbed += 1

@@ -1,0 +1,58 @@
+"""List ordering of instruction nodes (paper section 4.2).
+
+"The nodes are first sorted into a list in descending order using the
+maximum height as the key, followed by another sort (on nodes with equal
+maximum height) in descending order using the minimum height as the key."
+
+Remaining ties are broken by topological index, which keeps the ordering
+deterministic and guarantees producers precede consumers even for
+hypothetical zero-latency instructions.  (With the Table 1 instruction
+set every producer has strictly larger ``h_max`` than its consumers, so
+the height sort alone already places producers first.)
+
+The ``"minmax"`` variant -- minimum height first, maximum height as tie
+breaker -- is the ordering ablation of section 5.4, which "attempts to
+optimize the minimum execution time".
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping, Sequence
+
+from repro.core.labeling import compute_heights
+from repro.timing import Interval
+from repro.ir.dag import InstructionDAG, NodeId
+
+__all__ = ["OrderingKind", "order_nodes"]
+
+OrderingKind = Literal["maxmin", "minmax"]
+
+
+def order_nodes(
+    dag: InstructionDAG,
+    kind: OrderingKind = "maxmin",
+    heights: Mapping[NodeId, Interval] | None = None,
+) -> list[NodeId]:
+    """The scheduling list: real nodes in priority order.
+
+    ``kind="maxmin"`` is the paper's default (h_max desc, then h_min desc);
+    ``kind="minmax"`` swaps the keys (section 5.4 ablation).
+    """
+    if heights is None:
+        heights = compute_heights(dag)
+    topo_index = {node: k for k, node in enumerate(dag.real_nodes)}
+    nodes: Sequence[NodeId] = dag.real_nodes
+
+    if kind == "maxmin":
+        def key(node: NodeId) -> tuple[int, int, int]:
+            h = heights[node]
+            return (-h.hi, -h.lo, topo_index[node])
+    elif kind == "minmax":
+        def key(node: NodeId) -> tuple[int, int, int]:
+            h = heights[node]
+            return (-h.lo, -h.hi, topo_index[node])
+    else:
+        raise ValueError(f"unknown ordering kind {kind!r}")
+
+    ordered = sorted(nodes, key=key)
+    return ordered

@@ -1,0 +1,10 @@
+"""Compatibility shim: the interval module lives at :mod:`repro.timing`.
+
+It sits outside the ``core`` package so that low-level packages
+(:mod:`repro.ir`, :mod:`repro.barriers`) can use intervals without
+triggering the import of the full scheduling machinery.
+"""
+
+from repro.timing import Interval, ZERO, interval_max, interval_sum
+
+__all__ = ["Interval", "ZERO", "interval_max", "interval_sum"]

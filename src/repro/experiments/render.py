@@ -1,0 +1,107 @@
+"""Plain-text rendering of experiment data: tables, line charts, scatter.
+
+The paper's figures are line charts (sync fractions vs a parameter) and
+one scatter plot.  These helpers reproduce them as fixed-width text so
+the benchmark harness can print the same series the paper plots, with no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["table", "line_chart", "scatter_plot"]
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with right-aligned columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def line_chart(
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    height: int = 16,
+    y_label: str = "",
+    y_max: float | None = None,
+) -> str:
+    """Multi-series text chart: one column per x value, one glyph per series.
+
+    Values are assumed to lie in ``[0, y_max]`` (default: data maximum).
+    Collisions render as ``*``.
+    """
+    glyphs = "BSXOVMLTb"
+    names = list(series)
+    if not names:
+        return "(no series)"
+    n = len(x_values)
+    for name in names:
+        if len(series[name]) != n:
+            raise ValueError(f"series {name!r} length mismatch")
+    top = y_max if y_max is not None else max(
+        (v for vs in series.values() for v in vs), default=1.0
+    ) or 1.0
+
+    grid = [[" "] * n for _ in range(height)]
+    for s_idx, name in enumerate(names):
+        for col, value in enumerate(series[name]):
+            frac = min(max(value / top, 0.0), 1.0)
+            row = height - 1 - int(round(frac * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = glyphs[s_idx % len(glyphs)] if cell == " " else "*"
+
+    lines = []
+    for r, row in enumerate(grid):
+        frac = (height - 1 - r) / (height - 1)
+        label = f"{frac * top:6.1%} |" if top <= 1.0 else f"{frac * top:6.1f} |"
+        lines.append(label + "  ".join(row))
+    lines.append(" " * 7 + "+" + "-" * (3 * n - 2))
+    xcells = "  ".join(str(x)[0] for x in x_values)
+    lines.append(" " * 8 + xcells)
+    lines.append("x: " + " ".join(str(x) for x in x_values))
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(names))
+    lines.append("legend: " + legend + "  (*=overlap)")
+    if y_label:
+        lines.append(f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 24,
+    x_label: str = "x",
+    y_label: str = "y",
+    x_range: tuple[float, float] = (0.0, 1.0),
+    y_range: tuple[float, float] = (0.0, 1.0),
+) -> str:
+    """Density scatter: digits show how many points fall in a cell (9+ = '#')."""
+    grid = [[0] * width for _ in range(height)]
+    x_lo, x_hi = x_range
+    y_lo, y_hi = y_range
+    for x, y in points:
+        cx = int((x - x_lo) / (x_hi - x_lo or 1) * (width - 1))
+        cy = int((y - y_lo) / (y_hi - y_lo or 1) * (height - 1))
+        cx = min(max(cx, 0), width - 1)
+        cy = min(max(cy, 0), height - 1)
+        grid[height - 1 - cy][cx] += 1
+
+    lines = []
+    for r, row in enumerate(grid):
+        frac = (height - 1 - r) / (height - 1)
+        label = f"{y_lo + frac * (y_hi - y_lo):5.0%} |"
+        body = "".join(
+            " " if c == 0 else (str(c) if c < 10 else "#") for c in row
+        )
+        lines.append(label + body)
+    lines.append(" " * 6 + "+" + "-" * width)
+    lines.append(" " * 7 + f"{x_lo:<8.0%}{x_label:^{width - 16}}{x_hi:>8.0%}")
+    lines.append(f"y: {y_label}")
+    return "\n".join(lines)

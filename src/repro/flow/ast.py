@@ -1,0 +1,151 @@
+"""Structured AST layer: assignments plus ``if``/``else`` and ``while``.
+
+Statements are the section 2 :class:`~repro.ir.ast.Assign` plus two
+structured constructs; conditions are ordinary expressions with C
+semantics (nonzero is true).  A :class:`FlowProgram` is a statement
+sequence with reference execution semantics (used to verify the whole
+lowering/scheduling/execution stack end to end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, MutableMapping, Union
+
+from repro.ir.ast import Assign, Expr
+
+__all__ = ["Stmt", "IfStmt", "WhileStmt", "FlowProgram", "LoopLimitExceeded"]
+
+
+class LoopLimitExceeded(RuntimeError):
+    """Reference execution exceeded the iteration guard (likely an
+    unintentionally unbounded random loop)."""
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    """``if (cond) { then } else { orelse }`` (else may be empty)."""
+
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+
+    def __str__(self) -> str:
+        out = f"if ({self.cond}) {{ ... {len(self.then_body)} stmts }}"
+        if self.else_body:
+            out += f" else {{ ... {len(self.else_body)} stmts }}"
+        return out
+
+
+@dataclass(frozen=True)
+class WhileStmt:
+    """``while (cond) { body }``."""
+
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) {{ ... {len(self.body)} stmts }}"
+
+
+Stmt = Union[Assign, IfStmt, WhileStmt]
+
+
+@dataclass(frozen=True)
+class FlowProgram:
+    """A structured program: the unit the flow scheduler consumes."""
+
+    statements: tuple[Stmt, ...]
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    # -- analysis ----------------------------------------------------------
+
+    def variables(self) -> tuple[str, ...]:
+        """Every variable mentioned anywhere, in first-appearance order."""
+        seen: dict[str, None] = {}
+
+        def walk(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, Assign):
+                    for name in stmt.expr.variables():
+                        seen.setdefault(name)
+                    seen.setdefault(stmt.target)
+                elif isinstance(stmt, IfStmt):
+                    for name in stmt.cond.variables():
+                        seen.setdefault(name)
+                    walk(stmt.then_body)
+                    walk(stmt.else_body)
+                elif isinstance(stmt, WhileStmt):
+                    for name in stmt.cond.variables():
+                        seen.setdefault(name)
+                    walk(stmt.body)
+
+        walk(self.statements)
+        return tuple(seen)
+
+    def source(self) -> str:
+        """Concrete syntax, re-parseable by :func:`repro.flow.parser.parse_program`."""
+        lines: list[str] = []
+
+        def emit(stmts, indent: int) -> None:
+            pad = "    " * indent
+            for stmt in stmts:
+                if isinstance(stmt, Assign):
+                    lines.append(f"{pad}{stmt}")
+                elif isinstance(stmt, IfStmt):
+                    lines.append(f"{pad}if ({stmt.cond}) {{")
+                    emit(stmt.then_body, indent + 1)
+                    if stmt.else_body:
+                        lines.append(f"{pad}}} else {{")
+                        emit(stmt.else_body, indent + 1)
+                    lines.append(f"{pad}}}")
+                elif isinstance(stmt, WhileStmt):
+                    lines.append(f"{pad}while ({stmt.cond}) {{")
+                    emit(stmt.body, indent + 1)
+                    lines.append(f"{pad}}}")
+
+        emit(self.statements, 0)
+        return "\n".join(lines)
+
+    # -- reference semantics --------------------------------------------------
+
+    def execute(
+        self, env: Mapping[str, int], max_steps: int = 100_000
+    ) -> dict[str, int]:
+        """Run the program; return the final value of every variable.
+
+        ``max_steps`` bounds the total number of executed statements so
+        that randomly generated ``while`` loops cannot hang the tests.
+        """
+        state: MutableMapping[str, int] = dict(env)
+        budget = max_steps
+
+        def run(stmts) -> None:
+            nonlocal budget
+            for stmt in stmts:
+                budget -= 1
+                if budget <= 0:
+                    raise LoopLimitExceeded(f"exceeded {max_steps} statements")
+                if isinstance(stmt, Assign):
+                    state[stmt.target] = stmt.expr.evaluate(state)
+                elif isinstance(stmt, IfStmt):
+                    if stmt.cond.evaluate(state) != 0:
+                        run(stmt.then_body)
+                    else:
+                        run(stmt.else_body)
+                elif isinstance(stmt, WhileStmt):
+                    while stmt.cond.evaluate(state) != 0:
+                        budget -= 1
+                        if budget <= 0:
+                            raise LoopLimitExceeded(
+                                f"exceeded {max_steps} statements"
+                            )
+                        run(stmt.body)
+
+        run(self.statements)
+        return dict(state)

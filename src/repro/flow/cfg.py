@@ -1,0 +1,166 @@
+"""Lowering structured programs to a control-flow graph of basic blocks.
+
+Each :class:`BasicBlockNode` holds straight-line assignments (the unit
+the paper's scheduler accepts) and ends in a terminator:
+
+* :class:`Jump` -- unconditional successor;
+* :class:`Branch` -- two-way branch on an expression (nonzero = true);
+* :class:`ExitTerm` -- program exit.
+
+The construction is the classic structured lowering: ``if`` produces a
+diamond, ``while`` produces a loop header block that evaluates the
+condition.  Condition expressions stay attached to the *terminator*; the
+block compiler (:mod:`repro.flow.schedule`) materializes them as tuples
+feeding a reserved ``.branch`` store so the scheduler and optimizer can
+treat them like any other value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from repro.flow.ast import FlowProgram, IfStmt, WhileStmt
+from repro.ir.ast import Assign, Expr
+
+__all__ = ["Jump", "Branch", "ExitTerm", "Terminator", "BasicBlockNode", "CFG", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class Jump:
+    target: int
+
+    def __str__(self) -> str:
+        return f"jump B{self.target}"
+
+
+@dataclass(frozen=True)
+class Branch:
+    cond: Expr
+    true_target: int
+    false_target: int
+
+    def __str__(self) -> str:
+        return f"branch ({self.cond}) ? B{self.true_target} : B{self.false_target}"
+
+
+@dataclass(frozen=True)
+class ExitTerm:
+    def __str__(self) -> str:
+        return "exit"
+
+
+Terminator = Union[Jump, Branch, ExitTerm]
+
+
+@dataclass
+class BasicBlockNode:
+    """One straight-line region plus its terminator."""
+
+    id: int
+    statements: list[Assign] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=ExitTerm)
+
+    def render(self) -> str:
+        body = "\n".join(f"    {stmt}" for stmt in self.statements) or "    (empty)"
+        return f"B{self.id}:\n{body}\n    {self.terminator}"
+
+
+@dataclass
+class CFG:
+    """A control-flow graph with a single entry block (id 0)."""
+
+    blocks: dict[int, BasicBlockNode]
+    entry: int = 0
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def successors(self, block_id: int) -> tuple[int, ...]:
+        term = self.blocks[block_id].terminator
+        if isinstance(term, Jump):
+            return (term.target,)
+        if isinstance(term, Branch):
+            return (term.true_target, term.false_target)
+        return ()
+
+    def render(self) -> str:
+        return "\n".join(
+            self.blocks[bid].render() for bid in sorted(self.blocks)
+        )
+
+    # -- reference CFG-level execution (for lowering correctness tests) ----
+
+    def execute(
+        self, env: Mapping[str, int], max_blocks: int = 10_000
+    ) -> dict[str, int]:
+        state = dict(env)
+        current = self.entry
+        for _ in range(max_blocks):
+            block = self.blocks[current]
+            for stmt in block.statements:
+                state[stmt.target] = stmt.expr.evaluate(state)
+            term = block.terminator
+            if isinstance(term, ExitTerm):
+                return state
+            if isinstance(term, Jump):
+                current = term.target
+            else:
+                taken = term.cond.evaluate(state) != 0
+                current = term.true_target if taken else term.false_target
+        raise RuntimeError(f"CFG execution exceeded {max_blocks} blocks")
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: dict[int, BasicBlockNode] = {}
+        self._next_id = 0
+
+    def new_block(self) -> BasicBlockNode:
+        block = BasicBlockNode(self._next_id)
+        self.blocks[block.id] = block
+        self._next_id += 1
+        return block
+
+    def lower(self, stmts, current: BasicBlockNode) -> BasicBlockNode:
+        """Emit ``stmts`` starting in ``current``; return the block that
+        control falls through to afterwards."""
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                current.statements.append(stmt)
+            elif isinstance(stmt, IfStmt):
+                then_entry = self.new_block()
+                join = self.new_block()
+                if stmt.else_body:
+                    else_entry = self.new_block()
+                    current.terminator = Branch(
+                        stmt.cond, then_entry.id, else_entry.id
+                    )
+                    else_exit = self.lower(stmt.else_body, else_entry)
+                    else_exit.terminator = Jump(join.id)
+                else:
+                    current.terminator = Branch(stmt.cond, then_entry.id, join.id)
+                then_exit = self.lower(stmt.then_body, then_entry)
+                then_exit.terminator = Jump(join.id)
+                current = join
+            elif isinstance(stmt, WhileStmt):
+                header = self.new_block()
+                body_entry = self.new_block()
+                after = self.new_block()
+                current.terminator = Jump(header.id)
+                header.terminator = Branch(stmt.cond, body_entry.id, after.id)
+                body_exit = self.lower(stmt.body, body_entry)
+                body_exit.terminator = Jump(header.id)
+                current = after
+            else:  # pragma: no cover - parser prevents this
+                raise TypeError(f"unknown statement {stmt!r}")
+        return current
+
+
+def build_cfg(program: FlowProgram) -> CFG:
+    """Lower a structured program to its control-flow graph."""
+    builder = _Builder()
+    entry = builder.new_block()
+    exit_block = builder.lower(program.statements, entry)
+    exit_block.terminator = ExitTerm()
+    return CFG(blocks=builder.blocks, entry=entry.id)

@@ -1,0 +1,110 @@
+"""Executing a :class:`~repro.flow.schedule.FlowSchedule` end to end.
+
+Timing comes from the barrier-machine simulators (one
+:class:`~repro.machine.trace.ExecutionTrace` per dynamic block instance,
+each verified against the block's producer/consumer edges); values come
+from the reference tuple interpreter run against the live memory image.
+Blocks chain through the machine-wide boundary barrier, so the total
+execution time is the sum of the per-block makespans along the taken
+path -- and always falls inside :meth:`FlowSchedule.static_path_bound`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.flow.cfg import Branch, ExitTerm, Jump
+from repro.flow.schedule import BRANCH_VAR, FlowSchedule
+from repro.ir.interp import interpret
+from repro.machine.durations import DurationSampler, UniformSampler
+from repro.machine.dbm import simulate_dbm
+from repro.machine.sbm import simulate_sbm
+from repro.machine.trace import ExecutionTrace
+
+__all__ = ["FlowTrace", "execute_flow_schedule", "BlockLimitExceeded"]
+
+
+class BlockLimitExceeded(RuntimeError):
+    """The dynamic path exceeded ``max_blocks`` blocks (runaway loop)."""
+
+
+@dataclass(frozen=True)
+class FlowTrace:
+    """Record of one dynamic execution of a structured program."""
+
+    block_sequence: tuple[int, ...]
+    block_traces: tuple[ExecutionTrace, ...]
+    total_time: int
+    memory: Mapping[str, int]
+
+    @property
+    def n_dynamic_blocks(self) -> int:
+        return len(self.block_sequence)
+
+    def final_state(self) -> dict[str, int]:
+        """Final memory without the reserved branch cell."""
+        return {k: v for k, v in self.memory.items() if k != BRANCH_VAR}
+
+    def describe(self) -> str:
+        path = " -> ".join(f"B{bid}" for bid in self.block_sequence)
+        return (
+            f"{self.n_dynamic_blocks} dynamic blocks, total time "
+            f"{self.total_time}: {path}"
+        )
+
+
+def execute_flow_schedule(
+    flow: FlowSchedule,
+    env: Mapping[str, int],
+    sampler: DurationSampler | None = None,
+    rng: random.Random | int | None = None,
+    max_blocks: int = 2_000,
+    verify: bool = True,
+) -> FlowTrace:
+    """Run the scheduled program from ``env``; return the dynamic trace.
+
+    ``env`` must bind every variable a taken block loads before assigning.
+    Each dynamic block instance is simulated on the machine configured in
+    the flow schedule (SBM or DBM) and, when ``verify`` is set, checked
+    for producer/consumer soundness.
+    """
+    sampler = sampler or UniformSampler()
+    if rng is None or isinstance(rng, int):
+        rng = random.Random(rng)
+    simulate = simulate_sbm if flow.config.machine == "sbm" else simulate_dbm
+
+    memory: dict[str, int] = dict(env)
+    sequence: list[int] = []
+    traces: list[ExecutionTrace] = []
+    total_time = 0
+    current = flow.cfg.entry
+
+    for _ in range(max_blocks):
+        sequence.append(current)
+        program = flow.machine_programs[current]
+        trace = simulate(program, sampler, rng)
+        if verify:
+            trace.assert_sound(program.edges)
+        traces.append(trace)
+        total_time += trace.makespan
+
+        # Values: interpret the block's tuples against live memory.
+        memory.update(interpret(flow.programs[current], memory))
+
+        term = flow.cfg.blocks[current].terminator
+        if isinstance(term, ExitTerm):
+            return FlowTrace(
+                block_sequence=tuple(sequence),
+                block_traces=tuple(traces),
+                total_time=total_time,
+                memory=memory,
+            )
+        if isinstance(term, Jump):
+            current = term.target
+        elif isinstance(term, Branch):
+            current = (
+                term.true_target if memory.get(BRANCH_VAR, 0) != 0 else term.false_target
+            )
+    raise BlockLimitExceeded(f"execution exceeded {max_blocks} blocks")

@@ -1,0 +1,20 @@
+"""Reference execution entry point for structured programs."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.flow.ast import FlowProgram
+
+__all__ = ["run_program"]
+
+
+def run_program(
+    program: FlowProgram, env: Mapping[str, int], max_steps: int = 100_000
+) -> dict[str, int]:
+    """Execute a structured program; return the final variable state.
+
+    A thin alias for :meth:`FlowProgram.execute`, mirroring
+    :func:`repro.ir.interp.interpret` for the straight-line layer.
+    """
+    return program.execute(env, max_steps=max_steps)

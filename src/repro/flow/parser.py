@@ -1,0 +1,116 @@
+"""Parser for the structured language (extension of :mod:`repro.ir.parser`).
+
+Grammar::
+
+    program   ::= stmt*
+    stmt      ::= assign | if_stmt | while_stmt
+    assign    ::= IDENT '=' expr ';'?
+    if_stmt   ::= 'if' '(' expr ')' block ('else' block)?
+    while_stmt::= 'while' '(' expr ')' block
+    block     ::= '{' stmt* '}'
+
+Expressions are exactly those of the base language.  ``if``, ``else``
+and ``while`` are reserved words; they cannot be used as variable names.
+"""
+
+from __future__ import annotations
+
+from repro.flow.ast import FlowProgram, IfStmt, Stmt, WhileStmt
+from repro.ir.parser import ParseError, Token, tokenize, _Parser
+
+__all__ = ["parse_program", "KEYWORDS"]
+
+KEYWORDS = frozenset({"if", "else", "while"})
+
+# Braces are not tokens of the base language; extend the tokenizer by
+# treating them here (the base tokenizer rejects them, so we pre-split).
+_BRACES = {"{", "}"}
+
+
+def _tokenize_flow(source: str) -> list[Token]:
+    # Pad braces with spaces, then run the base tokenizer on a version
+    # where braces are temporarily encoded as parens pairs it accepts?
+    # Simpler: split on braces manually, tokenizing the pieces, and emit
+    # synthetic punct tokens for the braces themselves.
+    tokens: list[Token] = []
+    line_no = 1
+    for raw_line in source.splitlines():
+        line = raw_line.split("//", 1)[0]
+        col = 0
+        buf_start = 0
+        while col <= len(line):
+            ch = line[col] if col < len(line) else None
+            if ch in _BRACES or ch is None:
+                piece = line[buf_start:col]
+                if piece.strip():
+                    for tok in tokenize(piece):
+                        if tok.kind != "eof":
+                            tokens.append(
+                                Token(tok.kind, tok.text, line_no, buf_start + tok.column)
+                            )
+                if ch in _BRACES:
+                    tokens.append(Token("punct", ch, line_no, col + 1))
+                buf_start = col + 1
+            col += 1
+        line_no += 1
+    tokens.append(Token("eof", "", line_no, 1))
+    return tokens
+
+
+class _FlowParser(_Parser):
+    def program(self) -> FlowProgram:
+        statements: list[Stmt] = []
+        while self._current.kind != "eof":
+            statements.append(self.flow_statement())
+        return FlowProgram(tuple(statements))
+
+    def flow_statement(self) -> Stmt:
+        tok = self._current
+        if tok.kind == "ident" and tok.text == "if":
+            return self.if_statement()
+        if tok.kind == "ident" and tok.text == "while":
+            return self.while_statement()
+        if tok.kind == "ident" and tok.text in KEYWORDS:
+            raise self._error(f"keyword {tok.text!r} cannot start a statement here")
+        stmt = self.statement()
+        if stmt.target in KEYWORDS:
+            raise ParseError(
+                f"{stmt.target!r} is a reserved word", tok.line, tok.column
+            )
+        return stmt
+
+    def _block(self) -> tuple[Stmt, ...]:
+        self._expect_punct("{")
+        body: list[Stmt] = []
+        while not (self._current.kind == "punct" and self._current.text == "}"):
+            if self._current.kind == "eof":
+                raise self._error("unterminated block: missing '}'")
+            body.append(self.flow_statement())
+        self._expect_punct("}")
+        return tuple(body)
+
+    def if_statement(self) -> IfStmt:
+        self._advance()  # 'if'
+        self._expect_punct("(")
+        cond = self.expr()
+        self._expect_punct(")")
+        then_body = self._block()
+        else_body: tuple[Stmt, ...] = ()
+        if self._current.kind == "ident" and self._current.text == "else":
+            self._advance()
+            else_body = self._block()
+        return IfStmt(cond, then_body, else_body)
+
+    def while_statement(self) -> WhileStmt:
+        self._advance()  # 'while'
+        self._expect_punct("(")
+        cond = self.expr()
+        self._expect_punct(")")
+        body = self._block()
+        return WhileStmt(cond, body)
+
+
+def parse_program(source: str) -> FlowProgram:
+    """Parse a structured program (assignments, if/else, while)."""
+    parser = _FlowParser(_tokenize_flow(source))
+    return parser.program()

@@ -1,0 +1,130 @@
+"""Scheduling a whole control-flow graph on a barrier MIMD.
+
+Strategy (the conservative inter-block discipline the paper's section 3
+semantics make natural): every basic block is scheduled in isolation
+with the unmodified section 4 algorithms, and consecutive blocks are
+separated by a machine-wide barrier -- which is exactly the *initial*
+barrier each block's machine program already begins with.  A barrier
+re-zeroes the compiler's timing uncertainty, so each block starts from
+the exact-synchrony state the intra-block analysis assumes, and the
+total execution time along a dynamic path is simply the sum of the
+blocks' makespans.
+
+Block compilation differs from the single-block pipeline in two ways:
+
+* every *final* store of a block is live (a successor block may read the
+  variable from memory), which the standard DCE already respects;
+* a :class:`~repro.flow.cfg.Branch` terminator's condition expression is
+  materialized as tuples feeding a store to the reserved variable
+  ``.branch`` -- the optimizer then keeps the condition computation
+  alive, the scheduler treats it like any value, and the executor reads
+  ``.branch`` to pick the successor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.flow.cfg import CFG, Branch, build_cfg
+from repro.flow.ast import FlowProgram
+from repro.ir.codegen import CodeGenerator
+from repro.ir.dag import InstructionDAG
+from repro.ir.ops import DEFAULT_TIMING, TimingModel
+from repro.ir.optimizer import optimize
+from repro.ir.tuples import TupleProgram
+from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
+from repro.machine.program import MachineProgram
+from repro.timing import Interval
+
+__all__ = ["BRANCH_VAR", "FlowSchedule", "compile_cfg_block", "schedule_program"]
+
+#: Reserved memory cell holding a block's branch-condition value.  The
+#: mini language's identifiers cannot contain '.', so it never collides.
+BRANCH_VAR = ".branch"
+
+
+def compile_cfg_block(block, timing: TimingModel = DEFAULT_TIMING) -> TupleProgram:
+    """Lower one CFG block (statements + condition) to optimized tuples."""
+    gen = CodeGenerator()
+    for stmt in block.statements:
+        gen.lower_statement(stmt)
+    if isinstance(block.terminator, Branch):
+        from repro.ir.ast import Assign
+
+        gen.lower_statement(Assign(BRANCH_VAR, block.terminator.cond))
+    return optimize(gen.finish())
+
+
+@dataclass(frozen=True)
+class FlowSchedule:
+    """Per-block schedules plus everything the executor needs."""
+
+    cfg: CFG
+    programs: dict[int, TupleProgram]  # optimized tuples per block
+    results: dict[int, ScheduleResult]
+    machine_programs: dict[int, MachineProgram]
+    config: SchedulerConfig
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.cfg.blocks)
+
+    def total_edges(self) -> int:
+        return sum(r.counts.total_edges for r in self.results.values())
+
+    def total_barriers(self) -> int:
+        """Inserted barriers plus one boundary barrier per non-entry block
+        (each block's initial barrier doubles as the block-boundary
+        synchronization)."""
+        inserted = sum(r.counts.barriers_final for r in self.results.values())
+        return inserted + max(0, self.n_blocks - 1)
+
+    def static_path_bound(self, block_sequence) -> Interval:
+        """``[min,max]`` completion bound along a concrete block path."""
+        total = Interval(0, 0)
+        for bid in block_sequence:
+            total = total + self.results[bid].makespan
+        return total
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.n_blocks} blocks on {self.config.n_pes} PEs "
+            f"({self.config.machine.upper()}); "
+            f"{self.total_edges()} intra-block syncs, "
+            f"{self.total_barriers()} barriers incl. block boundaries"
+        ]
+        for bid in sorted(self.results):
+            r = self.results[bid]
+            lines.append(
+                f"  B{bid}: {len(self.programs[bid])} instrs, "
+                f"{r.counts.total_edges} syncs, "
+                f"{r.counts.barriers_final} barriers, makespan {r.makespan}"
+            )
+        return "\n".join(lines)
+
+
+def schedule_program(
+    program: FlowProgram | CFG,
+    config: SchedulerConfig | None = None,
+    timing: TimingModel = DEFAULT_TIMING,
+) -> FlowSchedule:
+    """Compile and schedule every basic block of a structured program."""
+    config = config or SchedulerConfig()
+    cfg = program if isinstance(program, CFG) else build_cfg(program)
+
+    programs: dict[int, TupleProgram] = {}
+    results: dict[int, ScheduleResult] = {}
+    machine_programs: dict[int, MachineProgram] = {}
+    for bid, block in cfg.blocks.items():
+        tuples = compile_cfg_block(block, timing)
+        programs[bid] = tuples
+        dag = InstructionDAG.from_program(tuples, timing)
+        result = schedule_dag(dag, config.with_(seed=config.seed + bid))
+        results[bid] = result
+        machine_programs[bid] = MachineProgram.from_schedule(result.schedule)
+    return FlowSchedule(
+        cfg=cfg,
+        programs=programs,
+        results=results,
+        machine_programs=machine_programs,
+        config=config,
+    )

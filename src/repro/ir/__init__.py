@@ -1,0 +1,78 @@
+"""Compiler substrate: mini language, tuple IR, optimizer, instruction DAG.
+
+This package implements the front half of the paper's toolchain
+(section 2): a tiny straight-line language of assignment statements is
+parsed (:mod:`repro.ir.parser`), lowered to numbered three-address tuples
+(:mod:`repro.ir.codegen`), cleaned up by standard local optimizations
+(:mod:`repro.ir.optimizer`), and finally turned into the weighted
+instruction DAG (:mod:`repro.ir.dag`) consumed by the scheduler in
+:mod:`repro.core`.
+"""
+
+from repro.ir.ops import (
+    ALU_OPCODES,
+    DEFAULT_TIMING,
+    OP_FREQUENCIES,
+    Opcode,
+    TimingModel,
+)
+from repro.ir.ast import Assign, BasicBlock, BinOp, Const, Expr, Var, apply_op
+from repro.ir.parser import ParseError, parse_block, parse_expr
+from repro.ir.tuples import Imm, IRTuple, Operand, Ref, TupleProgram
+from repro.ir.codegen import generate_tuples
+from repro.ir.optimizer import optimize
+from repro.ir.interp import interpret
+from repro.ir.dag import ENTRY, EXIT, CycleError, InstructionDAG
+
+__all__ = [
+    "ALU_OPCODES",
+    "DEFAULT_TIMING",
+    "OP_FREQUENCIES",
+    "Opcode",
+    "TimingModel",
+    "Assign",
+    "BasicBlock",
+    "BinOp",
+    "Const",
+    "Expr",
+    "Var",
+    "apply_op",
+    "ParseError",
+    "parse_block",
+    "parse_expr",
+    "Imm",
+    "IRTuple",
+    "Operand",
+    "Ref",
+    "TupleProgram",
+    "generate_tuples",
+    "optimize",
+    "interpret",
+    "ENTRY",
+    "EXIT",
+    "CycleError",
+    "InstructionDAG",
+    "compile_block",
+    "compile_source",
+]
+
+
+def compile_block(
+    block: BasicBlock,
+    timing: TimingModel = DEFAULT_TIMING,
+    run_optimizer: bool = True,
+) -> InstructionDAG:
+    """One-call front end: AST block -> optimized tuples -> instruction DAG."""
+    program = generate_tuples(block)
+    if run_optimizer:
+        program = optimize(program)
+    return InstructionDAG.from_program(program, timing)
+
+
+def compile_source(
+    source: str,
+    timing: TimingModel = DEFAULT_TIMING,
+    run_optimizer: bool = True,
+) -> InstructionDAG:
+    """Compile mini-language source text straight to an instruction DAG."""
+    return compile_block(parse_block(source), timing, run_optimizer)

@@ -1,0 +1,206 @@
+"""Abstract syntax for the synthetic-benchmark mini language.
+
+The paper's compiler front end accepts "a simple language consisting of
+basic blocks of code with no control flow constructs" (section 2): a basic
+block is a straight-line sequence of assignment statements whose right-hand
+sides are expressions over variables, integer constants, and the seven ALU
+operators of Table 1.
+
+Grammar (see :mod:`repro.ir.parser` for the concrete parser)::
+
+    block     ::= statement*
+    statement ::= IDENT '=' expr ';'?
+    expr      ::= term (('+' | '-' | '|') term)*
+    term      ::= factor (('*' | '/' | '%' | '&') factor)*
+    factor    ::= IDENT | INT | '(' expr ')'
+
+Expression evaluation semantics (shared with the tuple interpreter, see
+:mod:`repro.ir.interp`): all values are Python ints, ``&``/``|`` are bitwise,
+``/`` and ``%`` are floor division/modulo with the total-function convention
+``x / 0 == 0`` and ``x % 0 == 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, MutableMapping
+
+from repro.ir.ops import OP_SYMBOLS, Opcode
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "BinOp",
+    "Assign",
+    "BasicBlock",
+    "apply_op",
+]
+
+
+def apply_op(op: Opcode, left: int, right: int) -> int:
+    """Reference integer semantics for the seven ALU operations.
+
+    Division and modulo are made total (``x / 0 == x % 0 == 0``) so that
+    randomly generated programs always have defined behaviour; the constant
+    folder and the tuple interpreter use this same function, which is what
+    makes "optimized program == original program" a testable property.
+    """
+    if op is Opcode.ADD:
+        return left + right
+    if op is Opcode.SUB:
+        return left - right
+    if op is Opcode.AND:
+        return left & right
+    if op is Opcode.OR:
+        return left | right
+    if op is Opcode.MUL:
+        return left * right
+    if op is Opcode.DIV:
+        return 0 if right == 0 else left // right
+    if op is Opcode.MOD:
+        return 0 if right == 0 else left % right
+    raise ValueError(f"{op} is not an ALU opcode")
+
+
+class Expr:
+    """Base class for expressions (``Var``, ``Const``, ``BinOp``)."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def variables(self) -> Iterator[str]:
+        """Yield every variable name referenced (with repetition)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A reference to a named scalar variable."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return env[self.name]
+
+    def variables(self) -> Iterator[str]:
+        yield self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def variables(self) -> Iterator[str]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """A binary ALU operation ``left op right``."""
+
+    op: Opcode
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if not self.op.is_alu:
+            raise ValueError(f"{self.op} cannot appear in an expression")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return apply_op(self.op, self.left.evaluate(env), self.right.evaluate(env))
+
+    def variables(self) -> Iterator[str]:
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def __str__(self) -> str:
+        def paren(e: Expr) -> str:
+            return f"({e})" if isinstance(e, BinOp) else str(e)
+
+        return f"{paren(self.left)} {OP_SYMBOLS[self.op]} {paren(self.right)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Assign:
+    """An assignment statement ``target = expr``."""
+
+    target: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr};"
+
+
+@dataclass(frozen=True, slots=True)
+class BasicBlock:
+    """A straight-line sequence of assignments: the unit of scheduling.
+
+    The block has a single entry, no embedded control structure, and its
+    observable effect is the final value of every variable it assigns
+    (stores to memory); that is exactly what :meth:`execute` returns and
+    what the optimizer must preserve.
+    """
+
+    statements: tuple[Assign, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "statements", tuple(self.statements))
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self) -> Iterator[Assign]:
+        return iter(self.statements)
+
+    def source(self) -> str:
+        """Concrete-syntax rendering, re-parseable by :mod:`repro.ir.parser`."""
+        return "\n".join(str(stmt) for stmt in self.statements)
+
+    def live_in_variables(self) -> tuple[str, ...]:
+        """Variables read before they are first assigned (these need Loads)."""
+        assigned: set[str] = set()
+        upward: list[str] = []
+        seen: set[str] = set()
+        for stmt in self.statements:
+            for name in stmt.expr.variables():
+                if name not in assigned and name not in seen:
+                    seen.add(name)
+                    upward.append(name)
+            assigned.add(stmt.target)
+        return tuple(upward)
+
+    def assigned_variables(self) -> tuple[str, ...]:
+        """Variables written by the block, in first-assignment order."""
+        out: list[str] = []
+        seen: set[str] = set()
+        for stmt in self.statements:
+            if stmt.target not in seen:
+                seen.add(stmt.target)
+                out.append(stmt.target)
+        return tuple(out)
+
+    def execute(self, env: Mapping[str, int]) -> dict[str, int]:
+        """Run the block on ``env``; return final values of assigned variables.
+
+        ``env`` must bind every live-in variable.  This is the *reference
+        semantics* against which code generation and every optimizer pass
+        are verified.
+        """
+        state: MutableMapping[str, int] = dict(env)
+        for stmt in self.statements:
+            state[stmt.target] = stmt.expr.evaluate(state)
+        return {name: state[name] for name in self.assigned_variables()}

@@ -1,0 +1,84 @@
+"""Naive code generation from the AST to the tuple IR.
+
+Following section 2.2 of the paper: "the first reference to a variable
+causes a load for that variable to be generated, and a store is generated
+when a variable is assigned a value."  Within the block, the value of a
+variable after its first Load or most recent assignment lives in a tuple
+(a virtual register), so subsequent reads reference that tuple directly --
+no redundant Loads are ever emitted, and no Load follows a Store of the
+same variable.
+
+Code generation is deliberately *naive* beyond that rule: common
+subexpressions are re-emitted and constants are not folded.  Cleaning that
+up is the optimizer's job (:mod:`repro.ir.optimizer`), mirroring the
+paper's pipeline in which the random generator's output is run through
+standard local optimizations so that the benchmark "does not contain
+'redundant' parallelism that might skew the results".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.ast import Assign, BasicBlock, BinOp, Const, Expr, Var
+from repro.ir.ops import Opcode
+from repro.ir.tuples import Imm, IRTuple, Operand, Ref, TupleProgram
+
+__all__ = ["CodeGenerator", "generate_tuples"]
+
+
+@dataclass
+class CodeGenerator:
+    """Stateful tuple emitter for one basic block.
+
+    The generator keeps the paper's incremental tuple numbering: every
+    emitted tuple gets the next id, including tuples that a later optimizer
+    pass will delete (which is how figure 1 ends up with gaps).
+    """
+
+    _tuples: list[IRTuple] = field(default_factory=list)
+    _env: dict[str, Operand] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def _emit(self, opcode: Opcode, operands: tuple[Operand, ...] = (), var: str | None = None) -> Ref:
+        tup = IRTuple(self._next_id, opcode, operands, var)
+        self._next_id += 1
+        self._tuples.append(tup)
+        return Ref(tup.id)
+
+    # -- expression lowering -------------------------------------------------
+
+    def _lower_expr(self, expr: Expr) -> Operand:
+        if isinstance(expr, Const):
+            return Imm(expr.value)
+        if isinstance(expr, Var):
+            value = self._env.get(expr.name)
+            if value is None:
+                # First reference in the block: load from memory.
+                value = self._emit(Opcode.LOAD, var=expr.name)
+                self._env[expr.name] = value
+            return value
+        if isinstance(expr, BinOp):
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            return self._emit(expr.op, (left, right))
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    # -- statement lowering ----------------------------------------------------
+
+    def lower_statement(self, stmt: Assign) -> None:
+        value = self._lower_expr(stmt.expr)
+        self._emit(Opcode.STORE, (value,), var=stmt.target)
+        # Later reads of the target see the assigned value, not a Load.
+        self._env[stmt.target] = value
+
+    def finish(self) -> TupleProgram:
+        return TupleProgram(list(self._tuples))
+
+
+def generate_tuples(block: BasicBlock) -> TupleProgram:
+    """Lower a whole basic block to an (unoptimized) tuple program."""
+    gen = CodeGenerator()
+    for stmt in block:
+        gen.lower_statement(stmt)
+    return gen.finish()

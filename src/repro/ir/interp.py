@@ -1,0 +1,61 @@
+"""Reference interpreter for tuple programs.
+
+Executes a :class:`~repro.ir.tuples.TupleProgram` sequentially against an
+initial memory (a mapping from variable names to ints) and returns the
+final memory.  Semantics match :func:`repro.ir.ast.apply_op` exactly, so
+
+``interpret(generate_tuples(block), env) == block.execute(env)``
+
+and the same holds after any optimizer pass -- both properties are
+enforced by the test suite and give end-to-end confidence that the code
+the scheduler receives really computes what the source block says.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ir.ast import apply_op
+from repro.ir.ops import Opcode
+from repro.ir.tuples import Imm, Operand, Ref, TupleProgram
+
+__all__ = ["interpret", "UndefinedVariableError"]
+
+
+class UndefinedVariableError(KeyError):
+    """A Load referenced a variable absent from the initial memory."""
+
+
+def interpret(program: TupleProgram, memory: Mapping[str, int]) -> dict[str, int]:
+    """Execute ``program``; return the final value of every stored variable.
+
+    ``memory`` provides the initial contents of every variable the program
+    Loads.  Only variables written by a Store appear in the result, making
+    the return value directly comparable with
+    :meth:`repro.ir.ast.BasicBlock.execute`.
+    """
+    values: dict[int, int] = {}
+    mem = dict(memory)
+    stored: dict[str, int] = {}
+
+    def operand_value(op: Operand) -> int:
+        if isinstance(op, Imm):
+            return op.value
+        return values[op.id]
+
+    for tup in program:
+        if tup.opcode is Opcode.LOAD:
+            assert tup.var is not None
+            if tup.var not in mem:
+                raise UndefinedVariableError(tup.var)
+            values[tup.id] = mem[tup.var]
+        elif tup.opcode is Opcode.STORE:
+            assert tup.var is not None
+            value = operand_value(tup.operands[0])
+            mem[tup.var] = value
+            stored[tup.var] = value
+        else:
+            left, right = (operand_value(op) for op in tup.operands)
+            values[tup.id] = apply_op(tup.opcode, left, right)
+
+    return stored

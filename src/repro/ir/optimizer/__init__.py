@@ -1,0 +1,43 @@
+"""Standard local optimizations for the tuple IR (paper section 2.2).
+
+The synthetic-benchmark pipeline runs the randomly generated code through
+"standard local optimizations, including common subexpression elimination,
+constant folding and value propagation, and dead code elimination" so that
+the benchmarks "do not contain 'redundant' parallelism that might skew the
+results".
+
+Each pass is a pure function ``TupleProgram -> TupleProgram``.  The
+default :func:`optimize` pipeline runs exactly the paper's passes --
+constant folding, CSE, and DCE -- to a fixpoint.  (Value propagation is
+performed implicitly by the code generator, which tracks the current
+tuple holding each variable's value; there are therefore no copy tuples
+to propagate.)  An algebraic-simplification pass is provided as an
+extension (``EXTENDED_PASSES``) but kept out of the default pipeline;
+see :mod:`repro.ir.optimizer.pipeline` for why.
+
+Every pass is semantics-preserving with respect to the reference
+interpreter (:mod:`repro.ir.interp`); this is enforced by property-based
+tests over random programs.
+"""
+
+from repro.ir.optimizer.constfold import fold_constants
+from repro.ir.optimizer.algebraic import simplify_algebraic
+from repro.ir.optimizer.cse import eliminate_common_subexpressions
+from repro.ir.optimizer.dce import eliminate_dead_code
+from repro.ir.optimizer.pipeline import (
+    DEFAULT_PASSES,
+    EXTENDED_PASSES,
+    OptimizationPipeline,
+    optimize,
+)
+
+__all__ = [
+    "fold_constants",
+    "simplify_algebraic",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "DEFAULT_PASSES",
+    "EXTENDED_PASSES",
+    "OptimizationPipeline",
+    "optimize",
+]

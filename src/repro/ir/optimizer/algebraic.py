@@ -1,0 +1,108 @@
+"""Algebraic simplification of ALU tuples.
+
+Rewrites operations whose result is determined by an identity of integer
+arithmetic, removing the tuple and substituting the surviving operand (or a
+constant).  All rules are valid under the interpreter's total semantics
+(floor division, ``x / 0 == x % 0 == 0``):
+
+======================  =============
+pattern                 result
+======================  =============
+``x + 0``, ``0 + x``    ``x``
+``x - 0``               ``x``
+``x - x``               ``0``
+``x * 1``, ``1 * x``    ``x``
+``x * 0``, ``0 * x``    ``0``
+``x / 1``               ``x``
+``x / 0``               ``0``
+``x % 1``               ``0``
+``x % 0``               ``0``
+``x & x``, ``x | x``    ``x``
+``x & 0``, ``0 & x``    ``0``
+``x | 0``, ``0 | x``    ``x``
+======================  =============
+
+Note ``0 - x`` and ``0 / x`` are *not* simplified (``0 - x`` is not ``x``,
+and while ``0 / x == 0`` for ``x != 0`` it also equals 0 for ``x == 0``,
+so ``0 / x -> 0`` *is* actually valid -- but ``0 % x -> 0`` likewise; both
+are included for completeness).
+"""
+
+from __future__ import annotations
+
+from repro.ir.ops import Opcode
+from repro.ir.tuples import Imm, Operand, Ref, TupleProgram
+
+__all__ = ["simplify_algebraic"]
+
+
+def _is_const(op: Operand, value: int) -> bool:
+    return isinstance(op, Imm) and op.value == value
+
+
+def _simplify(opcode: Opcode, left: Operand, right: Operand) -> Operand | None:
+    """Return the replacement operand if the tuple simplifies, else None."""
+    if opcode is Opcode.ADD:
+        if _is_const(left, 0):
+            return right
+        if _is_const(right, 0):
+            return left
+    elif opcode is Opcode.SUB:
+        if _is_const(right, 0):
+            return left
+        if left == right:
+            return Imm(0)
+    elif opcode is Opcode.MUL:
+        if _is_const(left, 1):
+            return right
+        if _is_const(right, 1):
+            return left
+        if _is_const(left, 0) or _is_const(right, 0):
+            return Imm(0)
+    elif opcode is Opcode.DIV:
+        if _is_const(right, 1):
+            return left
+        if _is_const(right, 0) or _is_const(left, 0):
+            return Imm(0)  # total semantics: x / 0 == 0; 0 / x == 0 even at x==0
+    elif opcode is Opcode.MOD:
+        if _is_const(right, 1) or _is_const(right, 0) or _is_const(left, 0):
+            return Imm(0)
+        if left == right:
+            return Imm(0)  # x % x == 0, also at x == 0 by totality
+    elif opcode is Opcode.AND:
+        if left == right:
+            return left
+        if _is_const(left, 0) or _is_const(right, 0):
+            return Imm(0)
+    elif opcode is Opcode.OR:
+        if left == right:
+            return left
+        if _is_const(left, 0):
+            return right
+        if _is_const(right, 0):
+            return left
+    return None
+
+
+def simplify_algebraic(program: TupleProgram) -> TupleProgram:
+    """Return ``program`` with identity-determined ALU tuples removed."""
+    replacements: dict[int, Operand] = {}
+    keep: list[int] = []
+
+    for tup in program:
+        if tup.opcode in (Opcode.LOAD, Opcode.STORE):
+            keep.append(tup.id)
+            continue
+        left, right = (
+            replacements.get(op.id, op) if isinstance(op, Ref) else op
+            for op in tup.operands
+        )
+        replacement = _simplify(tup.opcode, left, right)
+        if replacement is None:
+            keep.append(tup.id)
+        else:
+            replacements[tup.id] = replacement
+
+    if not replacements:
+        return program
+    return program.filter_replace(keep, replacements)

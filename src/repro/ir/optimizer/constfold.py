@@ -1,0 +1,44 @@
+"""Constant folding: evaluate ALU tuples whose operands are all immediates.
+
+A folded tuple is removed from the program and every use of its value is
+rewritten to the computed :class:`~repro.ir.tuples.Imm`.  Folding uses the
+same total integer semantics as the interpreter
+(:func:`repro.ir.ast.apply_op`, with ``x / 0 == x % 0 == 0``), so it is
+always sound -- including for division by a constant zero.
+
+One forward sweep suffices: operands only reference earlier tuples, and the
+substitution map is consulted while sweeping, so chains of constants
+(``#2 + #3`` feeding ``#5 * #4``) collapse in a single pass.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast import apply_op
+from repro.ir.ops import Opcode
+from repro.ir.tuples import Imm, Operand, Ref, TupleProgram
+
+__all__ = ["fold_constants"]
+
+
+def fold_constants(program: TupleProgram) -> TupleProgram:
+    """Return ``program`` with every all-immediate ALU tuple folded away."""
+    replacements: dict[int, Operand] = {}
+    keep: list[int] = []
+
+    for tup in program:
+        if tup.opcode in (Opcode.LOAD, Opcode.STORE):
+            keep.append(tup.id)
+            continue
+        resolved = [
+            replacements.get(op.id, op) if isinstance(op, Ref) else op
+            for op in tup.operands
+        ]
+        if all(isinstance(op, Imm) for op in resolved):
+            left, right = resolved
+            replacements[tup.id] = Imm(apply_op(tup.opcode, left.value, right.value))
+        else:
+            keep.append(tup.id)
+
+    if not replacements:
+        return program
+    return program.filter_replace(keep, replacements)

@@ -1,0 +1,59 @@
+"""Local common-subexpression elimination.
+
+Two ALU tuples compute the same value if they have the same opcode and the
+same (substitution-resolved) operands; for commutative opcodes
+(:data:`repro.ir.ops.COMMUTATIVE_OPCODES`) operand order is normalized
+before comparison, so ``a + b`` and ``b + a`` share one tuple.  Loads are
+also value-numbered by variable name: the code generator never emits a
+duplicate Load, but CSE still covers them so the pass is robust to
+hand-written tuple programs.
+
+Within a basic block there is no intervening store that could invalidate a
+Load (reads after an assignment use the assigned tuple, not memory), so
+this purely local value numbering is sound.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.ir.ops import COMMUTATIVE_OPCODES, Opcode
+from repro.ir.tuples import Operand, Ref, TupleProgram
+
+__all__ = ["eliminate_common_subexpressions"]
+
+
+def _value_key(opcode: Opcode, operands: tuple[Operand, ...], var: str | None) -> Hashable:
+    if opcode is Opcode.LOAD:
+        return (opcode, var)
+    key_ops: tuple[Operand, ...] = operands
+    if opcode in COMMUTATIVE_OPCODES:
+        key_ops = tuple(sorted(operands, key=repr))
+    return (opcode, key_ops)
+
+
+def eliminate_common_subexpressions(program: TupleProgram) -> TupleProgram:
+    """Return ``program`` with later duplicate computations removed."""
+    replacements: dict[int, Operand] = {}
+    keep: list[int] = []
+    seen: dict[Hashable, Ref] = {}
+
+    for tup in program:
+        if tup.opcode is Opcode.STORE:
+            keep.append(tup.id)  # stores have side effects; never merged here
+            continue
+        resolved = tuple(
+            replacements.get(op.id, op) if isinstance(op, Ref) else op
+            for op in tup.operands
+        )
+        key = _value_key(tup.opcode, resolved, tup.var)
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = Ref(tup.id)
+            keep.append(tup.id)
+        else:
+            replacements[tup.id] = prior
+
+    if not replacements:
+        return program
+    return program.filter_replace(keep, replacements)

@@ -1,0 +1,38 @@
+"""Dead-code elimination, including dead stores.
+
+The observable effect of a basic block is the *final* value stored to each
+variable (there is no load-after-store within a block, so intermediate
+stores are invisible).  DCE therefore:
+
+1. keeps only the last Store to each variable (earlier stores to the same
+   variable are dead at block exit);
+2. walks backwards from the surviving stores marking every transitively
+   referenced tuple live;
+3. drops everything else (unused Loads and ALU tuples have no side effects
+   in this machine model).
+"""
+
+from __future__ import annotations
+
+from repro.ir.tuples import TupleProgram
+
+__all__ = ["eliminate_dead_code"]
+
+
+def eliminate_dead_code(program: TupleProgram) -> TupleProgram:
+    """Return ``program`` restricted to code that affects block-exit memory."""
+    final_store_ids = {tup.id for tup in program.final_stores().values()}
+    by_id = program.by_id()
+
+    live: set[int] = set()
+    worklist = sorted(final_store_ids, reverse=True)
+    while worklist:
+        tid = worklist.pop()
+        if tid in live:
+            continue
+        live.add(tid)
+        worklist.extend(by_id[tid].refs)
+
+    if len(live) == len(program):
+        return program
+    return program.filter_replace(live)

@@ -1,0 +1,224 @@
+"""Three-address *tuple* intermediate representation.
+
+The paper's code generator emits numbered tuples (figure 1): ``Load i``,
+``Add 0,1``, ``Store b,2`` and so on.  Each tuple is assigned a number
+incrementally as it is generated; the optimizer then deletes tuples, so a
+finished program typically has gaps in its numbering -- exactly as in
+figure 1 of the paper.
+
+Operands are either references to earlier tuples (:class:`Ref`) or
+immediate integer constants (:class:`Imm`).  There is no "load immediate"
+instruction in the Table 1 instruction set, so constants ride along as
+immediates inside the consuming instruction.
+
+Tuple kinds and their operand shapes:
+
+========  =======================  =========================================
+opcode    operands                 meaning
+========  =======================  =========================================
+LOAD      ``()``                   read variable ``var`` from memory
+STORE     ``(src,)``               write operand ``src`` to variable ``var``
+ALU ops   ``(left, right)``        binary operation on two operands
+========  =======================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.ir.ops import Opcode
+
+__all__ = ["Ref", "Imm", "Operand", "IRTuple", "TupleProgram"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ref:
+    """A use of the value produced by an earlier tuple."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return str(self.id)
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """An immediate integer constant operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Ref | Imm
+
+
+@dataclass(frozen=True, slots=True)
+class IRTuple:
+    """One numbered three-address instruction.
+
+    ``var`` is the referenced memory variable for LOAD/STORE and ``None``
+    for ALU tuples.
+    """
+
+    id: int
+    opcode: Opcode
+    operands: tuple[Operand, ...] = ()
+    var: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.opcode is Opcode.LOAD:
+            if self.operands or self.var is None:
+                raise ValueError(f"tuple {self.id}: Load takes no operands and a var")
+        elif self.opcode is Opcode.STORE:
+            if len(self.operands) != 1 or self.var is None:
+                raise ValueError(f"tuple {self.id}: Store takes one operand and a var")
+        else:
+            if len(self.operands) != 2 or self.var is not None:
+                raise ValueError(
+                    f"tuple {self.id}: {self.opcode} takes two operands and no var"
+                )
+
+    @property
+    def refs(self) -> tuple[int, ...]:
+        """Ids of tuples whose values this tuple consumes."""
+        return tuple(op.id for op in self.operands if isinstance(op, Ref))
+
+    def with_operands(self, operands: tuple[Operand, ...]) -> "IRTuple":
+        return IRTuple(self.id, self.opcode, operands, self.var)
+
+    def render(self) -> str:
+        """Figure 1 style rendering, e.g. ``Add 0,1`` or ``Store b,2``."""
+        if self.opcode is Opcode.LOAD:
+            return f"Load {self.var}"
+        if self.opcode is Opcode.STORE:
+            return f"Store {self.var},{self.operands[0]}"
+        args = ",".join(str(op) for op in self.operands)
+        return f"{self.opcode} {args}"
+
+    def __str__(self) -> str:
+        return f"{self.id}: {self.render()}"
+
+
+@dataclass(slots=True)
+class TupleProgram:
+    """An ordered sequence of tuples with (possibly gappy) numbering.
+
+    Invariants, enforced by :meth:`validate`:
+
+    * tuple ids are unique and appear in increasing order;
+    * every :class:`Ref` points to an *earlier* tuple in the program
+      (straight-line SSA: each tuple's value is defined exactly once).
+    """
+
+    tuples: list[IRTuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[IRTuple]:
+        return iter(self.tuples)
+
+    def __getitem__(self, tuple_id: int) -> IRTuple:
+        """Look up a tuple *by id* (not by position)."""
+        tup = self.by_id().get(tuple_id)
+        if tup is None:
+            raise KeyError(f"no tuple with id {tuple_id}")
+        return tup
+
+    def by_id(self) -> dict[int, IRTuple]:
+        return {t.id: t for t in self.tuples}
+
+    # -- integrity ----------------------------------------------------------
+
+    def validate(self) -> None:
+        seen: set[int] = set()
+        last = -1
+        for tup in self.tuples:
+            if tup.id in seen:
+                raise ValueError(f"duplicate tuple id {tup.id}")
+            if tup.id <= last:
+                raise ValueError(f"tuple ids not increasing at {tup.id}")
+            for ref in tup.refs:
+                if ref not in seen:
+                    raise ValueError(f"tuple {tup.id} references undefined tuple {ref}")
+            seen.add(tup.id)
+            last = tup.id
+
+    # -- queries used by the optimizer and DAG builder ----------------------
+
+    def use_counts(self) -> dict[int, int]:
+        """Number of Ref operands consuming each tuple's value."""
+        counts = {t.id: 0 for t in self.tuples}
+        for tup in self.tuples:
+            for ref in tup.refs:
+                counts[ref] += 1
+        return counts
+
+    def stores(self) -> list[IRTuple]:
+        return [t for t in self.tuples if t.opcode is Opcode.STORE]
+
+    def loads(self) -> list[IRTuple]:
+        return [t for t in self.tuples if t.opcode is Opcode.LOAD]
+
+    def final_stores(self) -> dict[str, IRTuple]:
+        """The last Store to each variable: the block's observable effect."""
+        result: dict[str, IRTuple] = {}
+        for tup in self.tuples:
+            if tup.opcode is Opcode.STORE:
+                result[tup.var] = tup  # later stores overwrite earlier ones
+        return result
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        hist: dict[Opcode, int] = {}
+        for tup in self.tuples:
+            hist[tup.opcode] = hist.get(tup.opcode, 0) + 1
+        return hist
+
+    # -- transformation helpers ----------------------------------------------
+
+    def filter_replace(
+        self,
+        keep: Iterable[int],
+        replacements: Mapping[int, Operand] | None = None,
+    ) -> "TupleProgram":
+        """Drop tuples not in ``keep`` and rewrite operands via ``replacements``.
+
+        ``replacements`` maps a *removed* tuple id to the operand that now
+        supplies its value (another tuple's :class:`Ref` or an :class:`Imm`).
+        Replacement chains (a -> b -> c) are followed to their final target.
+        This is the single primitive every optimizer pass is built on.
+        """
+        keep_set = set(keep)
+        subst = dict(replacements or {})
+
+        def resolve(op: Operand) -> Operand:
+            hops = 0
+            while isinstance(op, Ref) and op.id in subst:
+                op = subst[op.id]
+                hops += 1
+                if hops > len(subst) + 1:
+                    raise ValueError("cyclic replacement chain")
+            return op
+
+        out: list[IRTuple] = []
+        for tup in self.tuples:
+            if tup.id not in keep_set:
+                continue
+            new_ops = tuple(resolve(op) for op in tup.operands)
+            out.append(tup if new_ops == tup.operands else tup.with_operands(new_ops))
+        return TupleProgram(out)
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        """Multi-line listing in the style of figure 1."""
+        width = max((len(str(t.id)) for t in self.tuples), default=1)
+        return "\n".join(f"{t.id:>{width}}  {t.render()}" for t in self.tuples)

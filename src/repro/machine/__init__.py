@@ -1,0 +1,62 @@
+"""Machine-level execution models (paper sections 3.2 and 6).
+
+The scheduler's output is lowered to a :class:`~repro.machine.program.MachineProgram`
+-- per-processor op streams plus barrier bit masks -- and executed by:
+
+* :mod:`repro.machine.sbm` -- the Static Barrier MIMD: a FIFO queue of
+  barrier masks; only the queue head may fire (figure 11);
+* :mod:`repro.machine.dbm` -- the Dynamic Barrier MIMD: associative
+  matching lets any barrier whose participants are all waiting fire;
+* :mod:`repro.machine.vliw` -- the lock-step VLIW comparison model of
+  section 6 (all instructions at maximum time, no asynchrony);
+* :mod:`repro.machine.mimd` -- a conventional MIMD with directed
+  producer/consumer synchronization, the "what would have happened
+  without barrier scheduling" baseline.
+
+Instruction durations are drawn by pluggable samplers
+(:mod:`repro.machine.durations`); executing a schedule under thousands of
+random draws and asserting every producer finishes before its consumers
+start is the system-level soundness oracle used by the test suite.
+"""
+
+from repro.machine.durations import (
+    BimodalSampler,
+    DurationSampler,
+    FixedSampler,
+    MaxSampler,
+    MinSampler,
+    UniformSampler,
+)
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.trace import DeadlockError, ExecutionTrace, OrderViolation
+from repro.machine.sbm import SBMSimulator, simulate_sbm
+from repro.machine.dbm import DBMSimulator, simulate_dbm
+from repro.machine.vliw import VLIWSchedule, vliw_schedule
+from repro.machine.mimd import ConventionalMIMDResult, simulate_conventional_mimd
+from repro.machine.rtl import ClockedDBM, ClockedSBM, run_clocked
+
+__all__ = [
+    "BimodalSampler",
+    "DurationSampler",
+    "FixedSampler",
+    "MaxSampler",
+    "MinSampler",
+    "UniformSampler",
+    "BarrierRef",
+    "MachineOp",
+    "MachineProgram",
+    "DeadlockError",
+    "ExecutionTrace",
+    "OrderViolation",
+    "SBMSimulator",
+    "simulate_sbm",
+    "DBMSimulator",
+    "simulate_dbm",
+    "VLIWSchedule",
+    "vliw_schedule",
+    "ConventionalMIMDResult",
+    "simulate_conventional_mimd",
+    "ClockedDBM",
+    "ClockedSBM",
+    "run_clocked",
+]

@@ -1,0 +1,108 @@
+"""Instruction-duration samplers for the simulators.
+
+A barrier-MIMD schedule must be correct for *every* realization of the
+variable execution times, so the simulators take a pluggable sampler:
+
+* :class:`UniformSampler` -- independent uniform draw in ``[min, max]``
+  (the generic stochastic model of section 2.1's loads and mul/div/mod);
+* :class:`MinSampler` / :class:`MaxSampler` -- the two extreme corners,
+  which bound the schedule's completion-time interval;
+* :class:`BimodalSampler` -- cache-hit/cache-miss style: minimum with
+  probability ``p_fast``, maximum otherwise (the shared-bus Load story);
+* :class:`FixedSampler` -- explicit per-node durations, used by tests to
+  build adversarial realizations (producers slow, consumers fast).
+
+Samplers never mutate shared state; randomized ones take the RNG per call
+so a single seeded ``random.Random`` drives a whole simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol
+
+from repro.timing import Interval
+from repro.ir.dag import NodeId
+
+__all__ = [
+    "DurationSampler",
+    "UniformSampler",
+    "MinSampler",
+    "MaxSampler",
+    "BimodalSampler",
+    "FixedSampler",
+]
+
+
+class DurationSampler(Protocol):
+    """Draw a concrete duration for one dynamic instruction instance."""
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        ...
+
+
+@dataclass(frozen=True)
+class UniformSampler:
+    """Independent uniform integer draw over the latency interval."""
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        if latency.is_point:
+            return latency.lo
+        return rng.randint(latency.lo, latency.hi)
+
+
+@dataclass(frozen=True)
+class MinSampler:
+    """Every instruction takes its minimum time (best-case corner)."""
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        return latency.lo
+
+
+@dataclass(frozen=True)
+class MaxSampler:
+    """Every instruction takes its maximum time (worst-case corner,
+    the timing model of the paper's VLIW comparison)."""
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        return latency.hi
+
+
+@dataclass(frozen=True)
+class BimodalSampler:
+    """Minimum with probability ``p_fast``, else maximum.
+
+    Models hit/miss behaviour (a Load is 1 unit on a cache hit, 4 on a
+    miss) more faithfully than a uniform draw.
+    """
+
+    p_fast: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_fast <= 1.0:
+            raise ValueError("p_fast must be in [0, 1]")
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        if latency.is_point:
+            return latency.lo
+        return latency.lo if rng.random() < self.p_fast else latency.hi
+
+
+@dataclass(frozen=True)
+class FixedSampler:
+    """Explicit per-node durations (adversarial tests); missing nodes fall
+    back to ``default`` ("min" or "max")."""
+
+    durations: Mapping[NodeId, int] = field(default_factory=dict)
+    default: str = "max"
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        if node in self.durations:
+            value = self.durations[node]
+            if value not in latency:
+                raise ValueError(
+                    f"fixed duration {value} for node {node!r} outside {latency}"
+                )
+            return value
+        return latency.hi if self.default == "max" else latency.lo

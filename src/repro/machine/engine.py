@@ -1,0 +1,133 @@
+"""Shared discrete-event execution loop for the barrier machines.
+
+Between barriers the processors are independent, so simulation needs no
+global event queue: each processor runs ahead until it blocks at a wait
+instruction, then a machine-specific *barrier controller* decides which
+barrier fires next and at what time.  The loop alternates the two phases
+until every processor retires its stream.
+
+Controllers implement one method, :meth:`BarrierController.select`:
+given who is waiting where (and since when), return the next barrier to
+fire and its fire time, or ``None`` if nothing can fire.  ``None`` with
+no processor still running is a deadlock -- a real hardware hang, which
+for the SBM would mean the compile-time queue order disagreed with the
+run-time arrival order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.machine.durations import DurationSampler, UniformSampler
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.trace import DeadlockError, ExecutionTrace
+
+__all__ = ["BarrierController", "run_machine"]
+
+
+class BarrierController(Protocol):
+    """Machine-specific firing rule (SBM FIFO or DBM associative)."""
+
+    def select(
+        self,
+        waiting: dict[int, int],
+        arrival: dict[int, int],
+    ) -> tuple[int, int] | None:
+        """``waiting[pe] = barrier_id`` for blocked processors and
+        ``arrival[pe]`` their arrival times; return
+        ``(barrier_id, fire_time)`` or ``None``."""
+        ...
+
+
+@dataclass
+class _PEState:
+    pc: int = 0
+    clock: int = 0
+    waiting: int | None = None  # barrier id
+    done: bool = False
+
+
+def run_machine(
+    program: MachineProgram,
+    controller: BarrierController,
+    machine_name: str,
+    sampler: DurationSampler | None = None,
+    rng: random.Random | int | None = None,
+) -> ExecutionTrace:
+    """Execute ``program`` under ``controller``; return the full trace."""
+    sampler = sampler or UniformSampler()
+    if rng is None or isinstance(rng, int):
+        rng = random.Random(rng)
+
+    states = [_PEState() for _ in range(program.n_pes)]
+    start: dict = {}
+    finish: dict = {}
+    durations: dict = {}
+    barrier_fire: dict[int, int] = {}
+
+    def advance(pe: int) -> None:
+        """Run processor ``pe`` until it blocks or retires."""
+        st = states[pe]
+        stream = program.streams[pe]
+        while st.pc < len(stream):
+            item = stream[st.pc]
+            if isinstance(item, BarrierRef):
+                st.waiting = item.barrier_id
+                st.pc += 1
+                return
+            assert isinstance(item, MachineOp)
+            dur = sampler.sample(item.node, item.latency, rng)
+            if dur not in item.latency:
+                raise ValueError(
+                    f"sampler produced {dur} outside {item.latency} for {item.node!r}"
+                )
+            start[item.node] = st.clock
+            st.clock += dur
+            finish[item.node] = st.clock
+            durations[item.node] = dur
+            st.pc += 1
+        st.done = True
+
+    for pe in range(program.n_pes):
+        advance(pe)
+
+    while True:
+        if all(st.done for st in states):
+            break
+        waiting = {
+            pe: st.waiting for pe, st in enumerate(states) if st.waiting is not None
+        }
+        arrival = {pe: states[pe].clock for pe in waiting}
+        choice = controller.select(waiting, arrival)
+        if choice is None:
+            stuck = {pe: f"b{bid}" for pe, bid in waiting.items()}
+            raise DeadlockError(
+                f"{machine_name}: no barrier can fire; waiting: {stuck}"
+            )
+        barrier_id, fire_time = choice
+        if barrier_id != program.initial_barrier_id:
+            fire_time += program.barrier_latency
+        barrier_fire[barrier_id] = fire_time
+        mask = program.masks[barrier_id]
+        for pe in mask:
+            st = states[pe]
+            if st.waiting != barrier_id:
+                raise DeadlockError(
+                    f"{machine_name}: barrier b{barrier_id} fired but PE {pe} "
+                    f"is not waiting on it"
+                )
+            # Exact-synchrony release: every participant resumes at fire_time.
+            st.clock = fire_time
+            st.waiting = None
+            advance(pe)
+
+    return ExecutionTrace(
+        machine=machine_name,
+        start=start,
+        finish=finish,
+        barrier_fire=barrier_fire,
+        pe_finish=tuple(st.clock for st in states),
+        durations=durations,
+    )

@@ -1,0 +1,181 @@
+"""Lowering a schedule to the machine-level program the hardware executes.
+
+A :class:`MachineProgram` is what the barrier-MIMD "loader" would place
+in each processor's instruction memory and the barrier controller's
+queue: per-PE streams of :class:`MachineOp` (with latency intervals) and
+:class:`BarrierRef` wait instructions, plus one
+:class:`~repro.barriers.mask.BarrierMask` per barrier.
+
+For the SBM the program also fixes the *total* barrier order loaded into
+the FIFO queue (any linear extension of ``<_b`` is valid and
+deadlock-free; we use the barrier dag's deterministic topological
+order).  The producer/consumer edge list rides along so an execution
+trace can be verified against the original DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.barriers.mask import BarrierMask
+from repro.timing import Interval
+from repro.core.schedule import Schedule
+from repro.ir.dag import NodeId
+from repro.ir.tuples import IRTuple
+
+__all__ = ["MachineOp", "BarrierRef", "MachineProgram"]
+
+
+def _queue_order(schedule: Schedule, bd, fire) -> tuple[int, ...]:
+    """Topological sort of the barriers' happens-before relation plus
+    disjoint-window edges (see :meth:`MachineProgram.from_schedule`)."""
+    desc = schedule.hb_barrier_descendants()
+    succs: dict[int, set[int]] = {bid: set(d) for bid, d in desc.items()}
+    ids = list(succs)
+    for a_idx, a in enumerate(ids):
+        for b in ids[a_idx + 1:]:
+            if b in succs[a] or a in succs[b]:
+                continue
+            if fire[a].hi < fire[b].lo:
+                succs[a].add(b)
+            elif fire[b].hi < fire[a].lo:
+                succs[b].add(a)
+    in_deg = {bid: 0 for bid in ids}
+    for bid, out in succs.items():
+        for s in out:
+            in_deg[s] += 1
+    frontier = sorted(
+        (bid for bid, d in in_deg.items() if d == 0),
+        key=lambda bid: (fire[bid].lo, fire[bid].hi, bid),
+    )
+    order: list[int] = []
+    while frontier:
+        bid = frontier.pop(0)
+        order.append(bid)
+        ready = []
+        for s in succs[bid]:
+            in_deg[s] -= 1
+            if in_deg[s] == 0:
+                ready.append(s)
+        frontier.extend(ready)
+        frontier.sort(key=lambda b: (fire[b].lo, fire[b].hi, b))
+    if len(order) != len(ids):
+        raise ValueError(
+            "barrier run-time order constraints are cyclic: schedule is unsound"
+        )
+    return tuple(order)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineOp:
+    """One executable instruction with its static latency interval."""
+
+    node: NodeId
+    latency: Interval
+    mnemonic: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class BarrierRef:
+    """A wait instruction naming the barrier it participates in."""
+
+    barrier_id: int
+
+
+StreamItem = Union[MachineOp, BarrierRef]
+
+
+@dataclass(frozen=True)
+class MachineProgram:
+    """Loader image: streams, barrier masks, SBM queue order, DAG edges."""
+
+    n_pes: int
+    streams: tuple[tuple[StreamItem, ...], ...]
+    masks: dict[int, BarrierMask]
+    #: Total order for the SBM FIFO (a linear extension of ``<_b``),
+    #: including the initial barrier first.
+    barrier_order: tuple[int, ...]
+    initial_barrier_id: int
+    #: Producer/consumer edges for post-execution verification.
+    edges: tuple[tuple[NodeId, NodeId], ...]
+    #: Release latency of every non-initial barrier (hardware model).
+    barrier_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.streams) != self.n_pes:
+            raise ValueError("one stream per processor required")
+        if set(self.barrier_order) != set(self.masks):
+            raise ValueError("barrier_order and masks disagree")
+        if self.barrier_order and self.barrier_order[0] != self.initial_barrier_id:
+            raise ValueError("the initial barrier must head the queue")
+
+    @staticmethod
+    def from_schedule(schedule: Schedule) -> "MachineProgram":
+        """Lower a finished schedule.
+
+        The SBM queue must present barriers in an order consistent with
+        *every* possible run-time arrival order.  Two barriers have a
+        forced run-time order when they are comparable in the schedule's
+        happens-before graph H (stream order plus all committed data
+        edges; see :meth:`repro.core.schedule.Schedule.hb_barrier_ordered`),
+        or when their static fire windows are disjoint.  The SBM merging
+        invariant guarantees every pair falls in one of those cases, and
+        the union of both relations is acyclic (each edge means "always
+        fires no later than"), so a topological sort of the union yields
+        a queue whose FIFO head never stalls."""
+        bd = schedule.barrier_dag()
+        fire = bd.fire_times()
+        order = _queue_order(schedule, bd, fire)
+        masks: dict[int, BarrierMask] = {}
+        for barrier in bd.barriers():
+            masks[barrier.id] = BarrierMask.from_pes(
+                barrier.participants, schedule.n_pes
+            )
+        streams: list[tuple[StreamItem, ...]] = []
+        for pe in range(schedule.n_pes):
+            items: list[StreamItem] = []
+            for item in schedule.streams[pe]:
+                if hasattr(item, "participants"):  # Barrier
+                    items.append(BarrierRef(item.id))
+                else:
+                    payload = schedule.dag.payload(item)
+                    mnemonic = (
+                        payload.render() if isinstance(payload, IRTuple) else str(item)
+                    )
+                    items.append(
+                        MachineOp(item, schedule.dag.latency(item), mnemonic)
+                    )
+            streams.append(tuple(items))
+        return MachineProgram(
+            n_pes=schedule.n_pes,
+            streams=tuple(streams),
+            masks=masks,
+            barrier_order=order,
+            initial_barrier_id=schedule.initial_barrier.id,
+            edges=tuple(schedule.dag.real_edges()),
+            barrier_latency=schedule.barrier_latency,
+        )
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(
+            1 for stream in self.streams for it in stream if isinstance(it, MachineOp)
+        )
+
+    @property
+    def n_barriers(self) -> int:
+        """Barriers excluding the initial machine-start barrier."""
+        return len(self.masks) - 1
+
+    def render(self) -> str:
+        lines = [f"barrier queue: {' '.join('b%d' % b for b in self.barrier_order)}"]
+        for pe, stream in enumerate(self.streams):
+            parts = []
+            for item in stream:
+                if isinstance(item, BarrierRef):
+                    parts.append(f"wait(b{item.barrier_id})")
+                else:
+                    parts.append(item.mnemonic or str(item.node))
+            lines.append(f"PE{pe}: " + "; ".join(parts))
+        return "\n".join(lines)

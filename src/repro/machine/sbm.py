@@ -1,0 +1,92 @@
+"""Static Barrier MIMD simulator (paper section 3.2, figure 11).
+
+The SBM barrier hardware is a FIFO queue of barrier bit masks loaded at
+compile time.  Only the queue *head* may fire: it does so when every
+processor in its mask has raised its WAIT line, releasing all of them on
+the same clock tick.  A processor waiting on a later barrier simply keeps
+waiting until that barrier reaches the head.
+
+Consequently the head can fire no earlier than the previous head did --
+an SBM-specific serialization of barrier releases which is why the paper
+merges unordered, time-overlapping barriers for SBM schedules (section
+4.4.3): merged barriers cannot arrive at the queue in the "wrong" order.
+
+A well-formed queue (any linear extension of the barrier dag ``<_b``,
+which :class:`~repro.machine.program.MachineProgram` guarantees) can
+never deadlock: if the head waits on processor ``p``, then ``p`` has not
+yet passed the head barrier, and every barrier blocking ``p`` would have
+to precede the head in ``<_b`` -- contradiction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.machine.durations import DurationSampler
+from repro.machine.engine import run_machine
+from repro.machine.program import MachineProgram
+from repro.machine.trace import ExecutionTrace
+
+__all__ = ["SBMSimulator", "simulate_sbm"]
+
+
+@dataclass
+class SBMController:
+    """FIFO firing rule: only ``queue[head]`` may execute."""
+
+    program: MachineProgram
+    head: int = 0
+    last_fire: int = 0
+    fired: list[int] = field(default_factory=list)
+
+    def select(
+        self, waiting: dict[int, int], arrival: dict[int, int]
+    ) -> tuple[int, int] | None:
+        if self.head >= len(self.program.barrier_order):
+            return None
+        barrier_id = self.program.barrier_order[self.head]
+        mask = self.program.masks[barrier_id]
+        for pe in mask:
+            if waiting.get(pe) != barrier_id:
+                return None  # some participant has not arrived at the head
+        fire_time = self.last_fire
+        for pe in mask:
+            fire_time = max(fire_time, arrival[pe])
+        self.head += 1
+        self.last_fire = fire_time
+        self.fired.append(barrier_id)
+        return barrier_id, fire_time
+
+
+@dataclass
+class SBMSimulator:
+    """Convenience wrapper executing many runs of one program."""
+
+    program: MachineProgram
+
+    def run(
+        self,
+        sampler: DurationSampler | None = None,
+        rng: random.Random | int | None = None,
+    ) -> ExecutionTrace:
+        controller = SBMController(self.program)
+        return run_machine(self.program, controller, "sbm", sampler, rng)
+
+    def run_many(
+        self,
+        n_runs: int,
+        sampler: DurationSampler | None = None,
+        seed: int = 0,
+    ) -> list[ExecutionTrace]:
+        rng = random.Random(seed)
+        return [self.run(sampler, rng) for _ in range(n_runs)]
+
+
+def simulate_sbm(
+    program: MachineProgram,
+    sampler: DurationSampler | None = None,
+    rng: random.Random | int | None = None,
+) -> ExecutionTrace:
+    """One SBM execution of ``program`` under ``sampler``."""
+    return SBMSimulator(program).run(sampler, rng)

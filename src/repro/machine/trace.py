@@ -1,0 +1,89 @@
+"""Execution traces and their verification against the instruction DAG.
+
+Both barrier-machine simulators produce an :class:`ExecutionTrace`
+recording, for one concrete realization of the instruction durations,
+when every instruction started and finished and when every barrier
+fired.  :meth:`ExecutionTrace.verify` then checks the fundamental
+soundness property of the whole compiler:
+
+    for every producer/consumer edge ``(g, i)`` of the instruction DAG,
+    ``finish(g) <= start(i)``.
+
+If the scheduler's static reasoning (heights, dominators, longest
+min/max paths, barrier placement, merging) is correct, this holds for
+*every* duration realization -- which is exactly what the property-based
+tests hammer on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.ir.dag import NodeId
+
+__all__ = ["DeadlockError", "OrderViolation", "ExecutionTrace"]
+
+
+class DeadlockError(RuntimeError):
+    """The machine stopped with processors still waiting (queue order
+    inconsistent with arrivals, or a barrier with absent participants)."""
+
+
+@dataclass(frozen=True, slots=True)
+class OrderViolation:
+    """A producer finished after its consumer started: unsound schedule."""
+
+    producer: NodeId
+    consumer: NodeId
+    producer_finish: int
+    consumer_start: int
+
+    def __str__(self) -> str:
+        return (
+            f"edge {self.producer!r} -> {self.consumer!r}: producer finished "
+            f"at {self.producer_finish} but consumer started at {self.consumer_start}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """Timeline of one simulated execution."""
+
+    machine: str  # "sbm" | "dbm"
+    start: Mapping[NodeId, int]
+    finish: Mapping[NodeId, int]
+    barrier_fire: Mapping[int, int]
+    pe_finish: tuple[int, ...]
+    durations: Mapping[NodeId, int] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        return max(self.pe_finish, default=0)
+
+    def verify(self, edges) -> list[OrderViolation]:
+        """All producer/consumer order violations (empty == sound run)."""
+        violations = []
+        for g, i in edges:
+            if self.finish[g] > self.start[i]:
+                violations.append(
+                    OrderViolation(g, i, self.finish[g], self.start[i])
+                )
+        return violations
+
+    def assert_sound(self, edges) -> None:
+        violations = self.verify(edges)
+        if violations:
+            sample = "; ".join(str(v) for v in violations[:3])
+            raise AssertionError(
+                f"{len(violations)} producer/consumer violations: {sample}"
+            )
+
+    def describe(self) -> str:
+        fires = " ".join(
+            f"b{bid}@{t}" for bid, t in sorted(self.barrier_fire.items())
+        )
+        return (
+            f"{self.machine.upper()} run: makespan={self.makespan} "
+            f"PE finishes={list(self.pe_finish)} fires: {fires}"
+        )

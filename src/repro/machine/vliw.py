@@ -1,0 +1,102 @@
+"""VLIW comparison model (paper section 6).
+
+"The VLIW execution mode used in scheduling the instructions assumed
+that all instructions required their maximum time to execute.  No
+asynchrony was allowed in VLIW execution."
+
+A VLIW is lock-step: the compiler knows every start time exactly, so
+synchronization is free but every latency must be budgeted at its
+worst case.  We model this with classic list scheduling over fixed
+(maximum) latencies: nodes are taken in the same max/min-height order as
+the barrier scheduler, and each is placed on the processor where it can
+start earliest, start = max(processor free time, operand ready time);
+gaps are implicit NOPs.
+
+The resulting makespan is the normalization baseline of figure 18.  The
+paper notes the schedule was optimal (equal to the maximum-time critical
+path) "for almost all the synthetic benchmarks" -- our benchmark harness
+reports the same check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.labeling import compute_heights
+from repro.core.ordering import OrderingKind, order_nodes
+from repro.ir.dag import InstructionDAG, NodeId
+
+__all__ = ["VLIWSchedule", "vliw_schedule"]
+
+
+@dataclass(frozen=True)
+class VLIWSchedule:
+    """A deterministic lock-step schedule (all latencies at maximum)."""
+
+    n_pes: int
+    assignment: Mapping[NodeId, int]
+    start: Mapping[NodeId, int]
+    finish: Mapping[NodeId, int]
+    makespan: int
+    critical_path: int
+
+    @property
+    def is_critical_path_optimal(self) -> bool:
+        """True when no schedule on any processor count could be shorter."""
+        return self.makespan == self.critical_path
+
+    def utilization(self) -> float:
+        """Busy slots over total slots up to the makespan."""
+        if self.makespan == 0:
+            return 0.0
+        busy = sum(self.finish[n] - self.start[n] for n in self.start)
+        return busy / (self.makespan * self.n_pes)
+
+
+def vliw_schedule(
+    dag: InstructionDAG,
+    n_pes: int,
+    ordering: OrderingKind = "maxmin",
+) -> VLIWSchedule:
+    """List-schedule ``dag`` on a lock-step ``n_pes``-wide VLIW.
+
+    Every instruction is budgeted at its maximum latency; consumers are
+    placed no earlier than their producers' worst-case finish, which the
+    global clock then guarantees at run time.
+    """
+    if n_pes < 1:
+        raise ValueError("n_pes must be >= 1")
+    heights = compute_heights(dag)
+    order = order_nodes(dag, ordering, heights)
+
+    free = [0] * n_pes
+    assignment: dict[NodeId, int] = {}
+    start: dict[NodeId, int] = {}
+    finish: dict[NodeId, int] = {}
+
+    for node in order:
+        ready = 0
+        for g in dag.real_preds(node):
+            ready = max(ready, finish[g])
+        # Earliest-start processor; ties to the lowest index (deterministic).
+        best_pe = 0
+        best_start = None
+        for pe in range(n_pes):
+            candidate = max(free[pe], ready)
+            if best_start is None or candidate < best_start:
+                best_pe, best_start = pe, candidate
+        assignment[node] = best_pe
+        start[node] = best_start
+        finish[node] = best_start + dag.latency(node).hi
+        free[best_pe] = finish[node]
+
+    makespan = max(finish.values(), default=0)
+    return VLIWSchedule(
+        n_pes=n_pes,
+        assignment=assignment,
+        start=start,
+        finish=finish,
+        makespan=makespan,
+        critical_path=dag.critical_path().hi,
+    )

@@ -1,0 +1,18 @@
+"""Synchronization metrics and corpus statistics (paper section 3.1/5)."""
+
+from repro.metrics.fractions import SyncFractions, fractions_of
+from repro.metrics.stats import (
+    CorpusStats,
+    FractionAggregate,
+    aggregate_fractions,
+    aggregate_results,
+)
+
+__all__ = [
+    "SyncFractions",
+    "fractions_of",
+    "CorpusStats",
+    "FractionAggregate",
+    "aggregate_fractions",
+    "aggregate_results",
+]

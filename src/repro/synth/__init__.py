@@ -1,0 +1,20 @@
+"""Synthetic-benchmark generation (paper section 2.2).
+
+Random basic blocks of assignment statements with the [AlWo75]
+instruction-mix frequencies of Table 1, plus a corpus driver that
+compiles each block through the :mod:`repro.ir` pipeline.
+"""
+
+from repro.synth.generator import GeneratorConfig, generate_block
+from repro.synth.corpus import BenchmarkCase, generate_cases, generate_corpus
+from repro.synth.flowgen import FlowGeneratorConfig, generate_flow_program
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_block",
+    "BenchmarkCase",
+    "generate_cases",
+    "generate_corpus",
+    "FlowGeneratorConfig",
+    "generate_flow_program",
+]

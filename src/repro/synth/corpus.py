@@ -1,0 +1,111 @@
+"""Corpus driver: generate -> compile -> DAG, reproducibly and in bulk.
+
+The paper's evaluation averages 100 synthetic benchmarks per parameter
+point and exceeds 3500 benchmarks overall.  :func:`generate_cases` streams
+:class:`BenchmarkCase` objects -- each a fully compiled basic block with
+its optimized tuple program and instruction DAG -- from a master seed, so
+every experiment in :mod:`repro.experiments` is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.ir import (
+    BasicBlock,
+    DEFAULT_TIMING,
+    InstructionDAG,
+    TimingModel,
+    TupleProgram,
+    generate_tuples,
+    optimize,
+)
+from repro.synth.generator import GeneratorConfig, generate_block
+
+__all__ = ["BenchmarkCase", "generate_cases", "generate_corpus"]
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One synthetic benchmark, carried through the whole front end."""
+
+    seed: int
+    config: GeneratorConfig
+    block: BasicBlock
+    raw_program: TupleProgram
+    program: TupleProgram  # after optimization
+    dag: InstructionDAG
+
+    @property
+    def implied_synchronizations(self) -> int:
+        return self.dag.implied_synchronizations
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.program)
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} stmts={self.config.n_statements} "
+            f"vars={self.config.n_variables} instrs={self.n_instructions} "
+            f"syncs={self.implied_synchronizations}"
+        )
+
+
+def compile_case(
+    config: GeneratorConfig,
+    seed: int,
+    timing: TimingModel = DEFAULT_TIMING,
+) -> BenchmarkCase:
+    """Generate and compile a single benchmark from ``(config, seed)``."""
+    block = generate_block(config, random.Random(seed))
+    raw = generate_tuples(block)
+    opt = optimize(raw)
+    dag = InstructionDAG.from_program(opt, timing)
+    return BenchmarkCase(seed, config, block, raw, opt, dag)
+
+
+def generate_cases(
+    config: GeneratorConfig,
+    count: int,
+    master_seed: int = 0,
+    timing: TimingModel = DEFAULT_TIMING,
+    accept: Callable[[BenchmarkCase], bool] | None = None,
+    max_attempts_factor: int = 50,
+) -> Iterator[BenchmarkCase]:
+    """Yield ``count`` compiled benchmarks derived from ``master_seed``.
+
+    ``accept`` optionally filters cases (e.g. figure 14 keeps only blocks
+    with 65..132 implied synchronizations); rejected cases are skipped and
+    replaced, up to ``count * max_attempts_factor`` attempts.
+    """
+    produced = 0
+    attempts = 0
+    limit = max(1, count) * max_attempts_factor
+    seed_stream = random.Random(master_seed)
+    while produced < count:
+        if attempts >= limit:
+            raise RuntimeError(
+                f"corpus filter accepted only {produced}/{count} cases "
+                f"after {attempts} attempts"
+            )
+        attempts += 1
+        case_seed = seed_stream.getrandbits(48)
+        case = compile_case(config, case_seed, timing)
+        if accept is not None and not accept(case):
+            continue
+        produced += 1
+        yield case
+
+
+def generate_corpus(
+    config: GeneratorConfig,
+    count: int,
+    master_seed: int = 0,
+    timing: TimingModel = DEFAULT_TIMING,
+    accept: Callable[[BenchmarkCase], bool] | None = None,
+) -> list[BenchmarkCase]:
+    """Materialized convenience wrapper around :func:`generate_cases`."""
+    return list(generate_cases(config, count, master_seed, timing, accept))

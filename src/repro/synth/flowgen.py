@@ -1,0 +1,157 @@
+"""Random structured programs (extension of section 2.2 to section 7).
+
+Generates :class:`~repro.flow.ast.FlowProgram` instances with the same
+operator mix as the straight-line generator plus structured constructs:
+
+* ``if``/``else`` on a random expression over live variables;
+* **counted** ``while`` loops -- a fresh reserved counter (``__c0``,
+  ``__c1``, ...; the mini language's user identifiers never start with
+  an underscore in generated code) is initialized to a small constant
+  and decremented once per iteration, so every generated program
+  provably terminates.  This mirrors how the paper's follow-up work
+  could evaluate loop scheduling without solving the halting problem for
+  its own benchmark generator.
+
+All randomness flows through an explicit ``random.Random``; programs are
+reproducible from ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.flow.ast import FlowProgram, IfStmt, Stmt, WhileStmt
+from repro.ir.ast import Assign, BinOp, Const, Var
+from repro.ir.ops import Opcode
+from repro.synth.generator import GeneratorConfig, _draw_operation
+
+__all__ = ["FlowGeneratorConfig", "generate_flow_program"]
+
+
+@dataclass(frozen=True)
+class FlowGeneratorConfig:
+    """Parameters of the structured-program generator."""
+
+    #: Total budget of assignment statements across all nesting levels.
+    n_statements: int = 30
+    n_variables: int = 6
+    n_constants: int = 3
+    #: Probability that a statement position opens an if (with else half
+    #: the time) or a counted while loop.
+    p_if: float = 0.12
+    p_while: float = 0.08
+    #: Maximum structural nesting depth.
+    max_depth: int = 2
+    #: Inclusive range of iteration counts for counted loops.
+    loop_iters: tuple[int, int] = (1, 4)
+    #: Operand-level parameters (reuses the straight-line generator).
+    p_constant_operand: float = 0.12
+    constant_range: tuple[int, int] = (0, 255)
+
+    def __post_init__(self) -> None:
+        if self.n_statements < 1:
+            raise ValueError("n_statements must be >= 1")
+        if not 0.0 <= self.p_if + self.p_while < 1.0:
+            raise ValueError("p_if + p_while must be in [0, 1)")
+        if self.loop_iters[0] < 0 or self.loop_iters[0] > self.loop_iters[1]:
+            raise ValueError("loop_iters must be (lo, hi) with 0 <= lo <= hi")
+
+    def base_config(self) -> GeneratorConfig:
+        return GeneratorConfig(
+            n_statements=1,
+            n_variables=self.n_variables,
+            n_constants=self.n_constants,
+            p_constant_operand=self.p_constant_operand,
+            constant_range=self.constant_range,
+        )
+
+
+class _FlowGen:
+    def __init__(self, config: FlowGeneratorConfig, rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+        self.base = config.base_config()
+        self.variables = self.base.variable_names()
+        lo, hi = config.constant_range
+        self.constants = tuple(rng.randint(lo, hi) for _ in range(config.n_constants))
+        self.budget = config.n_statements
+        self.counter_idx = 0
+
+    def assignment(self) -> Assign:
+        self.budget -= 1
+        target = self.rng.choice(self.variables)
+        expr = _draw_operation(self.base, self.rng, self.variables, self.constants, 1)
+        return Assign(target, expr)
+
+    def condition(self):
+        return _draw_operation(self.base, self.rng, self.variables, self.constants, 1)
+
+    def body(self, depth: int, max_len: int) -> tuple[Stmt, ...]:
+        length = self.rng.randint(1, max(1, max_len))
+        out: list[Stmt] = []
+        for _ in range(length):
+            if self.budget <= 0:
+                break
+            out.append(self.statement(depth))
+        if not out:
+            out.append(self.assignment())
+        return tuple(out)
+
+    def statement(self, depth: int) -> Stmt:
+        roll = self.rng.random()
+        structural_ok = depth < self.config.max_depth and self.budget > 2
+        if structural_ok and roll < self.config.p_if:
+            cond = self.condition()
+            then_body = self.body(depth + 1, self.budget // 2)
+            else_body: tuple[Stmt, ...] = ()
+            if self.rng.random() < 0.5 and self.budget > 0:
+                else_body = self.body(depth + 1, self.budget // 2)
+            return IfStmt(cond, then_body, else_body)
+        if structural_ok and roll < self.config.p_if + self.config.p_while:
+            counter = f"__c{self.counter_idx}"
+            self.counter_idx += 1
+            body = list(self.body(depth + 1, self.budget // 2))
+            body.append(
+                Assign(counter, BinOp(Opcode.SUB, Var(counter), Const(1)))
+            )
+            return WhileStmt(Var(counter), tuple(body))
+        return self.assignment()
+
+    def program(self) -> FlowProgram:
+        statements: list[Stmt] = []
+        preamble: list[Stmt] = []
+        while self.budget > 0:
+            stmt = self.statement(depth=0)
+            statements.append(stmt)
+        # counted-loop counters must be initialized before use; collect
+        # initializations up front (order does not matter, they are fresh).
+        inits = self._collect_counter_inits(statements)
+        preamble.extend(inits)
+        return FlowProgram(tuple(preamble + statements))
+
+    def _collect_counter_inits(self, statements) -> list[Assign]:
+        inits: list[Assign] = []
+
+        def walk(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, WhileStmt):
+                    if isinstance(stmt.cond, Var) and stmt.cond.name.startswith("__c"):
+                        iters = self.rng.randint(*self.config.loop_iters)
+                        inits.append(Assign(stmt.cond.name, Const(iters)))
+                    walk(stmt.body)
+                elif isinstance(stmt, IfStmt):
+                    walk(stmt.then_body)
+                    walk(stmt.else_body)
+
+        walk(statements)
+        return inits
+
+
+def generate_flow_program(
+    config: FlowGeneratorConfig, rng: random.Random | int
+) -> FlowProgram:
+    """Generate one random, provably terminating structured program."""
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    return _FlowGen(config, rng).program()

@@ -1,0 +1,130 @@
+"""Random basic-block generator (the paper's C synthesis program, in Python).
+
+Section 2.2: "A C program was developed to randomly generate the basic
+blocks ... This program requires as input the number of statements,
+variables, and constants desired in the generated code.  It then generates
+a random sequence of assignment statements satisfying the desired
+conditions.  The frequency of the assignment statements corresponds
+loosely to the instruction frequency distributions found in [AlWo75]."
+
+Our generator reproduces that contract:
+
+* ``n_statements`` assignment statements over ``n_variables`` variables
+  (named ``v0 .. v{n-1}``) and a pool of ``n_constants`` integer literals;
+* each right-hand side draws its operator from the Table 1 frequency
+  distribution (Add 45.8%, Sub 33.9%, And 8.8%, Or 5.2%, Mul 2.9%,
+  Div 2.2%, Mod 1.2%);
+* operands are variables, or constants with probability
+  ``p_constant_operand``;
+* optionally (``p_nested``) an operand recursively expands into another
+  operation, approximating larger expression trees.
+
+All randomness flows through one explicit ``random.Random``, so every
+benchmark is reproducible from ``(config, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ir.ast import Assign, BasicBlock, BinOp, Const, Expr, Var
+from repro.ir.ops import ALU_OPCODES, OP_FREQUENCIES, Opcode
+
+__all__ = ["GeneratorConfig", "generate_block"]
+
+_OP_WEIGHTS: tuple[float, ...] = tuple(OP_FREQUENCIES[op] for op in ALU_OPCODES)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the random program generator.
+
+    The paper varies ``n_statements`` from 5 to 60 (up to 100 in the
+    processor sweep) and ``n_variables`` from 2 to 15; the number of
+    variables "corresponds roughly to the parallelism width of the
+    generated benchmark after optimization".
+    """
+
+    n_statements: int = 20
+    n_variables: int = 8
+    n_constants: int = 4
+    #: Probability that an operand position holds a constant rather than a
+    #: variable.  Kept modest so most dependences are variable-to-variable,
+    #: as in the paper's examples (figure 1 has no constant operands).
+    p_constant_operand: float = 0.12
+    #: Probability that an operand expands into a nested operation; 0 gives
+    #: exactly one ALU op per statement as in the figure 1 benchmark.
+    p_nested: float = 0.0
+    #: Maximum expression depth when ``p_nested > 0``.
+    max_depth: int = 3
+    #: Inclusive range constants are drawn from.
+    constant_range: tuple[int, int] = (0, 255)
+
+    def __post_init__(self) -> None:
+        if self.n_statements < 1:
+            raise ValueError("n_statements must be >= 1")
+        if self.n_variables < 1:
+            raise ValueError("n_variables must be >= 1")
+        if self.n_constants < 1:
+            raise ValueError("n_constants must be >= 1")
+        if not 0.0 <= self.p_constant_operand <= 1.0:
+            raise ValueError("p_constant_operand must be in [0, 1]")
+        if not 0.0 <= self.p_nested < 1.0:
+            raise ValueError("p_nested must be in [0, 1)")
+        if self.constant_range[0] > self.constant_range[1]:
+            raise ValueError("constant_range must be (lo, hi) with lo <= hi")
+
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(f"v{i}" for i in range(self.n_variables))
+
+
+def _draw_opcode(rng: random.Random) -> Opcode:
+    return rng.choices(ALU_OPCODES, weights=_OP_WEIGHTS, k=1)[0]
+
+
+def _draw_operand(
+    config: GeneratorConfig,
+    rng: random.Random,
+    variables: tuple[str, ...],
+    constants: tuple[int, ...],
+    depth: int,
+) -> Expr:
+    if depth < config.max_depth and rng.random() < config.p_nested:
+        return _draw_operation(config, rng, variables, constants, depth + 1)
+    if rng.random() < config.p_constant_operand:
+        return Const(rng.choice(constants))
+    return Var(rng.choice(variables))
+
+
+def _draw_operation(
+    config: GeneratorConfig,
+    rng: random.Random,
+    variables: tuple[str, ...],
+    constants: tuple[int, ...],
+    depth: int,
+) -> BinOp:
+    op = _draw_opcode(rng)
+    left = _draw_operand(config, rng, variables, constants, depth)
+    right = _draw_operand(config, rng, variables, constants, depth)
+    return BinOp(op, left, right)
+
+
+def generate_block(config: GeneratorConfig, rng: random.Random | int) -> BasicBlock:
+    """Generate one random basic block.
+
+    ``rng`` may be a ``random.Random`` or a bare integer seed.  The same
+    ``(config, seed)`` pair always yields the identical block.
+    """
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    variables = config.variable_names()
+    lo, hi = config.constant_range
+    constants = tuple(rng.randint(lo, hi) for _ in range(config.n_constants))
+
+    statements = []
+    for _ in range(config.n_statements):
+        target = rng.choice(variables)
+        expr = _draw_operation(config, rng, variables, constants, depth=1)
+        statements.append(Assign(target, expr))
+    return BasicBlock(tuple(statements))

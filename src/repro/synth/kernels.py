@@ -1,0 +1,149 @@
+"""Curated real-code kernels in the mini language.
+
+Section 2 of the paper: "The drawback, of course, is that it is not
+possible to take real benchmark programs directly as input."  This
+module removes that drawback for a small suite of classic straight-line
+kernels, hand-written in the mini language: unrolled FIR filtering, a
+2x2 matrix multiply, Horner polynomial evaluation, a checksum round, a
+complex multiply-accumulate, 3D geometry dot/cross products, fixed-point
+normalization, and a hash-mix round.
+
+Each kernel is a :class:`Kernel` with source text, a human description,
+and sample inputs for semantics checks.  ``KERNELS`` maps names to
+kernels; :func:`kernel_blocks` compiles all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ir import BasicBlock, parse_block
+
+__all__ = ["Kernel", "KERNELS", "kernel_blocks"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One hand-written straight-line kernel."""
+
+    name: str
+    description: str
+    source: str
+    sample_inputs: Mapping[str, int]
+
+    def block(self) -> BasicBlock:
+        return parse_block(self.source)
+
+
+_KERNELS = [
+    Kernel(
+        name="fir4",
+        description="4-tap FIR filter step (multiply-accumulate chain)",
+        source="""
+            acc = x0 * c0
+            acc = acc + x1 * c1
+            acc = acc + x2 * c2
+            acc = acc + x3 * c3
+            y = acc / 256
+        """,
+        sample_inputs={"x0": 3, "x1": -5, "x2": 8, "x3": 2,
+                       "c0": 64, "c1": 128, "c2": 128, "c3": 64},
+    ),
+    Kernel(
+        name="matmul2",
+        description="2x2 integer matrix multiply (8 muls, 4 adds)",
+        source="""
+            r00 = a00 * b00 + a01 * b10
+            r01 = a00 * b01 + a01 * b11
+            r10 = a10 * b00 + a11 * b10
+            r11 = a10 * b01 + a11 * b11
+        """,
+        sample_inputs={"a00": 1, "a01": 2, "a10": 3, "a11": 4,
+                       "b00": 5, "b01": 6, "b10": 7, "b11": 8},
+    ),
+    Kernel(
+        name="horner5",
+        description="degree-5 polynomial via Horner's rule (serial chain)",
+        source="""
+            p = k5
+            p = p * x + k4
+            p = p * x + k3
+            p = p * x + k2
+            p = p * x + k1
+            p = p * x + k0
+        """,
+        sample_inputs={"x": 3, "k0": 1, "k1": 2, "k2": 3, "k3": 4, "k4": 5, "k5": 6},
+    ),
+    Kernel(
+        name="checksum",
+        description="Fletcher-style checksum round over four words",
+        source="""
+            s1 = s1 + w0
+            s2 = s2 + s1
+            s1 = s1 + w1
+            s2 = s2 + s1
+            s1 = s1 + w2
+            s2 = s2 + s1
+            s1 = s1 + w3
+            s2 = s2 + s1
+            s1 = s1 % 65535
+            s2 = s2 % 65535
+        """,
+        sample_inputs={"s1": 1, "s2": 0, "w0": 10, "w1": 20, "w2": 30, "w3": 40},
+    ),
+    Kernel(
+        name="cmac",
+        description="complex multiply-accumulate (ar+ai)(br+bi) + acc",
+        source="""
+            tr = ar * br - ai * bi
+            ti = ar * bi + ai * br
+            accr = accr + tr
+            acci = acci + ti
+        """,
+        sample_inputs={"ar": 3, "ai": 4, "br": 5, "bi": -2, "accr": 100, "acci": -7},
+    ),
+    Kernel(
+        name="geometry3",
+        description="3D dot product and cross product of two vectors",
+        source="""
+            dot = ax * bx + ay * by + az * bz
+            cx = ay * bz - az * by
+            cy = az * bx - ax * bz
+            cz = ax * by - ay * bx
+        """,
+        sample_inputs={"ax": 1, "ay": 2, "az": 3, "bx": 4, "by": 5, "bz": 6},
+    ),
+    Kernel(
+        name="fixnorm",
+        description="fixed-point normalize: scale, clamp via masking, bias",
+        source="""
+            scaled = v * gain / 128
+            low = scaled & 255
+            hi = scaled - low
+            clamped = low | (hi & 0)
+            out = clamped + bias
+        """,
+        sample_inputs={"v": 77, "gain": 200, "bias": 12},
+    ),
+    Kernel(
+        name="hashmix",
+        description="integer hash mixing round (xorshift-style with adds)",
+        source="""
+            h = h + k * 2654435761
+            h = h + (h / 65536)
+            h = h * 2246822519
+            h = h + (h / 8192)
+            h = h % 4294967296
+        """,
+        sample_inputs={"h": 123456789, "k": 42},
+    ),
+]
+
+#: Name -> kernel, in suite order.
+KERNELS: Mapping[str, Kernel] = {k.name: k for k in _KERNELS}
+
+
+def kernel_blocks() -> dict[str, BasicBlock]:
+    """Parse every kernel; returns ``name -> BasicBlock``."""
+    return {name: kernel.block() for name, kernel in KERNELS.items()}

@@ -1,0 +1,158 @@
+"""Integer interval arithmetic for ``[min, max]`` execution times.
+
+Every quantity the barrier-MIMD scheduler reasons about -- instruction
+latencies, code-region lengths, barrier fire times, node heights -- is an
+integer interval ``[lo, hi]`` meaning "this event takes/occurs at between
+``lo`` and ``hi`` time units, inclusive".  The paper (section 4) calls these
+the *minimum* and *maximum* execution times; tracking both is what lets the
+compiler prove ``consumer.start_min >= producer.finish_max`` and thereby
+discharge a synchronization statically.
+
+The operations implemented here mirror exactly what the scheduling and
+barrier-insertion algorithms need:
+
+``a + b``
+    Sequential composition: both bounds add.
+``a | b`` (:meth:`Interval.join`)
+    Barrier semantics / path maxima: a barrier fires when the *last*
+    participant arrives, so both bounds take the max.
+``a.hull(b)``
+    Convex hull (min of mins, max of maxes) -- used when merging barriers.
+``a.definitely_before(b)``
+    ``a.hi <= b.lo``: the static-scheduling test of figure 4.
+``a.overlaps(b)``
+    Used by the SBM barrier-merging rule of section 4.4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["Interval", "ZERO", "interval_sum", "interval_max"]
+
+
+@dataclass(frozen=True, slots=True, order=False)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` with ``0 <= lo <= hi``.
+
+    Instances are immutable and hashable so they can be used as dict keys
+    and memoization-cache entries in the path analyses.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+        if self.lo < 0:
+            raise ValueError(f"negative time: lo={self.lo}")
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def point(value: int) -> "Interval":
+        """The degenerate interval ``[value, value]`` (fixed-time event)."""
+        return Interval(value, value)
+
+    @staticmethod
+    def of(lo: int, hi: int | None = None) -> "Interval":
+        """``Interval.of(3)`` == ``[3,3]``; ``Interval.of(1, 4)`` == ``[1,4]``."""
+        return Interval(lo, lo if hi is None else hi)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """The timing *fuzziness* ``hi - lo``.
+
+        A barrier resets the fuzziness between processors to zero; as
+        variable-time instructions execute the width grows again.
+        """
+        return self.hi - self.lo
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def __contains__(self, t: int) -> bool:
+        return self.lo <= t <= self.hi
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.lo
+        yield self.hi
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "Interval | int") -> "Interval":
+        if isinstance(other, int):
+            return Interval(self.lo + other, self.hi + other)
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    __radd__ = __add__
+
+    def join(self, other: "Interval") -> "Interval":
+        """Barrier join: fire time when *both* events must have happened.
+
+        ``join`` takes the maximum of each bound independently.  This is the
+        rule of figure 13: the minimum time of a region between two barriers
+        is the *maximum* of the minimum times over all participating
+        processors, because no processor proceeds until all have arrived.
+        """
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __or__(self, other: "Interval") -> "Interval":
+        return self.join(other)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (used when merging barriers)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    # -- ordering tests used by the scheduler ------------------------------
+
+    def definitely_before(self, other: "Interval") -> bool:
+        """True iff this event is over before the other can begin.
+
+        This is the static-synchronization test of section 3 (figure 4):
+        no runtime synchronization is needed between a producer finishing in
+        ``self`` and a consumer starting in ``other`` iff
+        ``self.hi <= other.lo``.
+        """
+        return self.hi <= other.lo
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True iff the two intervals share at least one instant."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def scale(self, factor: float) -> "Interval":
+        """Widen/narrow the interval about its minimum (timing ablation E12).
+
+        The minimum stays fixed while the *variation* ``hi - lo`` is
+        multiplied by ``factor`` (rounded to an int, floor at 0).
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return Interval(self.lo, self.lo + max(0, round(self.width * factor)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.lo},{self.hi}]"
+
+
+ZERO = Interval(0, 0)
+
+
+def interval_sum(items: Iterable[Interval]) -> Interval:
+    """Sum a sequence of intervals (sequential execution of a code region)."""
+    total = ZERO
+    for item in items:
+        total = total + item
+    return total
+
+
+def interval_max(items: Iterable[Interval], default: Interval = ZERO) -> Interval:
+    """Component-wise maximum (barrier join) over a sequence of intervals."""
+    result: Interval | None = None
+    for item in items:
+        result = item if result is None else result.join(item)
+    return default if result is None else result

@@ -1,0 +1,21 @@
+"""Plain-text visualization of schedules and executions.
+
+:func:`render_embedding` draws the barrier embedding of figure 9
+(vertical processor streams crossed by horizontal barrier lines);
+:func:`render_gantt` draws a timeline of one simulated execution; and
+:func:`render_barrier_dag` pretty-prints the barrier partial order with
+fire-time windows.
+"""
+
+from repro.viz.embedding import render_embedding, render_barrier_dag
+from repro.viz.gantt import render_gantt
+from repro.viz.dot import barrier_dag_to_dot, cfg_to_dot, instruction_dag_to_dot
+
+__all__ = [
+    "render_embedding",
+    "render_barrier_dag",
+    "render_gantt",
+    "barrier_dag_to_dot",
+    "cfg_to_dot",
+    "instruction_dag_to_dot",
+]

@@ -1,0 +1,97 @@
+"""Graphviz DOT export for the repository's three graph types.
+
+* :func:`instruction_dag_to_dot` -- the figure 2 instruction DAG, nodes
+  labeled with their tuple rendering and ``[min,max]`` latency;
+* :func:`barrier_dag_to_dot` -- the figure 10 barrier dag, edges labeled
+  with region time intervals and nodes with fire windows;
+* :func:`cfg_to_dot` -- the control-flow extension's basic-block graph.
+
+Output is plain DOT text (no graphviz dependency); pipe it to ``dot
+-Tsvg`` if graphviz is installed.  All identifiers are quoted/escaped,
+so arbitrary node payloads are safe.
+"""
+
+from __future__ import annotations
+
+from repro.barriers.dag import BarrierDag
+from repro.core.schedule import Schedule
+from repro.flow.cfg import CFG, Branch, ExitTerm, Jump
+from repro.ir.dag import InstructionDAG
+from repro.ir.tuples import IRTuple
+
+__all__ = ["instruction_dag_to_dot", "barrier_dag_to_dot", "cfg_to_dot"]
+
+
+def _quote(text: object) -> str:
+    escaped = str(text).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _label(lines: list[str]) -> str:
+    return _quote("\\n".join(lines)).replace("\\\\n", "\\n")
+
+
+def instruction_dag_to_dot(
+    dag: InstructionDAG, name: str = "instruction_dag"
+) -> str:
+    """DOT for the instruction DAG (real nodes only)."""
+    out = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for node in dag.real_nodes:
+        payload = dag.payload(node)
+        desc = payload.render() if isinstance(payload, IRTuple) else str(node)
+        latency = dag.latency(node)
+        out.append(
+            f"  {_quote(node)} [label={_label([desc, str(latency)])}];"
+        )
+    for u, v in dag.real_edges():
+        out.append(f"  {_quote(u)} -> {_quote(v)};")
+    out.append("}")
+    return "\n".join(out)
+
+
+def barrier_dag_to_dot(source: Schedule | BarrierDag, name: str = "barrier_dag") -> str:
+    """DOT for the barrier dag; accepts a Schedule or a BarrierDag."""
+    bd = source.barrier_dag() if isinstance(source, Schedule) else source
+    fire = bd.fire_times()
+    out = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=ellipse];"]
+    for bid in bd.barrier_ids:
+        barrier = bd.barrier(bid)
+        pes = ",".join(str(p) for p in sorted(barrier.participants))
+        lines = [f"b{bid}", f"PEs {{{pes}}}", f"fire {fire[bid]}"]
+        shape = ' shape=doublecircle' if barrier.is_initial else ""
+        out.append(f"  {_quote(f'b{bid}')} [label={_label(lines)}{shape}];")
+    for edge in bd.edges():
+        out.append(
+            f"  {_quote(f'b{edge.src}')} -> {_quote(f'b{edge.dst}')} "
+            f"[label={_quote(edge.weight)}];"
+        )
+    out.append("}")
+    return "\n".join(out)
+
+
+def cfg_to_dot(cfg: CFG, name: str = "cfg") -> str:
+    """DOT for a control-flow graph of basic blocks."""
+    out = [f"digraph {_quote(name)} {{", "  node [shape=box];"]
+    for bid in sorted(cfg.blocks):
+        block = cfg.blocks[bid]
+        lines = [f"B{bid}"] + [str(stmt) for stmt in block.statements[:6]]
+        if len(block.statements) > 6:
+            lines.append(f"... +{len(block.statements) - 6} more")
+        if isinstance(block.terminator, ExitTerm):
+            lines.append("(exit)")
+        out.append(f"  {_quote(f'B{bid}')} [label={_label(lines)}];")
+    for bid in sorted(cfg.blocks):
+        term = cfg.blocks[bid].terminator
+        if isinstance(term, Jump):
+            out.append(f"  {_quote(f'B{bid}')} -> {_quote(f'B{term.target}')};")
+        elif isinstance(term, Branch):
+            out.append(
+                f"  {_quote(f'B{bid}')} -> {_quote(f'B{term.true_target}')} "
+                f"[label={_quote(term.cond)} color=darkgreen];"
+            )
+            out.append(
+                f"  {_quote(f'B{bid}')} -> {_quote(f'B{term.false_target}')} "
+                f"[style=dashed color=crimson];"
+            )
+    out.append("}")
+    return "\n".join(out)

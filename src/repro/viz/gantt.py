@@ -1,0 +1,61 @@
+"""Gantt rendering of one simulated execution trace.
+
+Each processor gets a row; instruction executions are drawn as runs of a
+per-instruction glyph, idle/waiting time as ``.``, and barrier fire
+instants as ``|`` on every participating row.
+"""
+
+from __future__ import annotations
+
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.trace import ExecutionTrace
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    program: MachineProgram,
+    trace: ExecutionTrace,
+    width: int = 100,
+) -> str:
+    """Draw ``trace`` as a text Gantt chart (one column ~= one time unit,
+    scaled down when the makespan exceeds ``width``)."""
+    span = max(trace.makespan, 1)
+    scale = max(1, -(-span // width))  # ceil division: time units per column
+    cols = -(-span // scale)
+
+    def col(t: int) -> int:
+        return min(t // scale, cols - 1)
+
+    lines = [
+        f"time 0..{span} ({scale} unit{'s' if scale > 1 else ''}/column)",
+    ]
+    for pe, stream in enumerate(program.streams):
+        row = ["."] * cols
+        for item in stream:
+            if isinstance(item, MachineOp):
+                start = trace.start[item.node]
+                finish = trace.finish[item.node]
+                glyph = _glyph(item)
+                for c in range(col(start), max(col(start) + 1, col(finish))):
+                    row[c] = glyph
+        for item in stream:
+            if isinstance(item, BarrierRef):
+                t = trace.barrier_fire.get(item.barrier_id)
+                if t is not None:
+                    row[col(t)] = "|"
+        lines.append(f"PE{pe:<3}{''.join(row)}")
+    fires = " ".join(
+        f"b{bid}@{t}" for bid, t in sorted(trace.barrier_fire.items(), key=lambda kv: kv[1])
+    )
+    lines.append(f"fires: {fires}")
+    lines.append("legend: letter=opcode initial, |=barrier fire, .=idle/wait")
+    return "\n".join(lines)
+
+
+def _glyph(op: MachineOp) -> str:
+    mnemonic = op.mnemonic or str(op.node)
+    for ch in mnemonic:
+        if ch.isalpha():
+            return ch.upper()
+    return "#"

@@ -1,0 +1,96 @@
+"""Tests for the dominator tree over barrier dags."""
+
+import pytest
+
+from repro.barriers.dominators import DominatorTree
+
+from tests.barriers.test_barrier_dag import make_dag
+
+
+def diamond():
+    #      0
+    #    /   \
+    #   1     2
+    #    \   /
+    #      3 -- 4
+    return make_dag(
+        {(0, 1): (1, 1), (0, 2): (1, 1), (1, 3): (1, 1), (2, 3): (1, 1), (3, 4): (1, 1)}
+    )
+
+
+def chain():
+    return make_dag({(0, 1): (1, 1), (1, 2): (1, 1), (2, 3): (1, 1)})
+
+
+class TestIdoms:
+    def test_chain_idoms(self):
+        tree = DominatorTree(chain())
+        assert tree.idom(1) == 0
+        assert tree.idom(2) == 1
+        assert tree.idom(3) == 2
+        assert tree.idom(0) is None
+
+    def test_diamond_join_dominated_by_fork(self):
+        tree = DominatorTree(diamond())
+        assert tree.idom(3) == 0  # neither arm dominates the join
+        assert tree.idom(4) == 3
+
+    def test_depths(self):
+        tree = DominatorTree(diamond())
+        assert tree.depth(0) == 0
+        assert tree.depth(1) == tree.depth(2) == 1
+        assert tree.depth(3) == 1
+        assert tree.depth(4) == 2
+
+
+class TestDominates:
+    def test_every_barrier_dominates_itself(self):
+        tree = DominatorTree(diamond())
+        for bid in range(5):
+            assert tree.dominates(bid, bid)
+
+    def test_initial_dominates_all(self):
+        tree = DominatorTree(diamond())
+        for bid in range(5):
+            assert tree.dominates(0, bid)
+
+    def test_arm_does_not_dominate_join(self):
+        tree = DominatorTree(diamond())
+        assert not tree.dominates(1, 3)
+        assert not tree.dominates(2, 3)
+
+    def test_chain_dominance_is_total(self):
+        tree = DominatorTree(chain())
+        assert tree.dominates(1, 3)
+        assert not tree.dominates(3, 1)
+
+
+class TestNearestCommonDominator:
+    def test_siblings(self):
+        tree = DominatorTree(diamond())
+        assert tree.nearest_common_dominator(1, 2) == 0
+
+    def test_ancestor_pair(self):
+        tree = DominatorTree(chain())
+        assert tree.nearest_common_dominator(1, 3) == 1
+
+    def test_same_node(self):
+        tree = DominatorTree(diamond())
+        assert tree.nearest_common_dominator(3, 3) == 3
+
+    def test_join_and_arm(self):
+        tree = DominatorTree(diamond())
+        assert tree.nearest_common_dominator(3, 1) == 0
+
+    def test_as_mapping(self):
+        tree = DominatorTree(chain())
+        mapping = tree.as_mapping()
+        assert mapping[0] is None and mapping[3] == 2
+
+
+class TestValidation:
+    def test_unreachable_barrier_rejected(self):
+        # barrier 5 exists but has no in-edges and is not initial
+        dag = make_dag({(0, 1): (1, 1)}, n_barriers=3)
+        with pytest.raises(ValueError):
+            DominatorTree(dag)

@@ -1,0 +1,90 @@
+"""Tests for Barrier objects and hardware bit masks."""
+
+import pytest
+
+from repro.barriers.mask import BarrierMask
+from repro.barriers.model import Barrier
+
+
+class TestBarrier:
+    def test_requires_participants(self):
+        with pytest.raises(ValueError):
+            Barrier(1, [])
+
+    def test_spans(self):
+        b = Barrier(1, [0, 2])
+        assert b.spans(0) and b.spans(2) and not b.spans(1)
+        assert b.width == 2
+
+    def test_absorb_unions_disjoint_sets(self):
+        a = Barrier(1, [0, 1])
+        b = Barrier(2, [2, 3])
+        a.absorb(b)
+        assert a.participants == {0, 1, 2, 3}
+        assert a.merged_from == [2]
+
+    def test_absorb_rejects_overlap(self):
+        a = Barrier(1, [0, 1])
+        b = Barrier(2, [1, 2])
+        with pytest.raises(ValueError):
+            a.absorb(b)
+
+    def test_absorb_self_rejected(self):
+        a = Barrier(1, [0])
+        with pytest.raises(ValueError):
+            a.absorb(a)
+
+    def test_absorb_tracks_transitive_provenance(self):
+        a, b, c = Barrier(1, [0]), Barrier(2, [1]), Barrier(3, [2])
+        b.absorb(c)
+        a.absorb(b)
+        assert set(a.merged_from) == {2, 3}
+
+    def test_identity_semantics(self):
+        a = Barrier(1, [0])
+        b = Barrier(1, [0])
+        assert a != b and a == a
+        assert hash(a) == hash(b)  # hash by id is fine; equality is identity
+
+
+class TestBarrierMask:
+    def test_from_pes(self):
+        mask = BarrierMask.from_pes([0, 2], 4)
+        assert mask.bits == 0b0101
+        assert list(mask) == [0, 2]
+        assert len(mask) == 2
+
+    def test_out_of_range_pe(self):
+        with pytest.raises(ValueError):
+            BarrierMask.from_pes([4], 4)
+
+    def test_subset_firing_test(self):
+        waiting = BarrierMask.from_pes([0, 1, 3], 4)
+        barrier = BarrierMask.from_pes([0, 1], 4)
+        assert barrier.is_subset_of(waiting)
+        assert waiting.covers(barrier)
+        assert not waiting.is_subset_of(barrier)
+
+    def test_with_wait_and_release(self):
+        waiting = BarrierMask.empty(4)
+        waiting = waiting.with_wait(1).with_wait(3)
+        assert list(waiting) == [1, 3]
+        fired = BarrierMask.from_pes([1], 4)
+        assert list(waiting.release(fired)) == [3]
+
+    def test_full(self):
+        assert len(BarrierMask.full(8)) == 8
+
+    def test_contains(self):
+        mask = BarrierMask.from_pes([2], 4)
+        assert 2 in mask and 0 not in mask and 9 not in mask
+
+    def test_str_pe0_leftmost(self):
+        assert str(BarrierMask.from_pes([0], 4)) == "1000"
+        assert str(BarrierMask.from_pes([3], 4)) == "0001"
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            BarrierMask(1 << 5, 4)
+        with pytest.raises(ValueError):
+            BarrierMask(0, 0)

@@ -1,0 +1,84 @@
+"""Tests for path enumeration and the overlap-aware min-path analysis."""
+
+import pytest
+
+from repro.barriers.paths import (
+    all_paths,
+    k_longest_max_paths,
+    longest_min_path_with_forced_max,
+    path_length,
+)
+
+from tests.barriers.test_barrier_dag import make_dag, FIG13_EDGES
+
+
+class TestAllPaths:
+    def test_trivial_path(self):
+        dag = make_dag(FIG13_EDGES)
+        assert list(all_paths(dag, 1, 1)) == [(1,)]
+
+    def test_no_path(self):
+        dag = make_dag({(0, 1): (1, 1), (0, 2): (1, 1)})
+        assert list(all_paths(dag, 1, 2)) == []
+
+    def test_enumerates_both_fig13_paths(self):
+        dag = make_dag(FIG13_EDGES)
+        paths = set(all_paths(dag, 0, 2))
+        assert paths == {(0, 2), (0, 1, 2)}
+
+    def test_counts_in_ladder(self):
+        # ladder of k diamonds has 2^k paths
+        edges = {}
+        for k in range(4):
+            a, l, r, b = 3 * k, 3 * k + 1, 3 * k + 2, 3 * k + 3
+            edges[(a, l)] = (1, 1)
+            edges[(a, r)] = (2, 2)
+            edges[(l, b)] = (1, 1)
+            edges[(r, b)] = (2, 2)
+        dag = make_dag(edges)
+        assert len(list(all_paths(dag, 0, 12))) == 16
+
+
+class TestKLongest:
+    def test_sorted_descending_by_max_length(self):
+        dag = make_dag(FIG13_EDGES)
+        scored = k_longest_max_paths(dag, 0, 2)
+        lengths = [length for length, _ in scored]
+        assert lengths == sorted(lengths, reverse=True)
+        assert lengths[0] == 9  # x -> y -> z with max times
+
+    def test_path_length_helper(self):
+        dag = make_dag(FIG13_EDGES)
+        assert path_length(dag, (0, 1, 2), use_max=True) == 9
+        assert path_length(dag, (0, 1, 2), use_max=False) == 7
+        assert path_length(dag, (0, 2), use_max=False) == 4
+
+
+class TestForcedMax:
+    def test_figure13_overlap_resolution(self):
+        """The key example: forcing the producer path's edges to max time
+        raises the consumer's min path enough to discharge the sync."""
+        dag = make_dag(FIG13_EDGES)
+        # Plain min path 0 -> 2 is 7 (via y).
+        # Producer path under examination is psi_max(x, y) = (0, 1).
+        # With (0,1) forced to its max (7), the min path 0->2 via y becomes
+        # 7 + 2 = 9.
+        forced = longest_min_path_with_forced_max(dag, 0, 2, [(0, 1)])
+        assert forced == 9
+
+    def test_no_forced_edges_equals_min_path(self):
+        dag = make_dag(FIG13_EDGES)
+        assert longest_min_path_with_forced_max(dag, 0, 2, []) == 7
+
+    def test_trivial_and_missing(self):
+        dag = make_dag({(0, 1): (1, 1), (0, 2): (1, 1)})
+        assert longest_min_path_with_forced_max(dag, 1, 1, []) == 0
+        assert longest_min_path_with_forced_max(dag, 1, 2, []) is None
+
+    def test_forced_edge_off_path_ignored(self):
+        dag = make_dag({(0, 1): (1, 5), (0, 2): (3, 3), (1, 3): (1, 1), (2, 3): (1, 1)})
+        # forcing (0,2) should only affect paths through 2
+        plain = longest_min_path_with_forced_max(dag, 0, 3, [])
+        forced = longest_min_path_with_forced_max(dag, 0, 3, [(0, 1)])
+        assert plain == 4  # via 2: 3+1
+        assert forced == 6  # via 1 at max: 5+1

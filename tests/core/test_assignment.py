@@ -1,0 +1,168 @@
+"""Tests for the processor-assignment policies (section 4.3 / 5.4)."""
+
+import random
+
+import pytest
+
+from repro.timing import Interval
+from repro.core.assignment import (
+    ListPolicy,
+    LookaheadPolicy,
+    RoundRobinPolicy,
+    make_policy,
+    serialization_candidates,
+)
+from repro.core.schedule import Schedule
+from repro.ir.dag import InstructionDAG
+
+from tests.conftest import chain_dag
+
+
+def fan_dag():
+    """p0, p1 -> c (two producers, one consumer) plus an independent z."""
+    return InstructionDAG.build(
+        {
+            "p0": Interval(1, 1),
+            "p1": Interval(1, 4),
+            "c": Interval(1, 1),
+            "z": Interval(1, 1),
+        },
+        [("p0", "c"), ("p1", "c")],
+    )
+
+
+class TestSerializationCandidates:
+    def test_open_slot_detected(self):
+        sched = Schedule(fan_dag(), 4)
+        sched.append_instruction(0, "p0")
+        sched.append_instruction(1, "p1")
+        assert serialization_candidates(sched, "c") == [0, 1]
+
+    def test_filled_slot_excluded(self):
+        sched = Schedule(fan_dag(), 4)
+        sched.append_instruction(0, "p0")
+        sched.append_instruction(0, "z")  # fills PE0's slot
+        sched.append_instruction(1, "p1")
+        assert serialization_candidates(sched, "c") == [1]
+
+    def test_no_producers(self):
+        sched = Schedule(fan_dag(), 4)
+        assert serialization_candidates(sched, "z") == []
+
+
+class TestListPolicy:
+    def test_single_open_slot_taken(self):
+        sched = Schedule(fan_dag(), 4)
+        sched.append_instruction(0, "p0")
+        sched.append_instruction(0, "z")
+        sched.append_instruction(1, "p1")
+        policy = ListPolicy()
+        pe = policy.choose(sched, "c", 3, (), random.Random(0))
+        assert pe == 1
+
+    def test_largest_max_time_among_open_slots(self):
+        sched = Schedule(fan_dag(), 4)
+        sched.append_instruction(0, "p0")  # completion hi = 1
+        sched.append_instruction(1, "p1")  # completion hi = 4
+        policy = ListPolicy()
+        pe = policy.choose(sched, "c", 2, (), random.Random(0))
+        assert pe == 1  # "largest current maximum time" (step [1])
+
+    def test_step2_earliest_start(self):
+        dag = chain_dag([(1, 1)])
+        sched = Schedule(dag, 3)
+        policy = ListPolicy()
+        # no producers: every PE ties at est 0; choice must be a valid PE
+        pe = policy.choose(sched, 0, 0, (), random.Random(1))
+        assert 0 <= pe < 3
+
+    def test_step2_is_seed_deterministic(self):
+        dag = chain_dag([(1, 1)])
+        picks = set()
+        for _ in range(5):
+            sched = Schedule(dag, 8)
+            pe = ListPolicy().choose(sched, 0, 0, (), random.Random(42))
+            picks.add(pe)
+        assert len(picks) == 1
+
+    def test_serialization_slack_prefers_producer(self):
+        # Both producers on PE0 with the slot closed by 'z': step [2] runs,
+        # and a generous slack keeps the consumer on the producer PE even
+        # though a fresh PE would start it earlier.
+        sched = Schedule(fan_dag(), 4)
+        sched.append_instruction(0, "p0")
+        sched.append_instruction(0, "p1")
+        sched.append_instruction(0, "z")  # close the slot
+        with_slack = ListPolicy(serialization_slack=50)
+        pe = with_slack.choose(sched, "c", 3, (), random.Random(0))
+        assert pe == 0
+        without = ListPolicy(serialization_slack=0)
+        pe2 = without.choose(sched, "c", 3, (), random.Random(0))
+        assert pe2 != 0  # strict earliest-start leaves the producer PE
+
+
+class TestRoundRobin:
+    def test_modular_assignment(self):
+        sched = Schedule(fan_dag(), 3)
+        policy = RoundRobinPolicy()
+        rng = random.Random(0)
+        assert policy.choose(sched, "p0", 0, (), rng) == 0
+        assert policy.choose(sched, "p1", 1, (), rng) == 1
+        assert policy.choose(sched, "c", 5, (), rng) == 2
+
+
+class TestLookahead:
+    def test_diverts_from_pending_slot(self):
+        dag = InstructionDAG.build(
+            {
+                "p": Interval(1, 1),
+                "w": Interval(1, 1),  # upcoming consumer of p
+                "n": Interval(1, 1),  # unrelated node being placed
+            },
+            [("p", "w")],
+        )
+        sched = Schedule(dag, 2)
+        sched.append_instruction(0, "p")
+        policy = LookaheadPolicy(window=2)
+        rng = random.Random(3)
+        # 'n' would tie between PE0 and PE1; lookahead must avoid PE0 where
+        # p's serialization slot is open for upcoming 'w'.
+        pe = policy.choose(sched, "n", 1, ("w",), rng)
+        assert pe == 1
+
+    def test_own_serialization_wins(self):
+        dag = InstructionDAG.build(
+            {"p": Interval(1, 1), "c": Interval(1, 1), "w": Interval(1, 1)},
+            [("p", "c"), ("p", "w")],
+        )
+        sched = Schedule(dag, 2)
+        sched.append_instruction(0, "p")
+        policy = LookaheadPolicy(window=4)
+        pe = policy.choose(sched, "c", 1, ("w",), random.Random(0))
+        assert pe == 0  # c serializes with p even though w also wants it
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            LookaheadPolicy(window=0)
+
+
+class TestFactory:
+    def test_list_default(self):
+        assert isinstance(make_policy("list"), ListPolicy)
+
+    def test_lookahead_wrapping(self):
+        policy = make_policy("list", lookahead=3)
+        assert isinstance(policy, LookaheadPolicy) and policy.window == 3
+
+    def test_slack_threading(self):
+        policy = make_policy("list", serialization_slack=5)
+        assert policy.serialization_slack == 5
+        wrapped = make_policy("list", lookahead=2, serialization_slack=5)
+        assert wrapped.inner.serialization_slack == 5
+
+    def test_roundrobin(self):
+        assert isinstance(make_policy("roundrobin"), RoundRobinPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("magic")

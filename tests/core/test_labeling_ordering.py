@@ -1,0 +1,133 @@
+"""Tests for node heights (section 4.1) and list ordering (section 4.2)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing import Interval
+from repro.core.labeling import compute_heights, critical_path_nodes
+from repro.core.ordering import order_nodes
+from repro.ir.dag import EXIT, ENTRY, InstructionDAG
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+from tests.conftest import chain_dag, diamond_dag
+
+
+class TestHeights:
+    def test_exit_height_zero(self):
+        heights = compute_heights(diamond_dag())
+        assert heights[EXIT] == Interval(0, 0)
+
+    def test_chain_heights_accumulate(self):
+        dag = chain_dag([(1, 4), (1, 1), (16, 24)])
+        heights = compute_heights(dag)
+        assert heights[2] == Interval(16, 24)
+        assert heights[1] == Interval(17, 25)
+        assert heights[0] == Interval(18, 29)
+
+    def test_diamond_takes_slowest_arm(self):
+        heights = compute_heights(diamond_dag())
+        # a: own [1,4] + max(b-chain [2,2], c-chain [17,25])
+        assert heights["a"] == Interval(18, 29)
+        assert heights["c"] == Interval(17, 25)
+        assert heights["b"] == Interval(2, 2)
+
+    def test_entry_height_is_critical_path(self):
+        dag = diamond_dag()
+        heights = compute_heights(dag)
+        assert heights[ENTRY] == dag.critical_path()
+
+    def test_producer_height_exceeds_consumer(self):
+        case = compile_case(GeneratorConfig(n_statements=25, n_variables=8), 3)
+        heights = compute_heights(case.dag)
+        for g, i in case.dag.real_edges():
+            assert heights[g].hi > heights[i].hi
+            assert heights[g].lo > heights[i].lo
+
+
+class TestFigure12:
+    """The two DAG examples of figure 12 (ordering keys)."""
+
+    def test_left_dag_hmax_orders(self):
+        # b has larger h_max than a -> b first in the list.
+        dag = InstructionDAG.build(
+            {
+                "a": Interval(1, 2),
+                "b": Interval(1, 6),
+                "t": Interval(1, 1),
+            },
+            [("a", "t"), ("b", "t")],
+        )
+        order = order_nodes(dag)
+        assert order.index("b") < order.index("a")
+
+    def test_right_dag_hmin_breaks_tie(self):
+        # equal h_max, larger h_min wins (node e before node d).
+        dag = InstructionDAG.build(
+            {
+                "d": Interval(1, 6),
+                "e": Interval(4, 6),
+                "t": Interval(1, 1),
+            },
+            [("d", "t"), ("e", "t")],
+        )
+        order = order_nodes(dag)
+        assert order.index("e") < order.index("d")
+
+
+class TestOrdering:
+    def test_orders_producers_first(self):
+        case = compile_case(GeneratorConfig(n_statements=30, n_variables=8), 1)
+        for kind in ("maxmin", "minmax"):
+            order = order_nodes(case.dag, kind)
+            pos = {n: k for k, n in enumerate(order)}
+            for g, i in case.dag.real_edges():
+                assert pos[g] < pos[i], kind
+
+    def test_deterministic(self):
+        case = compile_case(GeneratorConfig(n_statements=30, n_variables=8), 2)
+        assert order_nodes(case.dag) == order_nodes(case.dag)
+
+    def test_unknown_kind(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            order_nodes(diamond_dag(), "sideways")
+
+    def test_minmax_differs_when_keys_conflict(self):
+        dag = InstructionDAG.build(
+            {
+                # x: h = [10, 12]; y: h = [4, 20] -- maxmin puts y first,
+                # minmax puts x first.
+                "x": Interval(10, 12),
+                "y": Interval(4, 20),
+            },
+            [],
+        )
+        assert order_nodes(dag, "maxmin") == ["y", "x"]
+        assert order_nodes(dag, "minmax") == ["x", "y"]
+
+
+class TestCriticalPathNodes:
+    def test_chain_fully_critical(self):
+        dag = chain_dag([(1, 1), (2, 2), (3, 3)])
+        assert set(critical_path_nodes(dag)) == {0, 1, 2}
+
+    def test_diamond_fast_arm_not_critical(self):
+        crit = set(critical_path_nodes(diamond_dag()))
+        assert "b" not in crit
+        assert {"a", "c", "d"} <= crit
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 9999), stmts=st.integers(2, 40))
+def test_heights_dominate_successors_on_random_dags(seed, stmts):
+    case = compile_case(GeneratorConfig(n_statements=stmts, n_variables=6), seed)
+    heights = compute_heights(case.dag)
+    for node in case.dag.real_nodes:
+        own = case.dag.latency(node)
+        for s in case.dag.real_succs(node):
+            assert heights[node].hi >= heights[s].hi + own.hi
+            assert heights[node].lo >= heights[s].lo + own.lo

@@ -1,0 +1,140 @@
+"""Tests for SBM barrier merging (section 4.4.3)."""
+
+import pytest
+
+from repro.timing import Interval
+from repro.core.merging import (
+    find_merge_candidate,
+    merge_all_overlapping,
+    merge_new_barrier,
+)
+from repro.core.schedule import Schedule
+from repro.ir.dag import InstructionDAG
+
+
+def independent_pairs_dag():
+    """Two disjoint producer/consumer pairs on four PEs."""
+    return InstructionDAG.build(
+        {
+            "g1": Interval(1, 4),
+            "i1": Interval(1, 1),
+            "g2": Interval(1, 4),
+            "i2": Interval(1, 1),
+        },
+        [("g1", "i1"), ("g2", "i2")],
+    )
+
+
+def build_two_parallel_barriers():
+    """Barriers over {0,1} and {2,3}, both firing in [1,4]: unordered and
+    overlapping -> merge candidates."""
+    sched = Schedule(independent_pairs_dag(), 4)
+    sched.append_instruction(0, "g1")
+    sched.append_instruction(2, "g2")
+    b1 = sched.insert_barrier({0: 2, 1: 1})
+    b2 = sched.insert_barrier({2: 2, 3: 1})
+    sched.append_instruction(1, "i1")
+    sched.append_instruction(3, "i2")
+    return sched, b1, b2
+
+
+class TestFindCandidate:
+    def test_overlapping_unordered_found(self):
+        sched, b1, b2 = build_two_parallel_barriers()
+        assert find_merge_candidate(sched, b1) is b2
+
+    def test_ordered_pair_not_candidates(self):
+        sched, b1, b2 = build_two_parallel_barriers()
+        # Chain them: a third barrier ordering b1 before b2 via PE1/PE3 is
+        # complex; instead check the hb order directly after merging the
+        # streams: here we simply verify same-PE chained barriers are
+        # never candidates.
+        b3 = sched.insert_barrier({0: len(sched.streams[0])})
+        assert find_merge_candidate(sched, b3) is not b1  # b1 < b3 on PE0
+
+    def test_disjoint_windows_not_candidates(self):
+        dag = InstructionDAG.build(
+            {
+                "fast": Interval(1, 1),
+                "slow": Interval(30, 30),
+                "c1": Interval(1, 1),
+                "c2": Interval(1, 1),
+            },
+            [("fast", "c1"), ("slow", "c2")],
+        )
+        sched = Schedule(dag, 4)
+        sched.append_instruction(0, "fast")
+        sched.append_instruction(2, "slow")
+        b1 = sched.insert_barrier({0: 2, 1: 1})   # fires [1,1]
+        b2 = sched.insert_barrier({2: 2, 3: 1})   # fires [30,30]
+        assert find_merge_candidate(sched, b1) is None
+        assert find_merge_candidate(sched, b2) is None
+
+
+class TestMergeNewBarrier:
+    def test_merge_unions_participants(self):
+        sched, b1, b2 = build_two_parallel_barriers()
+        absorbed = merge_new_barrier(sched, b1)
+        assert absorbed == 1
+        assert b1.participants == {0, 1, 2, 3}
+        assert sched.n_barriers == 1
+        # b2 is gone from every stream
+        for stream in sched.streams:
+            assert b2 not in stream
+
+    def test_merged_schedule_still_consistent(self):
+        sched, b1, b2 = build_two_parallel_barriers()
+        merge_new_barrier(sched, b1)
+        sched.barrier_dag()  # no cycle
+        fire = sched.fire_times()
+        assert fire[b1.id] == Interval(1, 4)
+
+    def test_merge_fires_at_join(self):
+        # different windows that overlap: merged barrier waits for both.
+        dag = InstructionDAG.build(
+            {
+                "a": Interval(1, 4),
+                "b": Interval(2, 6),
+                "c1": Interval(1, 1),
+                "c2": Interval(1, 1),
+            },
+            [("a", "c1"), ("b", "c2")],
+        )
+        sched = Schedule(dag, 4)
+        sched.append_instruction(0, "a")
+        sched.append_instruction(2, "b")
+        b1 = sched.insert_barrier({0: 2, 1: 1})
+        b2 = sched.insert_barrier({2: 2, 3: 1})
+        merge_new_barrier(sched, b1)
+        assert sched.fire_times()[b1.id] == Interval(2, 6)
+
+
+class TestMergeAllOverlapping:
+    def test_sweep_reaches_fixpoint(self):
+        sched, b1, b2 = build_two_parallel_barriers()
+        assert merge_all_overlapping(sched) == 1
+        assert merge_all_overlapping(sched) == 0
+
+    def test_sweep_respects_data_edge_order(self):
+        """Two barriers whose windows overlap but where an instruction
+        data edge forces one before the other must NOT merge."""
+        dag = InstructionDAG.build(
+            {
+                "g": Interval(1, 10),
+                "i": Interval(1, 10),
+                "x": Interval(1, 10),
+                "y": Interval(1, 1),
+            },
+            [("g", "i")],
+        )
+        sched = Schedule(dag, 4)
+        sched.append_instruction(0, "g")
+        b1 = sched.insert_barrier({0: 2, 1: 1})  # after g, fires [1,10]
+        sched.append_instruction(1, "i")         # i after b1 on PE1
+        sched.append_instruction(2, "x")
+        b2 = sched.insert_barrier({1: 3, 2: 2})  # after i on PE1: b1 <hb b2
+        sched.append_instruction(2, "y")
+        assert sched.hb_barrier_ordered(b1.id, b2.id)
+        merged = merge_all_overlapping(sched)
+        assert merged == 0
+        assert sched.n_barriers == 2

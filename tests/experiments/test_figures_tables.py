@@ -1,0 +1,181 @@
+"""Smoke + shape tests for the paper experiments (small corpora).
+
+The full-size runs live in ``benchmarks/``; here each experiment is
+exercised with a reduced corpus and its qualitative *shape* claims are
+asserted where they are statistically stable at small n.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_lookahead,
+    ablation_ordering,
+    ablation_round_robin,
+    ablation_timing_variation,
+    figure14_scatter,
+    figure15_statements,
+    figure16_variables,
+    figure17_processors,
+    figure18_vliw,
+    merging_experiment,
+    optimal_vs_conservative,
+    overall_ranges,
+    secondary_effect,
+    table1_instruction_mix,
+)
+
+
+class TestTable1:
+    def test_mix_within_tolerance(self):
+        result = table1_instruction_mix(n_blocks=120)
+        assert result.max_abs_deviation < 0.02
+        assert "Mul" in result.render()
+
+
+class TestFigure14:
+    def test_sync_filter_and_center(self):
+        result = figure14_scatter(count=30, master_seed=140)
+        assert len(result.points) >= 30
+        # the headline: most synchronization has no runtime cost
+        assert result.center_no_runtime > 0.70
+        assert "center of mass" in result.render()
+
+
+class TestFigure15:
+    def test_shapes(self):
+        result = figure15_statements(count=12, values=(5, 20, 60))
+        barrier = [s.barrier.mean for s in result.stats]
+        serialized = [s.serialized.mean for s in result.stats]
+        static = [s.static.mean for s in result.stats]
+        # serialization decreases with block size; static grows
+        assert serialized[0] > serialized[-1]
+        assert static[0] < static[-1]
+        # all fractions within the paper's global envelope (loosened)
+        assert all(0.0 <= b <= 0.35 for b in barrier)
+        assert "Figure 15" in result.render()
+
+
+class TestFigure16:
+    def test_shapes(self):
+        result = figure16_variables(count=12, values=(2, 5, 15))
+        serialized = [s.serialized.mean for s in result.stats]
+        barrier = [s.barrier.mean for s in result.stats]
+        # serialization falls and barrier fraction rises with width
+        assert serialized[0] > serialized[-1]
+        assert barrier[0] < barrier[-1]
+
+
+class TestFigure17:
+    def test_shapes(self):
+        result = figure17_processors(count=12, values=(2, 8, 32))
+        barrier = [s.barrier.mean for s in result.stats]
+        # barrier fraction rises until width exhausted, then ~constant
+        assert barrier[0] < barrier[1]
+        assert abs(barrier[2] - barrier[1]) < 0.08
+
+    def test_processors_used_saturates(self):
+        result = figure17_processors(count=8, values=(2, 32, 128))
+        used = [s.mean_processors_used for s in result.stats]
+        assert used[2] <= used[1] * 1.5 + 1  # no runaway processor use
+
+
+class TestFigure18:
+    def test_vliw_comparison_shape(self):
+        result = figure18_vliw(count=10, values=(2, 8, 32))
+        for bmin, bmax in zip(result.barrier_min, result.barrier_max):
+            assert bmin < bmax
+        # min barrier completion is well below VLIW (paper: ~25% lower)
+        assert min(result.barrier_min) < 0.85
+        # max barrier completion is near VLIW
+        assert all(0.8 <= bmax <= 1.35 for bmax in result.barrier_max)
+        assert "Figure 18" in result.render()
+
+    def test_vliw_mostly_optimal(self):
+        result = figure18_vliw(count=10, values=(8,))
+        assert result.vliw_optimal_fraction[0] >= 0.7
+
+
+class TestOverallRanges:
+    def test_envelope(self):
+        result = overall_ranges(count_per_point=3)
+        assert result.barrier_range[1] <= 0.40
+        assert result.serialized_range[1] >= 0.60
+        assert result.mean_no_runtime > 0.55
+        assert "paper" in result.render()
+
+
+class TestMerging:
+    def test_reduction_and_completion(self):
+        result = merging_experiment(count=10, n_runs=2)
+        assert result.mean_barriers_merged < result.mean_barriers_unmerged
+        assert result.reduction > 0.10
+        assert result.static_merged > result.static_unmerged
+        # SBM and DBM completion "quite close"
+        ratio = result.sbm_mean_completion / result.dbm_mean_completion
+        assert 0.8 <= ratio <= 1.3
+        assert "merging" in result.render().lower()
+
+
+class TestAblations:
+    def test_round_robin(self):
+        result = ablation_round_robin(count=10, values=(4, 16))
+        for base, rr in zip(result.baseline, result.variant):
+            assert rr.serialized.mean < base.serialized.mean
+            assert rr.barrier.mean > base.barrier.mean
+        # serialization nearly vanishes for many PEs
+        assert result.variant[-1].serialized.mean < 0.15
+
+    def test_ordering_changes_small(self):
+        result = ablation_ordering(count=10, values=(8,))
+        base, var = result.baseline[0], result.variant[0]
+        assert abs(base.mean_makespan_max - var.mean_makespan_max) < (
+            0.35 * base.mean_makespan_max
+        )
+
+    def test_lookahead_increases_serialization(self):
+        result = ablation_lookahead(count=12, values=(2, 8))
+        gains = [
+            v.serialized.mean - b.serialized.mean
+            for b, v in zip(result.baseline, result.variant)
+        ]
+        assert max(gains) > -0.02  # never a large loss; typically a gain
+
+    def test_timing_variation_insensitive(self):
+        result = ablation_timing_variation(count=10, factors=(0.5, 4.0))
+        spread = max(result.barrier_fraction) - min(result.barrier_fraction)
+        assert spread < 0.15  # "not very sensitive"
+
+
+class TestSecondaryEffect:
+    def test_fraction_in_plausible_band(self):
+        result = secondary_effect(count=25)
+        assert 0.10 <= result.timing_only_fraction <= 0.45
+        assert result.broad_fraction >= result.timing_only_fraction
+        assert "28%" in result.render()
+
+
+class TestOptimalVsConservative:
+    def test_optimal_never_worse(self):
+        result = optimal_vs_conservative(count=15)
+        assert result.mean_barriers_optimal <= result.mean_barriers_conservative + 0.3
+        assert result.n_cases == 15
+
+
+class TestBarrierCost:
+    def test_monotone_makespan(self):
+        from repro.experiments import barrier_cost_experiment
+
+        result = barrier_cost_experiment(count=8, latencies=(0, 2, 8))
+        assert list(result.mean_makespan_max) == sorted(result.mean_makespan_max)
+        assert result.mean_makespan_max[-1] > result.mean_makespan_max[0]
+        assert "latency" in result.render()
+
+
+class TestFlowOverhead:
+    def test_values_and_bounds(self):
+        from repro.experiments import flow_overhead_experiment
+
+        result = flow_overhead_experiment(count=6)
+        assert result.value_mismatches == 0
+        assert result.mean_total_time <= result.mean_path_bound_hi
+        assert "boundary" in result.render()

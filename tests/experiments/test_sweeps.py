@@ -1,0 +1,79 @@
+"""Tests for the generic experiment runner and sweeps."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig
+from repro.experiments.sweeps import ExperimentPoint, run_corpus, run_point, sweep
+from repro.experiments.render import line_chart, scatter_plot, table
+from repro.synth.generator import GeneratorConfig
+
+
+def small_point(**kw):
+    return ExperimentPoint(
+        generator=GeneratorConfig(n_statements=15, n_variables=6),
+        scheduler=SchedulerConfig(n_pes=4),
+        count=5,
+        master_seed=1,
+        **kw,
+    )
+
+
+class TestRunners:
+    def test_run_corpus_count(self):
+        results = run_corpus(small_point())
+        assert len(results) == 5
+
+    def test_run_point_reduces(self):
+        stats = run_point(small_point())
+        assert stats.n_benchmarks == 5
+
+    def test_deterministic(self):
+        s1 = run_point(small_point())
+        s2 = run_point(small_point())
+        assert s1.barrier.mean == s2.barrier.mean
+
+    def test_sweep_generator_axis(self):
+        out = sweep(small_point(), "generator.n_statements", [5, 10])
+        assert [v for v, _ in out] == [5, 10]
+        assert out[1][1].mean_implied_syncs > out[0][1].mean_implied_syncs
+
+    def test_sweep_scheduler_axis(self):
+        out = sweep(small_point(), "scheduler.n_pes", [1, 4])
+        one_pe = out[0][1]
+        assert one_pe.serialized.mean == pytest.approx(1.0)
+
+    def test_sweep_bad_axis(self):
+        with pytest.raises(ValueError):
+            sweep(small_point(), "a.b.c", [1])
+
+    def test_with_override(self):
+        point = small_point().with_(count=2)
+        assert point.count == 2
+
+
+class TestRender:
+    def test_table_alignment(self):
+        text = table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # equal widths
+
+    def test_line_chart_contains_legend(self):
+        text = line_chart([1, 2, 3], {"s": [0.1, 0.2, 0.3]}, y_max=1.0)
+        assert "legend" in text and "B=s" in text
+
+    def test_line_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [0.1]})
+
+    def test_line_chart_overlap_glyph(self):
+        text = line_chart([1], {"a": [0.5], "b": [0.5]}, y_max=1.0)
+        assert "*" in text
+
+    def test_scatter_plot_density(self):
+        text = scatter_plot([(0.5, 0.5)] * 3, width=20, height=10)
+        assert "3" in text
+
+    def test_scatter_plot_overflow_marker(self):
+        text = scatter_plot([(0.5, 0.5)] * 12, width=20, height=10)
+        assert "#" in text

@@ -1,0 +1,198 @@
+"""Tests for CFG lowering, per-block scheduling, and dynamic execution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import SchedulerConfig
+from repro.flow.ast import FlowProgram
+from repro.flow.cfg import Branch, ExitTerm, Jump, build_cfg
+from repro.flow.executor import BlockLimitExceeded, execute_flow_schedule
+from repro.flow.parser import parse_program
+from repro.flow.schedule import BRANCH_VAR, compile_cfg_block, schedule_program
+from repro.ir.ops import Opcode
+from repro.machine.durations import MaxSampler, MinSampler
+
+GCD = """
+while (b) {
+    t = a % b
+    a = b
+    b = t
+}
+g = a + 0
+"""
+
+BRANCHY = """
+acc = 0
+i = n
+while (i) {
+    t = i * i
+    if (t & 1) {
+        acc = acc + t
+    } else {
+        acc = acc - i
+    }
+    i = i - 1
+}
+out = acc % 9973
+"""
+
+
+class TestCfgLowering:
+    def test_straightline_single_block(self):
+        cfg = build_cfg(parse_program("a = x + 1\nb = a * 2"))
+        assert len(cfg) == 1
+        assert isinstance(cfg.blocks[0].terminator, ExitTerm)
+
+    def test_if_diamond(self):
+        cfg = build_cfg(parse_program("if (x) { y = 1 + 1 } else { y = 2 + 2 }"))
+        entry = cfg.blocks[cfg.entry]
+        assert isinstance(entry.terminator, Branch)
+        assert len(cfg.successors(cfg.entry)) == 2
+
+    def test_while_loop_shape(self):
+        cfg = build_cfg(parse_program(GCD))
+        # entry -> header; header branches to body and after
+        headers = [
+            b for b in cfg.blocks.values() if isinstance(b.terminator, Branch)
+        ]
+        assert len(headers) == 1
+        body_id, after_id = (
+            headers[0].terminator.true_target,
+            headers[0].terminator.false_target,
+        )
+        body = cfg.blocks[body_id]
+        assert isinstance(body.terminator, Jump)
+        assert body.terminator.target == headers[0].id
+
+    @pytest.mark.parametrize(
+        "env", [{"a": 48, "b": 36}, {"a": 17, "b": 5}, {"a": 9, "b": 0}]
+    )
+    def test_cfg_execution_matches_ast(self, env):
+        program = parse_program(GCD)
+        cfg = build_cfg(program)
+        ast_out = program.execute(env)
+        cfg_out = cfg.execute(env)
+        for key, value in ast_out.items():
+            assert cfg_out[key] == value
+
+    def test_render(self):
+        text = build_cfg(parse_program(GCD)).render()
+        assert "B0:" in text and "branch" in text and "exit" in text
+
+
+class TestBlockCompilation:
+    def test_branch_condition_materialized(self):
+        cfg = build_cfg(parse_program("while (a - b) { a = a - 1 }"))
+        header = next(
+            b for b in cfg.blocks.values() if isinstance(b.terminator, Branch)
+        )
+        tuples = compile_cfg_block(header)
+        stores = tuples.final_stores()
+        assert BRANCH_VAR in stores
+        # the condition Sub feeding .branch must survive optimization
+        assert any(t.opcode is Opcode.SUB for t in tuples)
+
+    def test_all_final_stores_kept(self):
+        cfg = build_cfg(parse_program("a = x + 1\nb = a * 2\na = b - 3"))
+        tuples = compile_cfg_block(cfg.blocks[0])
+        assert set(tuples.final_stores()) == {"a", "b"}
+
+
+class TestFlowScheduling:
+    def test_every_block_scheduled(self):
+        flow = schedule_program(parse_program(BRANCHY), SchedulerConfig(n_pes=4))
+        assert set(flow.results) == set(flow.cfg.blocks)
+        assert flow.total_edges() > 0
+        assert "blocks" in flow.describe()
+
+    def test_boundary_barriers_counted(self):
+        flow = schedule_program(parse_program(BRANCHY), SchedulerConfig(n_pes=4))
+        inserted = sum(r.counts.barriers_final for r in flow.results.values())
+        assert flow.total_barriers() == inserted + flow.n_blocks - 1
+
+    def test_accepts_prebuilt_cfg(self):
+        cfg = build_cfg(parse_program(GCD))
+        flow = schedule_program(cfg, SchedulerConfig(n_pes=2))
+        assert flow.cfg is cfg
+
+
+class TestDynamicExecution:
+    @pytest.mark.parametrize("env", [{"n": 0}, {"n": 1}, {"n": 7}])
+    def test_values_match_reference(self, env):
+        program = parse_program(BRANCHY)
+        flow = schedule_program(program, SchedulerConfig(n_pes=4, seed=2))
+        trace = execute_flow_schedule(flow, env, rng=3)
+        reference = program.execute(env)
+        final = trace.final_state()
+        for key, value in reference.items():
+            assert final[key] == value
+
+    def test_total_time_within_path_bound(self):
+        program = parse_program(BRANCHY)
+        flow = schedule_program(program, SchedulerConfig(n_pes=4, seed=2))
+        for rng in range(4):
+            trace = execute_flow_schedule(flow, {"n": 5}, rng=rng)
+            bound = flow.static_path_bound(trace.block_sequence)
+            assert bound.lo <= trace.total_time <= bound.hi
+
+    def test_extreme_samplers_hit_path_bounds(self):
+        program = parse_program(GCD)
+        flow = schedule_program(program, SchedulerConfig(n_pes=2, seed=1))
+        env = {"a": 21, "b": 14}
+        lo = execute_flow_schedule(flow, env, sampler=MinSampler())
+        hi = execute_flow_schedule(flow, env, sampler=MaxSampler())
+        assert lo.block_sequence == hi.block_sequence  # values are timing-free
+        bound = flow.static_path_bound(lo.block_sequence)
+        assert lo.total_time == bound.lo
+        assert hi.total_time == bound.hi
+
+    def test_dbm_machine_kind(self):
+        program = parse_program(GCD)
+        flow = schedule_program(program, SchedulerConfig(n_pes=2, machine="dbm"))
+        trace = execute_flow_schedule(flow, {"a": 10, "b": 4}, rng=0)
+        assert trace.final_state()["g"] == 2
+
+    def test_runaway_loop_guard(self):
+        program = parse_program("while (1 | x) { y = y + 1 }")
+        flow = schedule_program(program, SchedulerConfig(n_pes=2))
+        with pytest.raises(BlockLimitExceeded):
+            execute_flow_schedule(flow, {"x": 0, "y": 0}, max_blocks=20)
+
+    def test_describe(self):
+        program = parse_program(GCD)
+        flow = schedule_program(program, SchedulerConfig(n_pes=2))
+        trace = execute_flow_schedule(flow, {"a": 8, "b": 6}, rng=1)
+        assert "B0" in trace.describe()
+
+
+# -- property: the whole flow stack preserves semantics --------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=12),
+    m=st.integers(min_value=0, max_value=40),
+    seed=st.integers(0, 99),
+)
+def test_flow_pipeline_preserves_semantics(n, m, seed):
+    program = parse_program(
+        """
+        s = 0
+        k = n
+        while (k) {
+            if (k & 1) { s = s + k * k } else { s = s | k }
+            k = k - 1
+        }
+        r = s % 97
+        d = m / (n + 1)
+        """
+    )
+    env = {"n": n, "m": m}
+    reference = program.execute(env)
+    flow = schedule_program(program, SchedulerConfig(n_pes=3, seed=seed))
+    trace = execute_flow_schedule(flow, env, rng=seed)
+    final = trace.final_state()
+    for key, value in reference.items():
+        assert final[key] == value
+    bound = flow.static_path_bound(trace.block_sequence)
+    assert bound.lo <= trace.total_time <= bound.hi

@@ -1,0 +1,111 @@
+"""Tests for the structured-language AST and parser (flow extension)."""
+
+import pytest
+
+from repro.flow.ast import FlowProgram, IfStmt, LoopLimitExceeded, WhileStmt
+from repro.flow.parser import parse_program
+from repro.ir.ast import Assign
+from repro.ir.parser import ParseError
+
+COUNTDOWN = """
+total = 0
+while (n) {
+    total = total + n
+    n = n - 1
+}
+"""
+
+
+class TestParser:
+    def test_flat_program_matches_base_language(self):
+        program = parse_program("a = x + 1\nb = a * 2")
+        assert all(isinstance(s, Assign) for s in program)
+        assert len(program) == 2
+
+    def test_if_without_else(self):
+        program = parse_program("if (x) { y = 1 + 1 }")
+        stmt = program.statements[0]
+        assert isinstance(stmt, IfStmt)
+        assert len(stmt.then_body) == 1 and stmt.else_body == ()
+
+    def test_if_else(self):
+        program = parse_program("if (x - 1) { y = 2 + 0 } else { y = 3 + 0 }")
+        stmt = program.statements[0]
+        assert isinstance(stmt, IfStmt) and len(stmt.else_body) == 1
+
+    def test_while(self):
+        program = parse_program(COUNTDOWN)
+        stmt = program.statements[1]
+        assert isinstance(stmt, WhileStmt) and len(stmt.body) == 2
+
+    def test_nesting(self):
+        program = parse_program(
+            "while (a) { if (b) { c = c + 1 } else { while (d) { d = d - 1 } } a = a - 1 }"
+        )
+        loop = program.statements[0]
+        inner_if = loop.body[0]
+        assert isinstance(inner_if.else_body[0], WhileStmt)
+
+    def test_braces_on_same_line_or_not(self):
+        one = parse_program("if (x) { y = 1 + 1 }")
+        other = parse_program("if (x)\n{\ny = 1 + 1\n}")
+        assert one == other
+
+    def test_keyword_not_assignable(self):
+        with pytest.raises(ParseError):
+            parse_program("while = 3 + 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("if (x) { y = 1 + 1")
+
+    def test_missing_cond_parens(self):
+        with pytest.raises(ParseError):
+            parse_program("if x { y = 1 + 1 }")
+
+    def test_source_round_trip(self):
+        program = parse_program(COUNTDOWN)
+        assert parse_program(program.source()) == program
+
+    def test_nested_source_round_trip(self):
+        src = "if (a) { b = 1 + 2 } else { while (c) { c = c - 1 } }"
+        program = parse_program(src)
+        assert parse_program(program.source()) == program
+
+
+class TestSemantics:
+    def test_countdown(self):
+        program = parse_program(COUNTDOWN)
+        out = program.execute({"n": 5})
+        assert out["total"] == 15 and out["n"] == 0
+
+    def test_if_both_arms(self):
+        program = parse_program("if (x) { y = 1 + 0 } else { y = 2 + 0 }")
+        assert program.execute({"x": 7})["y"] == 1
+        assert program.execute({"x": 0})["y"] == 2
+
+    def test_loop_never_entered(self):
+        program = parse_program("s = 0\nwhile (0 & x) { s = s + 1 }")
+        assert program.execute({"x": 9})["s"] == 0
+
+    def test_loop_limit_guard(self):
+        program = parse_program("while (1 | x) { y = y + 1 }")
+        with pytest.raises(LoopLimitExceeded):
+            program.execute({"x": 0, "y": 0}, max_steps=100)
+
+    def test_variables_collects_everything(self):
+        program = parse_program(COUNTDOWN)
+        assert set(program.variables()) == {"total", "n"}
+
+    def test_euclid_gcd(self):
+        program = parse_program(
+            """
+            while (b) {
+                t = a % b
+                a = b
+                b = t
+            }
+            """
+        )
+        out = program.execute({"a": 48, "b": 36})
+        assert out["a"] == 12

@@ -1,0 +1,103 @@
+"""Edge cases of the control-flow extension."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig
+from repro.flow.ast import FlowProgram
+from repro.flow.cfg import build_cfg
+from repro.flow.executor import execute_flow_schedule
+from repro.flow.parser import parse_program
+from repro.flow.schedule import BRANCH_VAR, schedule_program
+from repro.ir.interp import UndefinedVariableError
+
+
+class TestDegenerateShapes:
+    def test_empty_program(self):
+        program = parse_program("")
+        flow = schedule_program(program, SchedulerConfig(n_pes=2))
+        trace = execute_flow_schedule(flow, {})
+        assert trace.n_dynamic_blocks == 1
+        assert trace.total_time == 0
+        assert trace.final_state() == {}
+
+    def test_constant_condition_if(self):
+        program = parse_program("if (1 + 1) { a = 2 + 3 } else { a = 0 + 0 }")
+        flow = schedule_program(program, SchedulerConfig(n_pes=2))
+        trace = execute_flow_schedule(flow, {})
+        assert trace.final_state()["a"] == 5
+
+    def test_empty_then_branch_via_else_only_effect(self):
+        program = parse_program("a = 0\nif (x) { a = 1 + 0 }")
+        flow = schedule_program(program, SchedulerConfig(n_pes=2))
+        taken = execute_flow_schedule(flow, {"x": 1})
+        skipped = execute_flow_schedule(flow, {"x": 0})
+        assert taken.final_state()["a"] == 1
+        assert skipped.final_state()["a"] == 0
+
+    def test_nested_loops(self):
+        program = parse_program(
+            """
+            total = 0
+            i = 3
+            while (i) {
+                j = 2
+                while (j) {
+                    total = total + i * j
+                    j = j - 1
+                }
+                i = i - 1
+            }
+            """
+        )
+        flow = schedule_program(program, SchedulerConfig(n_pes=3, seed=4))
+        trace = execute_flow_schedule(flow, {}, rng=1)
+        expected = sum(i * j for i in (1, 2, 3) for j in (1, 2))
+        assert trace.final_state()["total"] == expected
+
+    def test_uninitialized_read_raises(self):
+        program = parse_program("a = x + 1")
+        flow = schedule_program(program, SchedulerConfig(n_pes=2))
+        with pytest.raises(UndefinedVariableError):
+            execute_flow_schedule(flow, {})
+
+    def test_branch_var_never_leaks(self):
+        program = parse_program("while (n) { n = n - 1 }")
+        flow = schedule_program(program, SchedulerConfig(n_pes=2))
+        trace = execute_flow_schedule(flow, {"n": 2})
+        assert BRANCH_VAR not in trace.final_state()
+        assert BRANCH_VAR in trace.memory  # but it exists internally
+
+    def test_condition_uses_value_computed_in_same_block(self):
+        program = parse_program(
+            "t = a * a\nwhile (t - 16) { t = t - 1 }\ndone = t + 0"
+        )
+        flow = schedule_program(program, SchedulerConfig(n_pes=2, seed=2))
+        trace = execute_flow_schedule(flow, {"a": 5}, rng=0)
+        assert trace.final_state()["done"] == 16
+
+    def test_seed_changes_schedule_not_values(self):
+        program = parse_program(
+            "x = a + b\ny = a - b\nz = x * y\nif (z) { w = z % 7 } else { w = 0 + 0 }"
+        )
+        env = {"a": 9, "b": 4}
+        finals = []
+        for seed in (1, 2, 3):
+            flow = schedule_program(program, SchedulerConfig(n_pes=3, seed=seed))
+            trace = execute_flow_schedule(flow, env, rng=seed)
+            finals.append(tuple(sorted(trace.final_state().items())))
+        assert len(set(finals)) == 1
+
+
+class TestCfgDeterminism:
+    def test_block_numbering_stable(self):
+        src = "a = 1 + 2\nwhile (a) { a = a - 1 }\nb = a + 5"
+        cfg1 = build_cfg(parse_program(src))
+        cfg2 = build_cfg(parse_program(src))
+        assert cfg1.render() == cfg2.render()
+
+    def test_source_independent_of_formatting(self):
+        compact = parse_program("if (x) { y = 1 + 1 } else { y = 2 + 2 }")
+        spaced = parse_program(
+            "if (x)\n{\n    y = 1 + 1\n}\nelse\n{\n    y = 2 + 2\n}"
+        )
+        assert build_cfg(compact).render() == build_cfg(spaced).render()

@@ -1,0 +1,174 @@
+"""Tests for the mini-language AST, evaluation semantics, and parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.ast import Assign, BasicBlock, BinOp, Const, Var, apply_op
+from repro.ir.ops import Opcode
+from repro.ir.parser import ParseError, parse_block, parse_expr, tokenize
+
+
+class TestApplyOp:
+    @pytest.mark.parametrize(
+        "op,l,r,expected",
+        [
+            (Opcode.ADD, 3, 4, 7),
+            (Opcode.SUB, 3, 4, -1),
+            (Opcode.AND, 0b1100, 0b1010, 0b1000),
+            (Opcode.OR, 0b1100, 0b1010, 0b1110),
+            (Opcode.MUL, -3, 4, -12),
+            (Opcode.DIV, 7, 2, 3),
+            (Opcode.DIV, -7, 2, -4),  # floor division
+            (Opcode.MOD, 7, 3, 1),
+            (Opcode.MOD, -7, 3, 2),  # Python modulo sign
+        ],
+    )
+    def test_values(self, op, l, r, expected):
+        assert apply_op(op, l, r) == expected
+
+    def test_division_by_zero_is_total(self):
+        assert apply_op(Opcode.DIV, 42, 0) == 0
+        assert apply_op(Opcode.MOD, 42, 0) == 0
+
+    def test_rejects_memory_ops(self):
+        with pytest.raises(ValueError):
+            apply_op(Opcode.LOAD, 1, 2)
+
+
+class TestAst:
+    def test_binop_rejects_memory_opcode(self):
+        with pytest.raises(ValueError):
+            BinOp(Opcode.STORE, Var("a"), Var("b"))
+
+    def test_expression_evaluation(self):
+        expr = BinOp(Opcode.ADD, Var("x"), BinOp(Opcode.MUL, Const(2), Var("y")))
+        assert expr.evaluate({"x": 1, "y": 10}) == 21
+
+    def test_variables_iterates_with_repeats(self):
+        expr = BinOp(Opcode.ADD, Var("x"), Var("x"))
+        assert list(expr.variables()) == ["x", "x"]
+
+    def test_live_in_variables(self):
+        block = parse_block("a = x + y\nx = a + x\nz = q - 1")
+        assert block.live_in_variables() == ("x", "y", "q")
+
+    def test_assigned_variables(self):
+        block = parse_block("a = 1 + 2\nb = a + 1\na = b - 1")
+        assert block.assigned_variables() == ("a", "b")
+
+    def test_execute_returns_final_values(self):
+        block = parse_block("a = x + 1\na = a * 2\nb = a - x")
+        out = block.execute({"x": 5})
+        assert out == {"a": 12, "b": 7}
+
+    def test_source_round_trip(self):
+        block = parse_block("a = (x + y) * 3\nb = a % 7")
+        again = parse_block(block.source())
+        assert again == block
+
+
+class TestTokenizer:
+    def test_basic(self):
+        tokens = tokenize("a = b + 42")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["ident", "punct", "ident", "punct", "int", "eof"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("a = 1 // trailing comment\n// whole line\nb = 2")
+        assert sum(1 for t in tokens if t.kind == "ident") == 2
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("a = b $ c")
+        assert err.value.column == 7
+
+    def test_malformed_number(self):
+        with pytest.raises(ParseError):
+            tokenize("a = 12x")
+
+
+class TestParser:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, BinOp) and expr.op is Opcode.ADD
+        assert isinstance(expr.right, BinOp) and expr.right.op is Opcode.MUL
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("a | b & c")
+        assert expr.op is Opcode.OR
+        assert isinstance(expr.right, BinOp) and expr.right.op is Opcode.AND
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        # (a - b) - c
+        assert expr.op is Opcode.SUB
+        assert isinstance(expr.left, BinOp)
+        assert isinstance(expr.left.left, Var) and expr.left.left.name == "a"
+
+    def test_parentheses(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op is Opcode.MUL
+
+    def test_optional_semicolons(self):
+        with_semi = parse_block("a = 1;\nb = 2;")
+        without = parse_block("a = 1\nb = 2")
+        assert with_semi == without
+
+    def test_missing_rhs(self):
+        with pytest.raises(ParseError):
+            parse_block("a = ")
+
+    def test_missing_close_paren(self):
+        with pytest.raises(ParseError):
+            parse_block("a = (b + c")
+
+    def test_statement_must_start_with_ident(self):
+        with pytest.raises(ParseError):
+            parse_block("3 = a + b")
+
+    def test_trailing_garbage_in_expr(self):
+        with pytest.raises(ParseError):
+            parse_expr("a + b c")
+
+    def test_empty_block(self):
+        assert len(parse_block("")) == 0
+        assert len(parse_block("// only a comment\n")) == 0
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError) as err:
+            parse_block("a = b +\nc = ) d")
+        assert err.value.line == 2
+
+
+# -- property: pretty-print round trip ------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y", "z"])
+_ops = st.sampled_from(
+    [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.MUL, Opcode.DIV, Opcode.MOD]
+)
+
+
+def _exprs(depth: int = 3):
+    leaf = st.one_of(
+        st.builds(Var, _names),
+        st.builds(Const, st.integers(min_value=0, max_value=999)),
+    )
+    return st.recursive(
+        leaf,
+        lambda inner: st.builds(BinOp, _ops, inner, inner),
+        max_leaves=8,
+    )
+
+
+@given(st.lists(st.tuples(_names, _exprs()), min_size=1, max_size=6))
+def test_block_source_round_trip(pairs):
+    block = BasicBlock(tuple(Assign(name, expr) for name, expr in pairs))
+    assert parse_block(block.source()) == block
+
+
+@given(_exprs(), st.dictionaries(_names, st.integers(-50, 50)))
+def test_parsed_expression_evaluates_identically(expr, env):
+    full_env = {name: env.get(name, 7) for name in ["a", "b", "c", "x", "y", "z"]}
+    reparsed = parse_expr(str(expr))
+    assert reparsed.evaluate(full_env) == expr.evaluate(full_env)

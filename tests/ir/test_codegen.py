@@ -1,0 +1,99 @@
+"""Tests for AST -> tuple code generation."""
+
+import pytest
+
+from repro.ir.ast import Assign, BasicBlock, BinOp, Const, Var
+from repro.ir.codegen import generate_tuples
+from repro.ir.interp import interpret
+from repro.ir.ops import Opcode
+from repro.ir.parser import parse_block
+from repro.ir.tuples import Imm, Ref
+
+
+def ops_of(program):
+    return [t.opcode for t in program]
+
+
+class TestLoadInsertion:
+    def test_first_read_emits_load(self):
+        program = generate_tuples(parse_block("a = x + y"))
+        assert ops_of(program) == [Opcode.LOAD, Opcode.LOAD, Opcode.ADD, Opcode.STORE]
+
+    def test_second_read_reuses_load(self):
+        program = generate_tuples(parse_block("a = x + x\nb = x - 1"))
+        loads = [t for t in program if t.opcode is Opcode.LOAD]
+        assert len(loads) == 1 and loads[0].var == "x"
+
+    def test_read_after_assign_uses_value_not_load(self):
+        program = generate_tuples(parse_block("a = x + 1\nb = a * 2"))
+        loads = [t for t in program if t.opcode is Opcode.LOAD]
+        assert [t.var for t in loads] == ["x"]
+        mul = next(t for t in program if t.opcode is Opcode.MUL)
+        add = next(t for t in program if t.opcode is Opcode.ADD)
+        assert Ref(add.id) in mul.operands
+
+    def test_self_reference_before_assign(self):
+        program = generate_tuples(parse_block("x = x + 1"))
+        assert ops_of(program) == [Opcode.LOAD, Opcode.ADD, Opcode.STORE]
+
+
+class TestStoreInsertion:
+    def test_every_assignment_stores(self):
+        program = generate_tuples(parse_block("a = 1 + 2\na = 3 + 4"))
+        stores = [t for t in program if t.opcode is Opcode.STORE]
+        assert len(stores) == 2
+        assert all(t.var == "a" for t in stores)
+
+    def test_copy_statement_stores_operand(self):
+        program = generate_tuples(parse_block("a = x + 0"))
+        store = program.stores()[0]
+        assert store.var == "a"
+
+
+class TestNumbering:
+    def test_ids_are_sequential_from_zero(self):
+        program = generate_tuples(parse_block("a = x + y\nb = a - x"))
+        assert [t.id for t in program] == list(range(len(program)))
+
+    def test_constants_become_immediates(self):
+        program = generate_tuples(parse_block("a = x + 3"))
+        add = next(t for t in program if t.opcode is Opcode.ADD)
+        assert Imm(3) in add.operands
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "source,env",
+        [
+            ("a = x + y\nb = a * a\nc = b - x", {"x": 3, "y": 4}),
+            ("a = x / y\nb = x % y", {"x": 17, "y": 5}),
+            ("a = x / y", {"x": 17, "y": 0}),
+            ("a = x & y | x", {"x": 12, "y": 10}),
+            ("a = x + 1\na = a + 1\na = a + 1", {"x": 0}),
+        ],
+    )
+    def test_generated_code_matches_block_semantics(self, source, env):
+        block = parse_block(source)
+        program = generate_tuples(block)
+        assert interpret(program, env) == block.execute(env)
+
+    def test_nested_expression(self):
+        block = BasicBlock(
+            (
+                Assign(
+                    "r",
+                    BinOp(
+                        Opcode.MUL,
+                        BinOp(Opcode.ADD, Var("x"), Const(2)),
+                        BinOp(Opcode.SUB, Var("y"), Var("x")),
+                    ),
+                ),
+            )
+        )
+        program = generate_tuples(block)
+        env = {"x": 3, "y": 10}
+        assert interpret(program, env) == block.execute(env) == {"r": 35}
+
+    def test_program_validates(self):
+        program = generate_tuples(parse_block("a = x + y\nb = a - 1"))
+        program.validate()  # must not raise

@@ -1,0 +1,134 @@
+"""Unit and property tests for the interval arithmetic foundation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timing import Interval, ZERO, interval_max, interval_sum
+
+intervals = st.builds(
+    lambda lo, w: Interval(lo, lo + w),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+
+
+class TestConstruction:
+    def test_point(self):
+        iv = Interval.point(5)
+        assert iv.lo == iv.hi == 5
+        assert iv.is_point
+
+    def test_of_single(self):
+        assert Interval.of(3) == Interval(3, 3)
+
+    def test_of_pair(self):
+        assert Interval.of(1, 4) == Interval(1, 4)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+
+    def test_zero_constant(self):
+        assert ZERO.lo == 0 and ZERO.hi == 0
+
+    def test_width(self):
+        assert Interval(1, 4).width == 3
+        assert Interval(7, 7).width == 0
+
+
+class TestArithmetic:
+    def test_add_intervals(self):
+        assert Interval(1, 4) + Interval(2, 3) == Interval(3, 7)
+
+    def test_add_int(self):
+        assert Interval(1, 4) + 2 == Interval(3, 6)
+        assert 2 + Interval(1, 4) == Interval(3, 6)
+
+    def test_join_takes_max_of_both_bounds(self):
+        # Figure 13 rule: region min is the max of participant minima.
+        assert Interval(4, 6).join(Interval(5, 5)) == Interval(5, 6)
+
+    def test_or_operator_is_join(self):
+        assert (Interval(1, 2) | Interval(2, 3)) == Interval(2, 3)
+
+    def test_hull(self):
+        assert Interval(3, 5).hull(Interval(1, 4)) == Interval(1, 5)
+
+    def test_interval_sum(self):
+        assert interval_sum([Interval(1, 2), Interval(3, 4)]) == Interval(4, 6)
+        assert interval_sum([]) == ZERO
+
+    def test_interval_max(self):
+        assert interval_max([Interval(1, 5), Interval(2, 3)]) == Interval(2, 5)
+        assert interval_max([]) == ZERO
+        assert interval_max([], default=Interval(1, 1)) == Interval(1, 1)
+
+
+class TestOrderingPredicates:
+    def test_definitely_before(self):
+        assert Interval(1, 3).definitely_before(Interval(3, 9))
+        assert not Interval(1, 4).definitely_before(Interval(3, 9))
+
+    def test_overlaps(self):
+        assert Interval(1, 4).overlaps(Interval(4, 9))
+        assert Interval(1, 4).overlaps(Interval(2, 3))
+        assert not Interval(1, 4).overlaps(Interval(5, 9))
+
+    def test_contains(self):
+        assert 2 in Interval(1, 4)
+        assert 5 not in Interval(1, 4)
+
+    def test_iter_yields_bounds(self):
+        assert list(Interval(1, 4)) == [1, 4]
+
+
+class TestScale:
+    def test_scale_widens_about_min(self):
+        assert Interval(2, 6).scale(2.0) == Interval(2, 10)
+
+    def test_scale_zero_collapses(self):
+        assert Interval(2, 6).scale(0.0) == Interval(2, 2)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(1, 2).scale(-1.0)
+
+
+class TestProperties:
+    @given(intervals, intervals)
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(intervals, intervals)
+    def test_join_commutes_and_idempotent(self, a, b):
+        assert a.join(b) == b.join(a)
+        assert a.join(a) == a
+
+    @given(intervals, intervals, intervals)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(intervals, intervals, intervals)
+    def test_add_distributes_over_join(self, a, b, c):
+        # max-plus semiring law: c + max(a,b) == max(c+a, c+b)
+        assert c + a.join(b) == (c + a).join(c + b)
+
+    @given(intervals, intervals)
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        assert h.lo <= min(a.lo, b.lo) and h.hi >= max(a.hi, b.hi)
+
+    @given(intervals, intervals)
+    def test_definitely_before_excludes_overlap_interior(self, a, b):
+        if a.definitely_before(b) and b.definitely_before(a):
+            # only possible when both are the same single point
+            assert a.is_point and b.is_point and a == b
+
+    @given(intervals)
+    def test_zero_is_additive_identity(self, a):
+        assert a + ZERO == a

@@ -1,0 +1,107 @@
+"""Tests for the Table 1 instruction set and timing models."""
+
+import pytest
+
+from repro.timing import Interval
+from repro.ir.ops import (
+    ALU_OPCODES,
+    COMMUTATIVE_OPCODES,
+    DEFAULT_TIMING,
+    OP_FREQUENCIES,
+    OP_SYMBOLS,
+    SYMBOL_OPS,
+    VARIABLE_TIME_OPCODES,
+    Opcode,
+    TimingModel,
+)
+
+
+class TestTable1:
+    """The default model must match Table 1 of the paper exactly."""
+
+    @pytest.mark.parametrize(
+        "op,lo,hi",
+        [
+            (Opcode.LOAD, 1, 4),
+            (Opcode.STORE, 1, 1),
+            (Opcode.ADD, 1, 1),
+            (Opcode.SUB, 1, 1),
+            (Opcode.AND, 1, 1),
+            (Opcode.OR, 1, 1),
+            (Opcode.MUL, 16, 24),
+            (Opcode.DIV, 24, 32),
+            (Opcode.MOD, 24, 32),
+        ],
+    )
+    def test_latency(self, op, lo, hi):
+        assert DEFAULT_TIMING[op] == Interval(lo, hi)
+        assert DEFAULT_TIMING.min_time(op) == lo
+        assert DEFAULT_TIMING.max_time(op) == hi
+
+    def test_frequencies_sum_to_100(self):
+        assert abs(sum(OP_FREQUENCIES.values()) - 100.0) < 1e-9
+
+    def test_frequency_values(self):
+        assert OP_FREQUENCIES[Opcode.ADD] == 45.8
+        assert OP_FREQUENCIES[Opcode.MOD] == 1.2
+
+    def test_variable_time_opcodes(self):
+        assert VARIABLE_TIME_OPCODES == {
+            Opcode.LOAD,
+            Opcode.MUL,
+            Opcode.DIV,
+            Opcode.MOD,
+        }
+
+    def test_alu_opcode_list_matches_frequencies(self):
+        assert set(ALU_OPCODES) == set(OP_FREQUENCIES)
+
+
+class TestOpcodeClassification:
+    def test_memory_ops(self):
+        assert Opcode.LOAD.is_memory and Opcode.STORE.is_memory
+        assert not Opcode.ADD.is_memory
+
+    def test_alu_ops(self):
+        assert Opcode.MUL.is_alu
+        assert not Opcode.LOAD.is_alu
+
+    def test_commutative_set(self):
+        assert Opcode.ADD in COMMUTATIVE_OPCODES
+        assert Opcode.SUB not in COMMUTATIVE_OPCODES
+        assert Opcode.DIV not in COMMUTATIVE_OPCODES
+        assert Opcode.MOD not in COMMUTATIVE_OPCODES
+
+    def test_symbol_round_trip(self):
+        for op, sym in OP_SYMBOLS.items():
+            assert SYMBOL_OPS[sym] is op
+
+
+class TestTimingModel:
+    def test_requires_every_opcode(self):
+        with pytest.raises(ValueError):
+            TimingModel({Opcode.ADD: Interval(1, 1)})
+
+    def test_scaled_preserves_min(self):
+        doubled = DEFAULT_TIMING.scaled(2.0)
+        assert doubled[Opcode.LOAD] == Interval(1, 7)  # width 3 -> 6
+        assert doubled[Opcode.ADD] == Interval(1, 1)
+
+    def test_scaled_zero_is_deterministic(self):
+        det = DEFAULT_TIMING.scaled(0.0)
+        assert det.variable_opcodes() == frozenset()
+
+    def test_override(self):
+        slow_loads = DEFAULT_TIMING.override(load=Interval(1, 8))
+        assert slow_loads[Opcode.LOAD] == Interval(1, 8)
+        assert slow_loads[Opcode.MUL] == DEFAULT_TIMING[Opcode.MUL]
+
+    def test_fixed_at_max_is_vliw_model(self):
+        vliw = DEFAULT_TIMING.fixed_at_max()
+        assert vliw[Opcode.LOAD] == Interval(4, 4)
+        assert vliw[Opcode.DIV] == Interval(32, 32)
+        assert vliw.variable_opcodes() == frozenset()
+
+    def test_names(self):
+        assert DEFAULT_TIMING.name == "table1"
+        assert "table1" in DEFAULT_TIMING.scaled(2.0).name

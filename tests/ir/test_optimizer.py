@@ -1,0 +1,217 @@
+"""Tests for the optimizer passes, individually and as a pipeline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.codegen import generate_tuples
+from repro.ir.interp import interpret
+from repro.ir.ops import Opcode
+from repro.ir.optimizer import (
+    OptimizationPipeline,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    optimize,
+    simplify_algebraic,
+)
+from repro.ir.parser import parse_block
+from repro.synth.generator import GeneratorConfig, generate_block
+
+from tests.conftest import random_env
+
+
+def ops_of(program):
+    return [t.opcode for t in program]
+
+
+class TestConstantFolding:
+    def test_folds_pure_constant_expr(self):
+        program = generate_tuples(parse_block("a = 2 + 3"))
+        folded = fold_constants(program)
+        assert ops_of(folded) == [Opcode.STORE]
+        assert folded.stores()[0].operands[0].value == 5
+
+    def test_folds_chains(self):
+        program = generate_tuples(parse_block("a = (2 + 3) * (4 - 1)"))
+        folded = fold_constants(program)
+        assert ops_of(folded) == [Opcode.STORE]
+        assert folded.stores()[0].operands[0].value == 15
+
+    def test_division_by_constant_zero_folds_to_zero(self):
+        program = generate_tuples(parse_block("a = 7 / 0"))
+        folded = fold_constants(program)
+        assert folded.stores()[0].operands[0].value == 0
+
+    def test_leaves_variable_expressions(self):
+        program = generate_tuples(parse_block("a = x + 3"))
+        assert fold_constants(program) is program
+
+
+class TestAlgebraicSimplification:
+    @pytest.mark.parametrize(
+        "source,expected_value_ops",
+        [
+            ("a = x + 0", []),
+            ("a = 0 + x", []),
+            ("a = x - 0", []),
+            ("a = x * 1", []),
+            ("a = 1 * x", []),
+            ("a = x / 1", []),
+            ("a = x | 0", []),
+        ],
+    )
+    def test_identity_removed(self, source, expected_value_ops):
+        program = simplify_algebraic(generate_tuples(parse_block(source)))
+        alu = [t.opcode for t in program if t.opcode.is_alu]
+        assert alu == expected_value_ops
+
+    @pytest.mark.parametrize(
+        "source",
+        ["a = x - x", "a = x % x", "a = x * 0", "a = x & 0", "a = x % 1", "a = x / 0"],
+    )
+    def test_annihilators_become_constant_zero(self, source):
+        program = simplify_algebraic(generate_tuples(parse_block(source)))
+        store = program.stores()[0]
+        assert store.operands[0].value == 0
+
+    @pytest.mark.parametrize("source", ["a = x & x", "a = x | x"])
+    def test_idempotent_ops_removed(self, source):
+        program = simplify_algebraic(generate_tuples(parse_block(source)))
+        alu = [t for t in program if t.opcode.is_alu]
+        assert alu == []
+
+    def test_zero_minus_x_not_simplified(self):
+        program = simplify_algebraic(generate_tuples(parse_block("a = 0 - x")))
+        assert any(t.opcode is Opcode.SUB for t in program)
+
+
+class TestCse:
+    def test_duplicate_expression_shared(self):
+        program = generate_tuples(parse_block("a = x + y\nb = x + y"))
+        out = eliminate_common_subexpressions(program)
+        adds = [t for t in out if t.opcode is Opcode.ADD]
+        assert len(adds) == 1
+        s1, s2 = out.stores()
+        assert s1.operands == s2.operands
+
+    def test_commutative_normalization(self):
+        program = generate_tuples(parse_block("a = x + y\nb = y + x"))
+        out = eliminate_common_subexpressions(program)
+        assert len([t for t in out if t.opcode is Opcode.ADD]) == 1
+
+    def test_non_commutative_not_merged(self):
+        program = generate_tuples(parse_block("a = x - y\nb = y - x"))
+        out = eliminate_common_subexpressions(program)
+        assert len([t for t in out if t.opcode is Opcode.SUB]) == 2
+
+    def test_cse_respects_operand_substitution(self):
+        # After the first CSE merge the second pair becomes identical too.
+        program = generate_tuples(parse_block("a = x + y\nb = x + y\nc = a * 2\nd = b * 2"))
+        out = eliminate_common_subexpressions(program)
+        assert len([t for t in out if t.opcode is Opcode.MUL]) == 1
+
+
+class TestDce:
+    def test_unused_load_removed(self):
+        # y is loaded for the RHS of a dead store.
+        program = generate_tuples(parse_block("a = y + 1\na = x + 1"))
+        out = eliminate_dead_code(program)
+        assert [t.var for t in out.loads()] == ["x"]
+
+    def test_dead_store_removed(self):
+        program = generate_tuples(parse_block("a = x + 1\na = x + 2"))
+        out = eliminate_dead_code(program)
+        stores = out.stores()
+        assert len(stores) == 1
+
+    def test_intermediate_value_chain_kept(self):
+        program = generate_tuples(parse_block("a = x + 1\nb = a * 2"))
+        out = eliminate_dead_code(program)
+        assert len(out) == len(program)
+
+    def test_dead_store_value_still_used_elsewhere(self):
+        # first store to a is dead, but the Add feeding it is used by b.
+        program = generate_tuples(parse_block("a = x + 1\nb = a * 2\na = x - 1"))
+        out = eliminate_dead_code(program)
+        assert len([t for t in out if t.opcode is Opcode.ADD]) == 1
+        assert len(out.stores()) == 2
+
+
+class TestPipeline:
+    def test_reaches_fixpoint_with_extended_passes(self):
+        from repro.ir.optimizer.pipeline import EXTENDED_PASSES
+
+        program = generate_tuples(
+            parse_block("a = 2 + 3\nb = a * 1\nc = b + 0\nd = c - c\ne = x + d")
+        )
+        pipeline = OptimizationPipeline(passes=EXTENDED_PASSES)
+        out = pipeline.run(program)
+        # e = x + 0 -> x; so only Load x and the live stores remain
+        assert all(not t.opcode.is_alu for t in out)
+        assert pipeline.rounds_run >= 2
+
+    def test_default_pipeline_matches_paper_pass_list(self):
+        from repro.ir.optimizer.pipeline import DEFAULT_PASSES
+        from repro.ir.optimizer.algebraic import simplify_algebraic
+
+        assert simplify_algebraic not in DEFAULT_PASSES
+
+    def test_figure1_style_gaps(self):
+        """Optimized programs keep original ids, leaving gaps (figure 1)."""
+        program = generate_tuples(parse_block("a = x + y\nb = x + y\nc = a - b"))
+        out = optimize(program)
+        ids = [t.id for t in out]
+        assert ids == sorted(ids)
+        assert len(out) < len(program)
+
+    def test_preserves_empty_program(self):
+        from repro.ir.tuples import TupleProgram
+
+        assert len(optimize(TupleProgram([]))) == 0
+
+
+# -- the key property: optimization preserves semantics --------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_statements=st.integers(min_value=1, max_value=40),
+    n_variables=st.integers(min_value=1, max_value=10),
+)
+def test_optimizer_preserves_semantics_on_random_programs(
+    seed, n_statements, n_variables
+):
+    config = GeneratorConfig(
+        n_statements=n_statements,
+        n_variables=n_variables,
+        p_constant_operand=0.3,
+        p_nested=0.2,
+    )
+    block = generate_block(config, random.Random(seed))
+    raw = generate_tuples(block)
+    opt = optimize(raw)
+    env = random_env(block, seed)
+    expected = block.execute(env)
+    assert interpret(raw, env) == expected
+    assert interpret(opt, env) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_every_pass_is_individually_semantics_preserving(seed):
+    config = GeneratorConfig(n_statements=25, n_variables=6, p_constant_operand=0.35)
+    block = generate_block(config, random.Random(seed))
+    program = generate_tuples(block)
+    env = random_env(block, seed)
+    expected = block.execute(env)
+    for pass_fn in (
+        fold_constants,
+        simplify_algebraic,
+        eliminate_common_subexpressions,
+        eliminate_dead_code,
+    ):
+        transformed = pass_fn(program)
+        assert interpret(transformed, env) == expected, pass_fn.__name__

@@ -1,0 +1,65 @@
+"""Fuzz tests: the parsers must never raise anything but ParseError."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.parser import parse_program
+from repro.ir.ast import BasicBlock
+from repro.ir.parser import ParseError, parse_block, tokenize
+
+# Printable text biased toward the language's own alphabet so the fuzzer
+# reaches deep into the grammar rather than failing at the first byte.
+_alphabet = st.sampled_from(
+    list(string.ascii_lowercase[:8])
+    + list("0123456789")
+    + list("+-*/%&|()=;{} \n")
+    + ["if", "else", "while", "//", "  "]
+)
+fuzz_text = st.lists(_alphabet, max_size=60).map("".join)
+
+
+@settings(max_examples=300, deadline=None)
+@given(fuzz_text)
+def test_parse_block_total(source):
+    try:
+        block = parse_block(source)
+    except ParseError:
+        return
+    assert isinstance(block, BasicBlock)
+    # successful parses must round-trip
+    assert parse_block(block.source()) == block
+
+
+@settings(max_examples=300, deadline=None)
+@given(fuzz_text)
+def test_parse_program_total(source):
+    try:
+        program = parse_program(source)
+    except ParseError:
+        return
+    assert parse_program(program.source()) == program
+
+
+@settings(max_examples=200, deadline=None)
+@given(fuzz_text)
+def test_tokenizer_total(source):
+    try:
+        tokens = tokenize(source)
+    except ParseError:
+        return
+    assert tokens[-1].kind == "eof"
+    # tokens carry sane positions
+    for tok in tokens:
+        assert tok.line >= 1 and tok.column >= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=40))
+def test_parsers_survive_arbitrary_unicode(source):
+    for parser in (parse_block, parse_program):
+        try:
+            parser(source)
+        except ParseError:
+            pass

@@ -1,0 +1,137 @@
+"""Tests for the tuple IR data structures."""
+
+import pytest
+
+from repro.ir.ops import Opcode
+from repro.ir.tuples import Imm, IRTuple, Ref, TupleProgram
+
+
+def t_load(i, var):
+    return IRTuple(i, Opcode.LOAD, (), var)
+
+
+def t_add(i, a, b):
+    return IRTuple(i, Opcode.ADD, (a, b))
+
+
+def t_store(i, var, src):
+    return IRTuple(i, Opcode.STORE, (src,), var)
+
+
+class TestIRTupleValidation:
+    def test_load_shape(self):
+        with pytest.raises(ValueError):
+            IRTuple(0, Opcode.LOAD, (Imm(1),), "x")
+        with pytest.raises(ValueError):
+            IRTuple(0, Opcode.LOAD, ())  # no var
+
+    def test_store_shape(self):
+        with pytest.raises(ValueError):
+            IRTuple(0, Opcode.STORE, (), "x")
+        with pytest.raises(ValueError):
+            IRTuple(0, Opcode.STORE, (Imm(1), Imm(2)), "x")
+
+    def test_alu_shape(self):
+        with pytest.raises(ValueError):
+            IRTuple(0, Opcode.ADD, (Imm(1),))
+        with pytest.raises(ValueError):
+            IRTuple(0, Opcode.ADD, (Imm(1), Imm(2)), "x")  # no var allowed
+
+    def test_refs_property(self):
+        tup = t_add(2, Ref(0), Imm(5))
+        assert tup.refs == (0,)
+
+    def test_render(self):
+        assert t_load(0, "i").render() == "Load i"
+        assert t_add(2, Ref(0), Ref(1)).render() == "Add 0,1"
+        assert t_store(3, "b", Ref(2)).render() == "Store b,2"
+        assert t_add(4, Ref(0), Imm(7)).render() == "Add 0,#7"
+
+
+class TestTupleProgramValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TupleProgram([t_load(0, "x"), t_load(0, "y")])
+
+    def test_decreasing_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TupleProgram([t_load(1, "x"), t_load(0, "y")])
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError):
+            TupleProgram([t_add(0, Ref(1), Ref(1)), t_load(1, "x")])
+
+    def test_gappy_ids_allowed(self):
+        program = TupleProgram([t_load(0, "x"), t_add(5, Ref(0), Ref(0))])
+        assert program[5].opcode is Opcode.ADD
+
+    def test_getitem_by_id(self):
+        program = TupleProgram([t_load(0, "x"), t_add(7, Ref(0), Imm(2))])
+        assert program[7].id == 7
+        with pytest.raises(KeyError):
+            program[3]
+
+
+class TestQueries:
+    def _program(self):
+        return TupleProgram(
+            [
+                t_load(0, "x"),
+                t_add(1, Ref(0), Imm(1)),
+                t_store(2, "a", Ref(1)),
+                t_store(3, "a", Ref(0)),
+                t_store(4, "b", Ref(1)),
+            ]
+        )
+
+    def test_use_counts(self):
+        counts = self._program().use_counts()
+        assert counts[0] == 2 and counts[1] == 2 and counts[2] == 0
+
+    def test_final_stores(self):
+        finals = self._program().final_stores()
+        assert finals["a"].id == 3 and finals["b"].id == 4
+
+    def test_opcode_histogram(self):
+        hist = self._program().opcode_histogram()
+        assert hist[Opcode.STORE] == 3 and hist[Opcode.LOAD] == 1
+
+
+class TestFilterReplace:
+    def test_drop_and_substitute(self):
+        program = TupleProgram(
+            [
+                t_load(0, "x"),
+                t_add(1, Ref(0), Imm(0)),  # to be replaced by Ref(0)
+                t_store(2, "a", Ref(1)),
+            ]
+        )
+        out = program.filter_replace([0, 2], {1: Ref(0)})
+        assert [t.id for t in out] == [0, 2]
+        assert out[2].operands == (Ref(0),)
+
+    def test_replacement_chain_followed(self):
+        program = TupleProgram(
+            [
+                t_load(0, "x"),
+                t_add(1, Ref(0), Imm(0)),
+                t_add(2, Ref(1), Imm(0)),
+                t_store(3, "a", Ref(2)),
+            ]
+        )
+        out = program.filter_replace([0, 3], {2: Ref(1), 1: Ref(0)})
+        assert out[3].operands == (Ref(0),)
+
+    def test_cyclic_chain_detected(self):
+        program = TupleProgram([t_load(0, "x"), t_store(1, "a", Ref(0))])
+        with pytest.raises(ValueError):
+            program.filter_replace([1], {0: Ref(0)})
+
+    def test_render_lists_like_figure1(self):
+        text = self._sample().render()
+        assert "Load x" in text and "Store a,1" in text
+
+    def _sample(self):
+        return TupleProgram(
+            [t_load(0, "x"), t_add(1, Ref(0), Imm(1)), t_store(2, "a", Ref(1))]
+        )

@@ -1,0 +1,58 @@
+"""Tests for the duration samplers."""
+
+import random
+
+import pytest
+
+from repro.timing import Interval
+from repro.machine.durations import (
+    BimodalSampler,
+    FixedSampler,
+    MaxSampler,
+    MinSampler,
+    UniformSampler,
+)
+
+IV = Interval(1, 4)
+RNG = lambda: random.Random(0)
+
+
+class TestSamplers:
+    def test_min_and_max(self):
+        assert MinSampler().sample("n", IV, RNG()) == 1
+        assert MaxSampler().sample("n", IV, RNG()) == 4
+
+    def test_uniform_in_range(self):
+        rng = RNG()
+        sampler = UniformSampler()
+        draws = {sampler.sample("n", IV, rng) for _ in range(200)}
+        assert draws <= {1, 2, 3, 4}
+        assert len(draws) == 4  # all values reachable
+
+    def test_uniform_point_short_circuit(self):
+        assert UniformSampler().sample("n", Interval(7, 7), RNG()) == 7
+
+    def test_bimodal_extremes_only(self):
+        rng = RNG()
+        sampler = BimodalSampler(p_fast=0.5)
+        draws = {sampler.sample("n", IV, rng) for _ in range(200)}
+        assert draws == {1, 4}
+
+    def test_bimodal_probability_validation(self):
+        with pytest.raises(ValueError):
+            BimodalSampler(p_fast=1.5)
+
+    def test_bimodal_all_fast(self):
+        sampler = BimodalSampler(p_fast=1.0)
+        assert all(sampler.sample("n", IV, RNG()) == 1 for _ in range(20))
+
+    def test_fixed_lookup_and_default(self):
+        sampler = FixedSampler({"a": 2}, default="min")
+        assert sampler.sample("a", IV, RNG()) == 2
+        assert sampler.sample("b", IV, RNG()) == 1
+        assert FixedSampler({}).sample("b", IV, RNG()) == 4  # default max
+
+    def test_fixed_out_of_range_rejected(self):
+        sampler = FixedSampler({"a": 9})
+        with pytest.raises(ValueError):
+            sampler.sample("a", IV, RNG())

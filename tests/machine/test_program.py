@@ -1,0 +1,85 @@
+"""Tests for lowering schedules to machine programs."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    case = compile_case(GeneratorConfig(n_statements=40, n_variables=10), 31)
+    return schedule_dag(case.dag, SchedulerConfig(n_pes=8, seed=31))
+
+
+@pytest.fixture(scope="module")
+def program(result):
+    return MachineProgram.from_schedule(result.schedule)
+
+
+class TestLowering:
+    def test_one_stream_per_pe(self, program):
+        assert len(program.streams) == 8
+
+    def test_instruction_count_matches(self, program, result):
+        assert program.n_instructions == len(result.schedule.dag.real_nodes)
+
+    def test_barrier_count_excludes_initial(self, program, result):
+        assert program.n_barriers == result.counts.barriers_final
+
+    def test_queue_starts_with_initial(self, program):
+        assert program.barrier_order[0] == program.initial_barrier_id
+
+    def test_masks_match_participants(self, program, result):
+        for barrier in result.schedule.barriers(include_initial=True):
+            mask = program.masks[barrier.id]
+            assert set(mask) == barrier.participants
+
+    def test_queue_is_linear_extension_of_barrier_dag(self, program, result):
+        pos = {bid: k for k, bid in enumerate(program.barrier_order)}
+        bd = result.schedule.barrier_dag()
+        for edge in bd.edges():
+            assert pos[edge.src] < pos[edge.dst]
+
+    def test_every_wait_references_known_mask(self, program):
+        for stream in program.streams:
+            for item in stream:
+                if isinstance(item, BarrierRef):
+                    assert item.barrier_id in program.masks
+
+    def test_edges_carried_for_verification(self, program, result):
+        assert set(program.edges) == set(result.schedule.dag.real_edges())
+
+    def test_render(self, program):
+        text = program.render()
+        assert "barrier queue" in text and "PE0:" in text
+
+    def test_mnemonics_populated(self, program):
+        ops = [i for s in program.streams for i in s if isinstance(i, MachineOp)]
+        assert all(op.mnemonic for op in ops)
+
+
+class TestValidation:
+    def test_stream_count_must_match(self, program):
+        with pytest.raises(ValueError):
+            MachineProgram(
+                n_pes=2,
+                streams=program.streams,
+                masks=program.masks,
+                barrier_order=program.barrier_order,
+                initial_barrier_id=program.initial_barrier_id,
+                edges=program.edges,
+            )
+
+    def test_order_and_masks_must_agree(self, program):
+        with pytest.raises(ValueError):
+            MachineProgram(
+                n_pes=program.n_pes,
+                streams=program.streams,
+                masks=program.masks,
+                barrier_order=program.barrier_order[:-1],
+                initial_barrier_id=program.initial_barrier_id,
+                edges=program.edges,
+            )

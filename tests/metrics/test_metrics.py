@@ -1,0 +1,89 @@
+"""Tests for the synchronization fractions and corpus statistics."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, SyncCounts, schedule_dag
+from repro.metrics.fractions import SyncFractions, fractions_of
+from repro.metrics.stats import FractionAggregate, aggregate_results
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+def counts(total=10, serialized=5, path=1, timing=2, barrier_edges=2, barriers=2):
+    return SyncCounts(
+        total_edges=total,
+        serialized_edges=serialized,
+        path_edges=path,
+        timing_edges=timing,
+        barrier_edges=barrier_edges,
+        barriers_final=barriers,
+        merges=0,
+        secondary_resolutions=0,
+        optimal_rescues=0,
+        repairs=0,
+    )
+
+
+class TestFractions:
+    def test_basic_partition(self):
+        fr = fractions_of(counts())
+        assert fr.barrier == pytest.approx(0.2)
+        assert fr.serialized == pytest.approx(0.5)
+        assert fr.static == pytest.approx(0.3)
+        assert fr.no_runtime_sync == pytest.approx(0.8)
+
+    def test_merging_credits_static(self):
+        """One barrier covering two barrier-edges raises the static share."""
+        merged = fractions_of(counts(barriers=1))
+        unmerged = fractions_of(counts(barriers=2))
+        assert merged.static > unmerged.static
+        assert merged.barrier < unmerged.barrier
+
+    def test_empty_schedule(self):
+        fr = fractions_of(counts(total=0, serialized=0, path=0, timing=0,
+                                 barrier_edges=0, barriers=0))
+        assert fr.total == 0 and fr.barrier == 0.0
+
+    def test_sums_validated(self):
+        with pytest.raises(ValueError):
+            SyncFractions(10, 0.5, 0.5, 0.5)
+
+    def test_accepts_schedule_result(self):
+        case = compile_case(GeneratorConfig(n_statements=20, n_variables=6), 61)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=4, seed=61))
+        fr = fractions_of(result)
+        assert fr.total == result.counts.total_edges
+
+    def test_render(self):
+        text = fractions_of(counts()).render()
+        assert "barrier" in text and "%" in text
+
+
+class TestAggregation:
+    def test_fraction_aggregate_moments(self):
+        agg = FractionAggregate.of([0.1, 0.2, 0.3])
+        assert agg.mean == pytest.approx(0.2)
+        assert agg.min == pytest.approx(0.1)
+        assert agg.max == pytest.approx(0.3)
+
+    def test_empty(self):
+        agg = FractionAggregate.of([])
+        assert agg.mean == 0.0
+
+    def test_aggregate_results(self):
+        results = []
+        for seed in range(4):
+            case = compile_case(GeneratorConfig(n_statements=25, n_variables=8), seed)
+            results.append(schedule_dag(case.dag, SchedulerConfig(n_pes=4, seed=seed)))
+        stats = aggregate_results(results)
+        assert stats.n_benchmarks == 4
+        total = stats.barrier.mean + stats.serialized.mean + stats.static.mean
+        assert total == pytest.approx(1.0)
+        assert stats.mean_makespan_max >= stats.mean_makespan_min
+        assert 0 < stats.mean_processors_used <= 4
+        assert len(stats.per_benchmark) == 4
+        assert "barrier" in stats.render()
+
+    def test_aggregate_empty(self):
+        stats = aggregate_results([])
+        assert stats.n_benchmarks == 0

@@ -1,0 +1,96 @@
+"""Tests for the random structured-program generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.ast import IfStmt, WhileStmt
+from repro.flow.parser import parse_program
+from repro.synth.flowgen import FlowGeneratorConfig, generate_flow_program
+
+
+def structural_counts(stmts):
+    n_if = n_while = 0
+    for stmt in stmts:
+        if isinstance(stmt, IfStmt):
+            n_if += 1
+            a, b = structural_counts(stmt.then_body)
+            n_if += a
+            n_while += b
+            a, b = structural_counts(stmt.else_body)
+            n_if += a
+            n_while += b
+        elif isinstance(stmt, WhileStmt):
+            n_while += 1
+            a, b = structural_counts(stmt.body)
+            n_if += a
+            n_while += b
+    return n_if, n_while
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowGeneratorConfig(n_statements=0)
+        with pytest.raises(ValueError):
+            FlowGeneratorConfig(p_if=0.7, p_while=0.5)
+        with pytest.raises(ValueError):
+            FlowGeneratorConfig(loop_iters=(5, 2))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = FlowGeneratorConfig(n_statements=20)
+        a = generate_flow_program(cfg, 7).source()
+        b = generate_flow_program(cfg, 7).source()
+        assert a == b
+
+    def test_round_trips_through_parser(self):
+        cfg = FlowGeneratorConfig(n_statements=25)
+        for seed in range(10):
+            program = generate_flow_program(cfg, seed)
+            assert parse_program(program.source()) == program
+
+    def test_structural_statements_appear(self):
+        cfg = FlowGeneratorConfig(n_statements=30, p_if=0.2, p_while=0.15)
+        total_if = total_while = 0
+        for seed in range(30):
+            n_if, n_while = structural_counts(
+                generate_flow_program(cfg, seed).statements
+            )
+            total_if += n_if
+            total_while += n_while
+        assert total_if > 10 and total_while > 10
+
+    def test_counters_are_reserved_names(self):
+        cfg = FlowGeneratorConfig(n_statements=40, p_while=0.3, p_if=0.0)
+        program = generate_flow_program(cfg, 3)
+        counters = [
+            name for name in program.variables() if name.startswith("__c")
+        ]
+        assert counters, "expected at least one counted loop"
+        user_vars = cfg.base_config().variable_names()
+        assert not any(c in user_vars for c in counters)
+
+
+class TestTermination:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000), stmts=st.integers(3, 40))
+    def test_every_generated_program_terminates(self, seed, stmts):
+        cfg = FlowGeneratorConfig(
+            n_statements=stmts, p_if=0.2, p_while=0.2, max_depth=3
+        )
+        program = generate_flow_program(cfg, seed)
+        env = {name: (seed + 5) % 13 for name in program.variables()}
+        # must finish well inside the guard (counted loops only)
+        program.execute(env, max_steps=50_000)
+
+    def test_zero_iteration_loops_allowed(self):
+        cfg = FlowGeneratorConfig(
+            n_statements=20, p_while=0.4, p_if=0.0, loop_iters=(0, 0)
+        )
+        program = generate_flow_program(cfg, 5)
+        env = {name: 1 for name in program.variables()}
+        program.execute(env)  # loops all skip

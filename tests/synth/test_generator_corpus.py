@@ -1,0 +1,120 @@
+"""Tests for the synthetic-benchmark generator and corpus driver."""
+
+import random
+
+import pytest
+
+from repro.ir.ops import ALU_OPCODES, OP_FREQUENCIES, Opcode
+from repro.ir.codegen import generate_tuples
+from repro.synth.corpus import compile_case, generate_cases, generate_corpus
+from repro.synth.generator import GeneratorConfig, generate_block
+
+
+class TestConfigValidation:
+    def test_bad_statements(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_statements=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(p_constant_operand=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(p_nested=1.0)
+
+    def test_bad_constant_range(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(constant_range=(5, 1))
+
+    def test_variable_names(self):
+        assert GeneratorConfig(n_variables=3).variable_names() == ("v0", "v1", "v2")
+
+
+class TestGeneration:
+    def test_statement_count(self):
+        block = generate_block(GeneratorConfig(n_statements=17), 0)
+        assert len(block) == 17
+
+    def test_deterministic_in_seed(self):
+        cfg = GeneratorConfig(n_statements=25, n_variables=6)
+        assert generate_block(cfg, 5).source() == generate_block(cfg, 5).source()
+        assert generate_block(cfg, 5).source() != generate_block(cfg, 6).source()
+
+    def test_accepts_rng_or_seed(self):
+        cfg = GeneratorConfig(n_statements=10)
+        a = generate_block(cfg, 3)
+        b = generate_block(cfg, random.Random(3))
+        assert a == b
+
+    def test_variables_within_budget(self):
+        cfg = GeneratorConfig(n_statements=40, n_variables=4)
+        block = generate_block(cfg, 1)
+        names = set(block.assigned_variables()) | set(block.live_in_variables())
+        assert names <= set(cfg.variable_names())
+
+    def test_zero_constant_probability_gives_no_consts(self):
+        cfg = GeneratorConfig(n_statements=30, p_constant_operand=0.0)
+        block = generate_block(cfg, 2)
+        assert "=" in block.source()
+        program = generate_tuples(block)
+        from repro.ir.tuples import Imm
+
+        assert not any(
+            isinstance(op, Imm) for t in program for op in t.operands
+        )
+
+    def test_nested_expressions_increase_ops(self):
+        flat = GeneratorConfig(n_statements=30, p_nested=0.0)
+        deep = GeneratorConfig(n_statements=30, p_nested=0.5, max_depth=4)
+        flat_ops = len(generate_tuples(generate_block(flat, 3)))
+        deep_ops = len(generate_tuples(generate_block(deep, 3)))
+        assert deep_ops > flat_ops
+
+    def test_operator_mix_roughly_matches_table1(self):
+        cfg = GeneratorConfig(n_statements=60, n_variables=10)
+        counts = {op: 0 for op in ALU_OPCODES}
+        for seed in range(80):
+            for tup in generate_tuples(generate_block(cfg, seed)):
+                if tup.opcode in counts:
+                    counts[tup.opcode] += 1
+        total = sum(counts.values())
+        for op in ALU_OPCODES:
+            expected = OP_FREQUENCIES[op] / 100.0
+            assert abs(counts[op] / total - expected) < 0.03, op
+
+
+class TestCorpus:
+    def test_compile_case_round_trip(self):
+        case = compile_case(GeneratorConfig(n_statements=20, n_variables=6), 9)
+        assert case.n_instructions == len(case.program)
+        assert case.implied_synchronizations == case.dag.implied_synchronizations
+        assert len(case.program) <= len(case.raw_program)
+
+    def test_corpus_size_and_determinism(self):
+        cfg = GeneratorConfig(n_statements=15, n_variables=5)
+        c1 = generate_corpus(cfg, 5, master_seed=3)
+        c2 = generate_corpus(cfg, 5, master_seed=3)
+        assert [a.seed for a in c1] == [b.seed for b in c2]
+        assert len(c1) == 5
+
+    def test_accept_filter(self):
+        cfg = GeneratorConfig(n_statements=30, n_variables=8)
+        cases = generate_corpus(
+            cfg, 5, master_seed=4, accept=lambda c: c.implied_synchronizations >= 20
+        )
+        assert all(c.implied_synchronizations >= 20 for c in cases)
+
+    def test_impossible_filter_raises(self):
+        cfg = GeneratorConfig(n_statements=5, n_variables=3)
+        with pytest.raises(RuntimeError):
+            list(
+                generate_cases(
+                    cfg,
+                    3,
+                    accept=lambda c: c.implied_synchronizations > 10_000,
+                    max_attempts_factor=3,
+                )
+            )
+
+    def test_describe(self):
+        case = compile_case(GeneratorConfig(n_statements=10, n_variables=4), 1)
+        assert "syncs=" in case.describe()

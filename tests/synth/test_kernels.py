@@ -1,0 +1,69 @@
+"""Tests for the curated real-kernel suite."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.ir import compile_block, generate_tuples, interpret, optimize
+from repro.machine import MachineProgram, UniformSampler, simulate_sbm
+from repro.synth.kernels import KERNELS, kernel_blocks
+
+
+class TestKernelDefinitions:
+    def test_suite_has_expected_members(self):
+        assert {"fir4", "matmul2", "horner5", "checksum"} <= set(KERNELS)
+        assert len(KERNELS) >= 8
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_parses(self, name):
+        block = KERNELS[name].block()
+        assert len(block) >= 4
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_sample_inputs_cover_live_ins(self, name):
+        kernel = KERNELS[name]
+        block = kernel.block()
+        missing = set(block.live_in_variables()) - set(kernel.sample_inputs)
+        assert not missing, f"{name} missing inputs {missing}"
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_compiled_semantics(self, name):
+        kernel = KERNELS[name]
+        block = kernel.block()
+        expected = block.execute(kernel.sample_inputs)
+        program = optimize(generate_tuples(block))
+        assert interpret(program, kernel.sample_inputs) == expected
+
+
+class TestKernelExpectedValues:
+    def test_matmul2(self):
+        out = KERNELS["matmul2"].block().execute(KERNELS["matmul2"].sample_inputs)
+        # [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        assert (out["r00"], out["r01"], out["r10"], out["r11"]) == (19, 22, 43, 50)
+
+    def test_geometry3_dot(self):
+        out = KERNELS["geometry3"].block().execute(
+            KERNELS["geometry3"].sample_inputs
+        )
+        assert out["dot"] == 1 * 4 + 2 * 5 + 3 * 6
+        assert (out["cx"], out["cy"], out["cz"]) == (-3, 6, -3)
+
+    def test_horner5(self):
+        out = KERNELS["horner5"].block().execute(KERNELS["horner5"].sample_inputs)
+        x = 3
+        assert out["p"] == ((((6 * x + 5) * x + 4) * x + 3) * x + 2) * x + 1
+
+
+class TestKernelScheduling:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_schedule_and_execute_soundly(self, name):
+        dag = compile_block(KERNELS[name].block())
+        result = schedule_dag(dag, SchedulerConfig(n_pes=4, seed=1))
+        program = MachineProgram.from_schedule(result.schedule)
+        for run in range(3):
+            simulate_sbm(program, UniformSampler(), rng=run).assert_sound(
+                program.edges
+            )
+
+    def test_kernel_blocks_helper(self):
+        blocks = kernel_blocks()
+        assert set(blocks) == set(KERNELS)

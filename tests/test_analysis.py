@@ -1,0 +1,72 @@
+"""Tests for the schedule quality reports."""
+
+import pytest
+
+from repro.analysis import analyze_schedule
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def report_pair():
+    case = compile_case(GeneratorConfig(n_statements=50, n_variables=10), 91)
+    result = schedule_dag(case.dag, SchedulerConfig(n_pes=8, seed=91))
+    return result, analyze_schedule(result)
+
+
+class TestBarrierStats:
+    def test_count_matches_result(self, report_pair):
+        result, report = report_pair
+        assert report.barriers.count == result.counts.barriers_final
+
+    def test_widths_at_least_two(self, report_pair):
+        _, report = report_pair
+        # every inserted barrier spans a producer and a consumer processor
+        assert all(w >= 2 for w in report.barriers.widths)
+        assert report.barriers.max_width >= report.barriers.mean_width
+
+    def test_merged_barriers_detected(self):
+        case = compile_case(GeneratorConfig(n_statements=80, n_variables=10), 92)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=8, seed=92))
+        report = analyze_schedule(result)
+        if result.counts.merges:
+            assert report.barriers.merged_count >= 1
+            assert 0.0 < report.barriers.merge_share <= 1.0
+
+    def test_fire_windows_within_makespan(self, report_pair):
+        result, report = report_pair
+        for window in report.barriers.fire_windows:
+            assert window.hi <= result.makespan.hi
+
+
+class TestUtilization:
+    def test_bounds(self, report_pair):
+        _, report = report_pair
+        assert 0.0 < report.utilization.utilization <= 1.0
+        assert report.utilization.imbalance >= 1.0
+
+    def test_single_pe_perfectly_balanced(self):
+        case = compile_case(GeneratorConfig(n_statements=20, n_variables=6), 93)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=1))
+        report = analyze_schedule(result)
+        assert report.utilization.processors_used == 1
+        assert report.utilization.imbalance == pytest.approx(1.0)
+        assert report.utilization.utilization == pytest.approx(1.0)
+
+    def test_busy_never_exceeds_makespan(self, report_pair):
+        result, report = report_pair
+        for busy in report.utilization.per_pe_busy:
+            assert busy <= result.makespan.hi
+
+
+class TestReportRendering:
+    def test_render_sections(self, report_pair):
+        _, report = report_pair
+        text = report.render()
+        for token in ("barriers:", "processors used:", "secondary"):
+            assert token in text
+
+    def test_secondary_share_bounds(self, report_pair):
+        _, report = report_pair
+        assert 0.0 <= report.secondary_share <= 1.0

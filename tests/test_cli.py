@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def block_file(tmp_path):
+    path = tmp_path / "block.src"
+    path.write_text("a = x + y\nb = a * 3\nc = b - x\nd = c % 7\n")
+    return str(path)
+
+
+class TestGenerate:
+    def test_emits_parseable_source(self, capsys):
+        assert main(["generate", "-s", "8", "-v", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        from repro.ir.parser import parse_block
+
+        assert len(parse_block(out)) == 8
+
+    def test_deterministic(self, capsys):
+        main(["generate", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["generate", "--seed", "5"])
+        assert capsys.readouterr().out == first
+
+
+class TestCompile:
+    def test_shows_tuples_and_dag(self, capsys, block_file):
+        assert main(["compile", block_file]) == 0
+        out = capsys.readouterr().out
+        assert "raw tuples" in out
+        assert "optimized tuples" in out
+        assert "critical path" in out
+
+    def test_no_optimize(self, capsys, block_file):
+        main(["compile", block_file, "--no-optimize"])
+        out = capsys.readouterr().out
+        assert "optimized tuples" not in out
+
+
+class TestSchedule:
+    def test_quiet_prints_fractions(self, capsys, block_file):
+        assert main(["schedule", block_file, "--pes", "4", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "serialized" in out and "makespan" in out
+
+    def test_full_output_has_embedding(self, capsys, block_file):
+        main(["schedule", block_file, "--pes", "4"])
+        out = capsys.readouterr().out
+        assert "barrier embedding" in out and "barrier dag" in out
+
+    def test_dbm_machine(self, capsys, block_file):
+        assert main(["schedule", block_file, "--machine", "dbm", "-q"]) == 0
+        assert "DBM" in capsys.readouterr().out
+
+    def test_optimal_insertion(self, capsys, block_file):
+        assert main(["schedule", block_file, "--insertion", "optimal", "-q"]) == 0
+
+
+class TestSimulate:
+    def test_runs_and_validates(self, capsys, block_file):
+        assert main(["simulate", block_file, "--pes", "4", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "run 0" in out and "run 1" in out and "fires:" in out
+
+    def test_samplers(self, capsys, block_file):
+        for sampler in ("min", "max", "bimodal", "uniform"):
+            assert main(
+                ["simulate", block_file, "--sampler", sampler, "-q"]
+            ) == 0
+
+    def test_quiet_mode(self, capsys, block_file):
+        main(["simulate", block_file, "-q"])
+        out = capsys.readouterr().out
+        assert "SBM run" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_fig15_small(self, capsys):
+        assert main(["experiment", "fig15", "--count", "3"]) == 0
+        assert "Figure 15" in capsys.readouterr().out
+
+    def test_secondary_small(self, capsys):
+        assert main(["experiment", "secondary", "--count", "5"]) == 0
+        assert "28%" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nonsense"])
+
+
+class TestFlow:
+    def test_flow_program_runs(self, capsys, tmp_path):
+        path = tmp_path / "prog.src"
+        path.write_text(
+            "s = 0\nwhile (n) { s = s + n\n n = n - 1 }\n"
+        )
+        assert main(["flow", str(path), "-i", "n=4", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "s = 10" in out and "run 1" in out and "path bound" in out
+
+    def test_flow_bad_input_binding(self, tmp_path):
+        path = tmp_path / "prog.src"
+        path.write_text("a = 1 + 1")
+        with pytest.raises(SystemExit):
+            main(["flow", str(path), "-i", "oops"])
+
+    def test_flow_negative_input(self, capsys, tmp_path):
+        path = tmp_path / "prog.src"
+        path.write_text("b = a * a")
+        assert main(["flow", str(path), "-i", "a=-3"]) == 0
+        assert "b = 9" in capsys.readouterr().out
+
+
+class TestArchive:
+    def test_archive_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "corpus.jsonl"
+        assert main(
+            ["archive", str(out), "-s", "15", "-v", "5", "--count", "4"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "wrote 4 records" in text and "archive:" in text
+        from repro.experiments.archive import load_archive
+
+        header, records = load_archive(out)
+        assert header["scheduler"]["n_pes"] == 8
+        assert len(records) == 4
+
+
+class TestExtensionExperiments:
+    @pytest.mark.parametrize(
+        "name", ["barriercost", "flowoverhead", "kernels", "syncelim"]
+    )
+    def test_extension_experiments_run(self, capsys, name):
+        assert main(["experiment", name, "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 3
+
+
+class TestDot:
+    def test_emits_both_graphs(self, capsys, block_file):
+        assert main(["dot", block_file, "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("digraph") == 2
+        assert '"b0"' in out
+
+    def test_dag_only(self, capsys, block_file):
+        assert main(["dot", block_file, "--what", "dag"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("digraph") == 1 and "Load" in out

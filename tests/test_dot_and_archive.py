@@ -1,0 +1,115 @@
+"""Tests for DOT export and corpus archives."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.experiments.archive import (
+    archive_corpus,
+    iter_records,
+    load_archive,
+    stats_from_archive,
+)
+from repro.experiments.sweeps import ExperimentPoint, run_point
+from repro.flow.cfg import build_cfg
+from repro.flow.parser import parse_program
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+from repro.viz.dot import barrier_dag_to_dot, cfg_to_dot, instruction_dag_to_dot
+
+
+@pytest.fixture(scope="module")
+def scheduled():
+    case = compile_case(GeneratorConfig(n_statements=25, n_variables=8), 81)
+    return case, schedule_dag(case.dag, SchedulerConfig(n_pes=4, seed=81))
+
+
+class TestDot:
+    def test_instruction_dag(self, scheduled):
+        case, _ = scheduled
+        dot = instruction_dag_to_dot(case.dag)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == case.dag.implied_synchronizations
+        assert "Load" in dot
+
+    def test_barrier_dag_from_schedule(self, scheduled):
+        _, result = scheduled
+        dot = barrier_dag_to_dot(result.schedule)
+        assert '"b0"' in dot and "doublecircle" in dot
+        assert "fire" in dot
+        n_edges = sum(1 for _ in result.schedule.barrier_dag().edges())
+        assert dot.count("->") == n_edges
+
+    def test_barrier_dag_direct(self, scheduled):
+        _, result = scheduled
+        dot = barrier_dag_to_dot(result.schedule.barrier_dag())
+        assert '"b0"' in dot
+
+    def test_cfg(self):
+        cfg = build_cfg(parse_program("a = 1 + 2\nwhile (a) { a = a - 1 }"))
+        dot = cfg_to_dot(cfg)
+        assert "B0" in dot and "darkgreen" in dot and "crimson" in dot
+        assert "(exit)" in dot
+
+    def test_quoting(self):
+        cfg = build_cfg(parse_program('x = y + 1'))
+        dot = cfg_to_dot(cfg)
+        assert '\\"' not in dot  # nothing needing escaping in this source
+        # statements embedded as labels
+        assert "x = y + 1" in dot
+
+
+class TestArchive:
+    @pytest.fixture(scope="class")
+    def point(self):
+        return ExperimentPoint(
+            generator=GeneratorConfig(n_statements=20, n_variables=6),
+            scheduler=SchedulerConfig(n_pes=4),
+            count=6,
+            master_seed=5,
+        )
+
+    def test_write_and_load(self, point, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        written = archive_corpus(point, path)
+        assert written == 6
+        header, records = load_archive(path)
+        assert header["count"] == 6
+        assert header["generator"]["n_statements"] == 20
+        assert len(records) == 6
+        assert all("case_seed" in r for r in records)
+
+    def test_stats_match_fresh_run(self, point, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        archive_corpus(point, path)
+        archived = stats_from_archive(path)
+        fresh = run_point(point)
+        assert archived.n_benchmarks == fresh.n_benchmarks
+        assert archived.mean_barrier == pytest.approx(fresh.barrier.mean)
+        assert archived.mean_serialized == pytest.approx(fresh.serialized.mean)
+        assert archived.mean_makespan_hi == pytest.approx(fresh.mean_makespan_max)
+        assert "archive:" in archived.render()
+
+    def test_iter_records_streams(self, point, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        archive_corpus(point, path)
+        seeds = [r["case_seed"] for r in iter_records(path)]
+        assert len(seeds) == len(set(seeds)) == 6
+
+    def test_bad_format(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"format": "nope"}\n')
+        with pytest.raises(ValueError):
+            load_archive(path)
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_archive(path)
+
+    def test_empty_archive_stats(self, point, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        archive_corpus(point.with_(count=1), path)
+        # truncate records, keep header
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\n")
+        stats = stats_from_archive(path)
+        assert stats.n_benchmarks == 0

@@ -1,0 +1,106 @@
+"""Final coverage round: result-object surfaces and machine tie-breaking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing import Interval
+from repro.barriers.mask import BarrierMask
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.experiments.figures import figure15_statements, figure18_vliw
+from repro.experiments.kernels_exp import kernel_suite_experiment
+from repro.machine.dbm import DBMController, simulate_dbm
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.durations import MaxSampler
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+class TestResultSurfaces:
+    @pytest.fixture(scope="class")
+    def fig15(self):
+        return figure15_statements(count=4, values=(5, 15))
+
+    def test_sweep_series_keys(self, fig15):
+        series = fig15.series()
+        assert set(series) == {"barrier", "serialized", "static"}
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_sweep_rows_shape(self, fig15):
+        rows = fig15.rows()
+        assert len(rows) == 2 and rows[0][0] == 5
+
+    def test_sweep_render_has_notes(self, fig15):
+        assert "paper:" in fig15.render()
+
+    def test_vliw_result_render(self):
+        result = figure18_vliw(count=4, values=(4,))
+        text = result.render()
+        assert "barrier min" in text and "VLIW" in text
+
+    def test_kernel_rows_have_speedups(self):
+        result = kernel_suite_experiment(n_pes=2, synthetic_count=4)
+        for row in result.rows:
+            assert row.worst_case_speedup >= 0.9  # never slower than serial
+            assert row.makespan_lo <= row.makespan_hi
+
+
+class TestDbmTieBreaking:
+    def test_earliest_ready_barrier_fires_first(self):
+        """Two independent barriers; the one whose last participant arrives
+        earlier must fire first on the DBM."""
+        b0 = BarrierRef(0)
+        early = BarrierRef(1)  # PEs 0,1; ready at t=1
+        late = BarrierRef(2)  # PEs 2,3; ready at t=9
+        fast = MachineOp("f", Interval(1, 1), "f")
+        slow = MachineOp("s", Interval(9, 9), "s")
+        program = MachineProgram(
+            n_pes=4,
+            streams=(
+                (b0, fast, early),
+                (b0, early),
+                (b0, slow, late),
+                (b0, late),
+            ),
+            masks={
+                0: BarrierMask.from_pes([0, 1, 2, 3], 4),
+                1: BarrierMask.from_pes([0, 1], 4),
+                2: BarrierMask.from_pes([2, 3], 4),
+            },
+            barrier_order=(0, 1, 2),
+            initial_barrier_id=0,
+            edges=(),
+        )
+        trace = simulate_dbm(program, MaxSampler())
+        assert trace.barrier_fire[1] == 1
+        assert trace.barrier_fire[2] == 9
+
+    def test_controller_returns_none_when_nothing_ready(self):
+        program = MachineProgram(
+            n_pes=2,
+            streams=((BarrierRef(0),), (BarrierRef(0),)),
+            masks={0: BarrierMask.from_pes([0, 1], 2)},
+            barrier_order=(0,),
+            initial_barrier_id=0,
+            edges=(),
+        )
+        controller = DBMController(program)
+        assert controller.select({0: 0}, {0: 5}) is None  # PE1 not waiting
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 4000), pes=st.integers(2, 10))
+def test_queue_order_always_linear_extension(seed, pes):
+    """Property: the SBM loader's queue order extends <_b for any schedule."""
+    case = compile_case(GeneratorConfig(n_statements=25, n_variables=7), seed)
+    result = schedule_dag(case.dag, SchedulerConfig(n_pes=pes, seed=seed))
+    program = MachineProgram.from_schedule(result.schedule)
+    position = {bid: k for k, bid in enumerate(program.barrier_order)}
+    bd = result.schedule.barrier_dag()
+    for edge in bd.edges():
+        assert position[edge.src] < position[edge.dst]
+    # and consistent with the happens-before barrier order
+    desc = result.schedule.hb_barrier_descendants()
+    for a, others in desc.items():
+        for b in others:
+            assert position[a] < position[b]

@@ -1,0 +1,152 @@
+"""End-to-end integration tests: source text to verified execution.
+
+These walk the complete pipeline -- parse, lower, optimize, DAG, schedule,
+lower to a machine program, execute on both barrier machines -- and check
+the global invariants that tie the subsystems together.
+"""
+
+import pytest
+
+from repro import (
+    GeneratorConfig,
+    MachineProgram,
+    SchedulerConfig,
+    compile_source,
+    fractions_of,
+    generate_block,
+    interpret,
+    schedule_dag,
+    simulate_dbm,
+    simulate_sbm,
+    vliw_schedule,
+)
+from repro.ir import generate_tuples, optimize, parse_block
+from repro.machine.durations import MaxSampler, MinSampler, UniformSampler
+
+from tests.conftest import SAMPLE_SOURCE, random_env
+
+
+class TestSourceToExecution:
+    def test_sample_source_full_pipeline(self):
+        dag = compile_source(SAMPLE_SOURCE)
+        result = schedule_dag(dag, SchedulerConfig(n_pes=4, seed=1))
+        program = MachineProgram.from_schedule(result.schedule)
+        for rng in range(5):
+            trace = simulate_sbm(program, UniformSampler(), rng=rng)
+            trace.assert_sound(program.edges)
+            assert result.makespan.lo <= trace.makespan <= result.makespan.hi
+
+    def test_generated_block_semantics_survive_pipeline(self):
+        block = generate_block(GeneratorConfig(n_statements=30, n_variables=8), 7)
+        raw = generate_tuples(block)
+        opt = optimize(raw)
+        env = random_env(block, 7)
+        assert interpret(opt, env) == block.execute(env)
+
+    def test_public_api_quickstart(self):
+        """The README quickstart must keep working verbatim."""
+        block = generate_block(GeneratorConfig(n_statements=30, n_variables=8), 42)
+        dag = compile_source(block.source())
+        result = schedule_dag(dag, SchedulerConfig(n_pes=8))
+        fr = fractions_of(result)
+        assert fr.barrier + fr.serialized + fr.static == pytest.approx(1.0)
+        assert "makespan" in result.describe()
+
+
+class TestCrossMachineConsistency:
+    @pytest.fixture(scope="class")
+    def program_pair(self):
+        dag = compile_source(SAMPLE_SOURCE)
+        sbm_res = schedule_dag(dag, SchedulerConfig(n_pes=4, seed=2, machine="sbm"))
+        dbm_res = schedule_dag(dag, SchedulerConfig(n_pes=4, seed=2, machine="dbm"))
+        return (
+            MachineProgram.from_schedule(sbm_res.schedule),
+            MachineProgram.from_schedule(dbm_res.schedule),
+        )
+
+    def test_both_machines_sound(self, program_pair):
+        sbm_prog, dbm_prog = program_pair
+        for rng in range(5):
+            simulate_sbm(sbm_prog, UniformSampler(), rng=rng).assert_sound(
+                sbm_prog.edges
+            )
+            simulate_dbm(dbm_prog, UniformSampler(), rng=rng).assert_sound(
+                dbm_prog.edges
+            )
+
+    def test_dbm_never_slower_than_sbm_on_same_program(self, program_pair):
+        """On the *same* program, associative matching can only fire
+        barriers earlier than the FIFO."""
+        sbm_prog, _ = program_pair
+        for rng in range(5):
+            sbm_span = simulate_sbm(sbm_prog, UniformSampler(), rng=rng).makespan
+            dbm_span = simulate_dbm(sbm_prog, UniformSampler(), rng=rng).makespan
+            assert dbm_span <= sbm_span
+
+
+class TestVliwCrossCheck:
+    def test_barrier_worst_case_comparable_to_vliw(self):
+        dag = compile_source(SAMPLE_SOURCE)
+        vliw = vliw_schedule(dag, 4)
+        result = schedule_dag(dag, SchedulerConfig(n_pes=4, seed=3))
+        assert result.makespan.hi <= 2.0 * vliw.makespan
+        assert result.makespan.lo <= vliw.makespan * 1.05
+
+    def test_min_time_benefits_from_asynchrony(self):
+        """Across a small corpus the barrier machine's best case beats the
+        VLIW's fixed worst-case clock (the figure 18 claim)."""
+        wins = 0
+        n = 12
+        for seed in range(n):
+            block = generate_block(
+                GeneratorConfig(n_statements=60, n_variables=10), seed
+            )
+            dag = compile_source(block.source())
+            vliw = vliw_schedule(dag, 8)
+            result = schedule_dag(dag, SchedulerConfig(n_pes=8, seed=seed))
+            if result.makespan.lo < vliw.makespan:
+                wins += 1
+        assert wins >= 0.75 * n
+
+
+class TestStressShapes:
+    @pytest.mark.parametrize("pes", [1, 2, 3, 7, 16, 128])
+    def test_odd_machine_sizes(self, pes):
+        dag = compile_source(SAMPLE_SOURCE)
+        result = schedule_dag(dag, SchedulerConfig(n_pes=pes, seed=pes))
+        program = MachineProgram.from_schedule(result.schedule)
+        simulate_sbm(program, MinSampler()).assert_sound(program.edges)
+        simulate_sbm(program, MaxSampler()).assert_sound(program.edges)
+
+    def test_single_instruction_block(self):
+        dag = compile_source("a = x + y")
+        result = schedule_dag(dag, SchedulerConfig(n_pes=4, seed=0))
+        program = MachineProgram.from_schedule(result.schedule)
+        simulate_sbm(program, UniformSampler(), rng=0).assert_sound(program.edges)
+
+    def test_constant_only_block(self):
+        dag = compile_source("a = 1 + 2\nb = 3 * 4")
+        result = schedule_dag(dag, SchedulerConfig(n_pes=2, seed=0))
+        assert result.counts.total_edges == 0
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, MaxSampler())
+        assert trace.makespan >= 1
+
+    def test_wide_independent_block(self):
+        source = "\n".join(f"a{k} = x{k} + y{k}" for k in range(20))
+        dag = compile_source(source)
+        result = schedule_dag(dag, SchedulerConfig(n_pes=8, seed=9))
+        program = MachineProgram.from_schedule(result.schedule)
+        for rng in range(3):
+            simulate_sbm(program, UniformSampler(), rng=rng).assert_sound(
+                program.edges
+            )
+
+    def test_deep_serial_block(self):
+        lines = ["acc = x + 1"]
+        lines += [f"acc = acc * {k % 5 + 2}" for k in range(15)]
+        dag = compile_source("\n".join(lines))
+        result = schedule_dag(dag, SchedulerConfig(n_pes=8, seed=4))
+        # a pure chain should serialize perfectly: no barriers at all
+        assert result.counts.barriers_final == 0
+        assert result.counts.serialized_edges == result.counts.total_edges

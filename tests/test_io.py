@@ -1,0 +1,94 @@
+"""Tests for JSON serialization of programs, traces, and summaries."""
+
+import json
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.io import (
+    load_program,
+    program_from_json,
+    program_to_json,
+    result_summary,
+    save_program,
+    trace_to_json,
+)
+from repro.machine import MachineProgram, UniformSampler, simulate_sbm
+from repro.machine.durations import FixedSampler
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    case = compile_case(GeneratorConfig(n_statements=35, n_variables=9), 77)
+    return schedule_dag(
+        case.dag, SchedulerConfig(n_pes=6, seed=77, barrier_latency=1)
+    )
+
+
+@pytest.fixture(scope="module")
+def program(result):
+    return MachineProgram.from_schedule(result.schedule)
+
+
+class TestProgramRoundTrip:
+    def test_fields_preserved(self, program):
+        again = program_from_json(program_to_json(program))
+        assert again.n_pes == program.n_pes
+        assert again.barrier_order == program.barrier_order
+        assert again.initial_barrier_id == program.initial_barrier_id
+        assert again.barrier_latency == program.barrier_latency
+        assert set(again.edges) == set(program.edges)
+        for bid, mask in program.masks.items():
+            assert list(again.masks[bid]) == list(mask)
+
+    def test_streams_preserved(self, program):
+        again = program_from_json(program_to_json(program))
+        assert again.streams == program.streams
+
+    def test_json_serializable(self, program):
+        text = json.dumps(program_to_json(program))
+        assert "repro.machine-program.v1" in text
+
+    def test_execution_identical_after_round_trip(self, program):
+        reference = simulate_sbm(program, UniformSampler(), rng=4)
+        again = program_from_json(program_to_json(program))
+        replay = simulate_sbm(again, FixedSampler(dict(reference.durations)))
+        assert replay.makespan == reference.makespan
+        assert replay.barrier_fire == reference.barrier_fire
+
+    def test_file_helpers(self, program, tmp_path):
+        path = tmp_path / "program.json"
+        save_program(program, path)
+        assert load_program(path).streams == program.streams
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            program_from_json({"format": "something-else"})
+
+    def test_unserializable_node_id_rejected(self):
+        from repro.io import _encode_node
+
+        with pytest.raises(TypeError):
+            _encode_node(("tuple", "id"))
+        with pytest.raises(TypeError):
+            _encode_node(True)
+
+
+class TestTraceAndSummary:
+    def test_trace_json(self, program):
+        trace = simulate_sbm(program, UniformSampler(), rng=1)
+        data = trace_to_json(trace)
+        assert data["machine"] == "sbm"
+        assert data["makespan"] == trace.makespan
+        assert len(data["start"]) == len(trace.start)
+        json.dumps(data)  # fully serializable
+
+    def test_result_summary(self, result):
+        data = result_summary(result)
+        assert data["total_edges"] == result.counts.total_edges
+        assert data["makespan"] == [result.makespan.lo, result.makespan.hi]
+        fr = data["fractions"]
+        assert abs(fr["barrier"] + fr["serialized"] + fr["static"] - 1.0) < 1e-9
+        json.dumps(data)

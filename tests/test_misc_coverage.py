@@ -1,0 +1,158 @@
+"""Edge-case tests for smaller surfaces across the library."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing import Interval
+from repro.analysis import analyze_schedule
+from repro.barriers.mask import BarrierMask
+from repro.core.schedule import Schedule
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.experiments.sweeps import ExperimentPoint, sweep, sweep_rows
+from repro.ir import compile_source, parse_block
+from repro.ir.interp import UndefinedVariableError, interpret
+from repro.ir.codegen import generate_tuples
+from repro.machine import MachineProgram, simulate_sbm
+from repro.machine.engine import run_machine
+from repro.machine.sbm import SBMController
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+from repro.viz.gantt import _glyph
+from repro.machine.program import MachineOp
+
+from tests.conftest import chain_dag
+
+
+class TestInterpreterErrors:
+    def test_undefined_variable(self):
+        program = generate_tuples(parse_block("a = x + 1"))
+        with pytest.raises(UndefinedVariableError):
+            interpret(program, {})
+
+    def test_partial_env_ok_when_variable_unused(self):
+        program = generate_tuples(parse_block("a = x + 1"))
+        assert interpret(program, {"x": 1, "zzz": 9}) == {"a": 2}
+
+
+class TestEngineValidation:
+    def test_bad_sampler_rejected(self):
+        case = compile_case(GeneratorConfig(n_statements=10, n_variables=4), 1)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=2, seed=1))
+        program = MachineProgram.from_schedule(result.schedule)
+
+        class Bad:
+            def sample(self, node, latency, rng):
+                return latency.hi + 1
+
+        controller = SBMController(program)
+        with pytest.raises(ValueError):
+            run_machine(program, controller, "sbm", Bad())
+
+    def test_rng_accepts_none_int_random(self):
+        case = compile_case(GeneratorConfig(n_statements=10, n_variables=4), 2)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=2, seed=2))
+        program = MachineProgram.from_schedule(result.schedule)
+        simulate_sbm(program, rng=None)
+        simulate_sbm(program, rng=7)
+        simulate_sbm(program, rng=random.Random(7))
+
+
+class TestScheduleSmall:
+    def test_render_lists_streams(self):
+        dag = chain_dag([(1, 1), (1, 1)])
+        sched = Schedule(dag, 2)
+        sched.append_instruction(0, 0)
+        sched.append_instruction(1, 1)
+        text = sched.render()
+        assert text.startswith("PE0:") and "|b0|" in text
+
+    def test_iter_protocol(self):
+        dag = chain_dag([(1, 1)])
+        sched = Schedule(dag, 2)
+        pes = [pe for pe, _stream in sched]
+        assert pes == [0, 1]
+
+    def test_barriers_include_initial_flag(self):
+        dag = chain_dag([(1, 1)])
+        sched = Schedule(dag, 2)
+        assert sched.barriers() == []
+        assert len(sched.barriers(include_initial=True)) == 1
+
+
+class TestAnalysisDegenerate:
+    def test_barrier_free_schedule_report(self):
+        dag = compile_source("a = x + 1\nb = a * 2\nc = b - 3")
+        result = schedule_dag(dag, SchedulerConfig(n_pes=4, seed=0))
+        report = analyze_schedule(result)
+        if result.counts.barriers_final == 0:
+            assert report.barriers.count == 0
+            assert report.barriers.mean_width == 0.0
+        assert "schedule report" in report.render()
+
+
+class TestSweepRows:
+    def test_renders_table(self):
+        point = ExperimentPoint(
+            generator=GeneratorConfig(n_statements=10, n_variables=4),
+            scheduler=SchedulerConfig(n_pes=2),
+            count=3,
+            master_seed=1,
+        )
+        rows = sweep(point, "scheduler.n_pes", [1, 2])
+        text = sweep_rows(rows, "PEs")
+        assert "barrier" in text and text.count("\n") == 2
+
+
+class TestGanttGlyph:
+    def test_alpha_from_mnemonic(self):
+        assert _glyph(MachineOp("n", Interval(1, 1), "Add 0,1")) == "A"
+
+    def test_fallback_for_symbols(self):
+        assert _glyph(MachineOp("n", Interval(1, 1), "##")) == "#"
+
+    def test_node_used_when_no_mnemonic(self):
+        assert _glyph(MachineOp("xy", Interval(1, 1), "")) == "X"
+
+
+class TestMaskProperties:
+    pes_sets = st.sets(st.integers(0, 15), max_size=16)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=pes_sets, b=pes_sets)
+    def test_subset_matches_set_semantics(self, a, b):
+        ma = BarrierMask.from_pes(a, 16)
+        mb = BarrierMask.from_pes(b, 16)
+        assert ma.is_subset_of(mb) == (a <= b)
+        assert mb.covers(ma) == (a <= b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=pes_sets, b=pes_sets)
+    def test_release_is_set_difference(self, a, b):
+        ma = BarrierMask.from_pes(a, 16)
+        mb = BarrierMask.from_pes(b, 16)
+        assert set(ma.release(mb)) == a - b
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=pes_sets)
+    def test_with_wait_adds_one(self, a):
+        mask = BarrierMask.from_pes(a, 16)
+        grown = mask.with_wait(3)
+        assert set(grown) == a | {3}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    pes=st.integers(1, 10),
+)
+def test_fractions_always_in_unit_interval(seed, pes):
+    from repro.metrics.fractions import fractions_of
+
+    case = compile_case(GeneratorConfig(n_statements=15, n_variables=5), seed)
+    result = schedule_dag(case.dag, SchedulerConfig(n_pes=pes, seed=seed))
+    fr = fractions_of(result)
+    for value in (fr.barrier, fr.serialized, fr.static):
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,99 @@
+"""The paper's headline claims, asserted at test-suite scale.
+
+The benchmark harness checks every artifact at corpus scale; this file
+keeps a fast "reproduction certificate" inside `pytest tests/` for the
+claims that are statistically stable on small corpora.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.machine.vliw import vliw_schedule
+from repro.metrics.fractions import fractions_of
+from repro.synth.corpus import generate_cases
+from repro.synth.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """25 mid-size benchmarks scheduled at the paper's common setting."""
+    cases = list(
+        generate_cases(GeneratorConfig(n_statements=60, n_variables=10), 25, 777)
+    )
+    results = [
+        schedule_dag(c.dag, SchedulerConfig(n_pes=8, seed=c.seed & 0xFFFFFFFF))
+        for c in cases
+    ]
+    return cases, results
+
+
+class TestAbstractClaims:
+    def test_over_77_percent_without_runtime_sync(self, corpus):
+        """Abstract: 'more than 77% of all synchronizations ... will be
+        accomplished without runtime synchronization'."""
+        _, results = corpus
+        mean = statistics.mean(
+            fractions_of(r).no_runtime_sync for r in results
+        )
+        assert mean > 0.77
+
+    def test_fraction_envelopes(self, corpus):
+        """Section 5 bullets: barrier 3-23%, serialized 50-90%, static
+        8-40% (checked as corpus means with small-n tolerance)."""
+        _, results = corpus
+        barrier = statistics.mean(fractions_of(r).barrier for r in results)
+        serialized = statistics.mean(fractions_of(r).serialized for r in results)
+        static = statistics.mean(fractions_of(r).static for r in results)
+        assert 0.03 <= barrier <= 0.28
+        assert 0.45 <= serialized <= 0.90
+        assert 0.08 <= static <= 0.40
+
+
+class TestSection6Claims:
+    def test_vliw_comparison(self, corpus):
+        """Figure 18: max ~ VLIW, min well below."""
+        cases, results = corpus
+        ratios_min, ratios_max = [], []
+        for case, result in zip(cases, results):
+            vliw = vliw_schedule(case.dag, 8)
+            ratios_min.append(result.makespan.lo / vliw.makespan)
+            ratios_max.append(result.makespan.hi / vliw.makespan)
+        assert statistics.mean(ratios_min) < 0.87
+        assert 0.95 <= statistics.mean(ratios_max) <= 1.2
+
+    def test_vliw_hits_critical_path(self, corpus):
+        cases, _ = corpus
+        optimal = sum(
+            vliw_schedule(c.dag, 8).is_critical_path_optimal for c in cases
+        )
+        assert optimal >= 0.9 * len(cases)
+
+
+class TestSection4Claims:
+    def test_merging_reduces_barriers(self, corpus):
+        """Section 4.4.3: merging gives meaningfully fewer barriers."""
+        cases, results = corpus
+        unmerged = [
+            schedule_dag(
+                c.dag,
+                SchedulerConfig(
+                    n_pes=8, seed=c.seed & 0xFFFFFFFF, machine="dbm",
+                    merge_barriers=False,
+                ),
+            ).counts.barriers_final
+            for c in cases
+        ]
+        merged = [r.counts.barriers_final for r in results]
+        reduction = 1 - statistics.mean(merged) / statistics.mean(unmerged)
+        assert reduction > 0.10
+
+    def test_secondary_effect_exists(self, corpus):
+        """Section 3: a sizable share of would-be barriers are avoided by
+        leaning on previously inserted ones (paper: ~28%)."""
+        _, results = corpus
+        secondary = sum(r.counts.secondary_resolutions for r in results)
+        inserted = sum(r.counts.barrier_edges for r in results)
+        fraction = secondary / (secondary + inserted)
+        assert 0.15 <= fraction <= 0.65

@@ -1,0 +1,72 @@
+"""Tests for the text visualizations (embedding, barrier dag, Gantt)."""
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.machine.durations import MaxSampler, UniformSampler
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import simulate_sbm
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+from repro.viz import render_barrier_dag, render_embedding, render_gantt
+
+
+def scheduled(seed=71, stmts=25, pes=4):
+    case = compile_case(GeneratorConfig(n_statements=stmts, n_variables=8), seed)
+    return schedule_dag(case.dag, SchedulerConfig(n_pes=pes, seed=seed))
+
+
+class TestEmbedding:
+    def test_contains_all_barriers(self):
+        result = scheduled()
+        text = render_embedding(result.schedule)
+        for barrier in result.schedule.barriers(include_initial=True):
+            assert f"b{barrier.id}" in text
+
+    def test_contains_headers_and_instructions(self):
+        result = scheduled()
+        text = render_embedding(result.schedule)
+        assert "PE0" in text and "Load" in text
+        assert "deadlock" not in text
+
+    def test_every_instruction_rendered(self):
+        result = scheduled(seed=72, stmts=15)
+        text = render_embedding(result.schedule)
+        n_rendered = sum(
+            1 for line in text.splitlines() for cell in [line] if "Store" in cell
+        )
+        assert n_rendered >= 1
+
+
+class TestBarrierDagRender:
+    def test_lists_fire_windows(self):
+        result = scheduled()
+        text = render_barrier_dag(result.schedule)
+        assert "fire=" in text and "b0" in text
+
+    def test_sinks_marked(self):
+        result = scheduled()
+        assert "(sink)" in render_barrier_dag(result.schedule)
+
+
+class TestGantt:
+    def test_renders_trace(self):
+        result = scheduled()
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, UniformSampler(), rng=1)
+        text = render_gantt(program, trace)
+        assert "PE0" in text and "fires:" in text
+        assert "|" in text  # barrier fire markers
+
+    def test_scales_long_traces(self):
+        result = scheduled(seed=73, stmts=60, pes=2)
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, MaxSampler())
+        text = render_gantt(program, trace, width=40)
+        for line in text.splitlines():
+            if line.startswith("PE"):
+                assert len(line) <= 46
+
+    def test_describe(self):
+        result = scheduled()
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, MaxSampler())
+        assert "makespan" in trace.describe()
