@@ -1,0 +1,35 @@
+"""E19 -- robustness extension: fault-tolerance curve under ε-injection.
+
+Not a figure from the paper: the paper assumes every instruction
+finishes inside its static [min, max] latency interval.  This extension
+measures what the timing proofs are worth when that assumption erodes --
+the fraction of schedules whose timing-discharged edges actually race
+under ε-inflated latencies, and how completely ε-hardening (re-running
+barrier insertion against the inflated DAG) repairs them.
+
+Expected shape: the eps = 0 row is race-free (soundness baseline), the
+racy fraction grows with ε, and the hardened racy fraction is zero at
+every ε -- at the price of extra barriers and a longer makespan.
+"""
+
+from repro.experiments import robustness_experiment
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_robustness(benchmark, show):
+    result = run_once(
+        benchmark,
+        lambda: robustness_experiment(count=max(4, BENCH_COUNT // 4), runs=20),
+    )
+    show("E19 / extension: fault-tolerance curve (8 vars, 30 stmts)", result.render())
+
+    baseline = result.points[0]
+    assert baseline.epsilon == 0.0
+    assert baseline.racy_fraction == 0.0, "eps=0 must reproduce paper soundness"
+    assert baseline.covered_fraction == 1.0
+
+    for point in result.points:
+        assert point.racy_fraction_hardened == 0.0, "hardening must close every race"
+        assert point.n_deadlocks == 0
+        assert point.racy_fraction_hardened <= point.racy_fraction

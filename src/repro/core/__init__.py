@@ -20,7 +20,9 @@ from repro.core.barrier_insert import (
     BarrierInserter,
     EdgeResolution,
     ResolutionKind,
+    TimingQuantities,
     classify_edge,
+    timing_quantities,
 )
 from repro.core.merging import find_merge_candidate, merge_new_barrier
 from repro.core.validate import (
@@ -60,7 +62,9 @@ __all__ = [
     "BarrierInserter",
     "EdgeResolution",
     "ResolutionKind",
+    "TimingQuantities",
     "classify_edge",
+    "timing_quantities",
     "find_merge_candidate",
     "merge_new_barrier",
     "ScheduleError",

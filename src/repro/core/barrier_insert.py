@@ -49,8 +49,10 @@ __all__ = [
     "ResolutionKind",
     "EdgeResolution",
     "BarrierInserter",
+    "TimingQuantities",
     "classify_edge",
     "choose_safe_placements",
+    "timing_quantities",
     "PlacementError",
 ]
 
@@ -129,6 +131,68 @@ class EdgeResolution:
     merges: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class TimingQuantities:
+    """The step [2]-[5] quantities for one cross-processor edge, relative
+    to the nearest common dominating barrier of ``LastBar(g)`` and
+    ``LastBar(i)``.  ``slack`` is the margin of the conservative timing
+    proof: how many time units the producer side may run late before the
+    proof's inequality ``T_min(i-) >= T_max(g)`` breaks -- the quantity
+    the robustness analysis (:mod:`repro.faults.margin`) is built on.
+    """
+
+    dom: int
+    last_g: int
+    last_i: int
+    lp_max: int
+    lp_min: int
+    delta_max_g: int
+    delta_min_i: int
+
+    @property
+    def t_max_g(self) -> int:
+        """Latest producer finish relative to the dominator."""
+        return self.lp_max + self.delta_max_g
+
+    @property
+    def t_min_i(self) -> int:
+        """Earliest consumer start relative to the dominator."""
+        return self.lp_min + self.delta_min_i
+
+    @property
+    def slack(self) -> int:
+        """``t_min_i - t_max_g``; ``>= 0`` iff the conservative proof holds."""
+        return self.t_min_i - self.t_max_g
+
+
+def timing_quantities(schedule: Schedule, g: NodeId, i: NodeId) -> TimingQuantities:
+    """Compute the conservative timing-proof quantities for edge ``(g, i)``.
+
+    The endpoints must be scheduled on different processors.
+    """
+    bd = schedule.barrier_dag()
+    dom_tree = schedule.dominator_tree()
+    pe_p, pos_g = schedule.position_of(g)
+    pe_c, pos_i = schedule.position_of(i)
+    last_g = schedule.last_barrier_before(pe_p, pos_g)
+    last_i = schedule.last_barrier_before(pe_c, pos_i)
+    dom = dom_tree.nearest_common_dominator(last_g.id, last_i.id)
+
+    lp_max = bd.longest_path_max(dom, last_g.id)
+    lp_min = bd.longest_path_min(dom, last_i.id)
+    assert lp_max is not None and lp_min is not None, "dominator must reach both"
+
+    return TimingQuantities(
+        dom=dom,
+        last_g=last_g.id,
+        last_i=last_i.id,
+        lp_max=lp_max,
+        lp_min=lp_min,
+        delta_max_g=schedule.delta_through(g).hi,
+        delta_min_i=schedule.delta_before(pe_c, pos_i).lo,
+    )
+
+
 def _timing_check(
     schedule: Schedule,
     g: NodeId,
@@ -139,36 +203,26 @@ def _timing_check(
 
     Returns ``(resolved, via_optimal, dominator_id)``.
     """
-    bd = schedule.barrier_dag()
-    dom_tree = schedule.dominator_tree()
-    pe_p, pos_g = schedule.position_of(g)
-    pe_c, pos_i = schedule.position_of(i)
-    last_g = schedule.last_barrier_before(pe_p, pos_g)
-    last_i = schedule.last_barrier_before(pe_c, pos_i)
-    dom = dom_tree.nearest_common_dominator(last_g.id, last_i.id)
-
-    delta_max_g = schedule.delta_through(g).hi
-    delta_min_i = schedule.delta_before(pe_c, pos_i).lo
-
-    lp_max = bd.longest_path_max(dom, last_g.id)
-    lp_min = bd.longest_path_min(dom, last_i.id)
-    assert lp_max is not None and lp_min is not None, "dominator must reach both"
-
-    t_max_g = lp_max + delta_max_g
-    t_min_i = lp_min + delta_min_i
-    if t_min_i >= t_max_g:
-        return True, False, dom
+    q = timing_quantities(schedule, g, i)
+    if q.slack >= 0:
+        return True, False, q.dom
 
     if mode == "optimal":
         try:
             resolved = _optimal_check(
-                bd, dom, last_g.id, last_i.id, delta_max_g, delta_min_i, lp_min
+                schedule.barrier_dag(),
+                q.dom,
+                q.last_g,
+                q.last_i,
+                q.delta_max_g,
+                q.delta_min_i,
+                q.lp_min,
             )
         except PathExplosionError:
             resolved = False  # fall back to the conservative verdict
         if resolved:
-            return True, True, dom
-    return False, False, dom
+            return True, True, q.dom
+    return False, False, q.dom
 
 
 def _optimal_check(

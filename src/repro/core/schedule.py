@@ -169,6 +169,39 @@ class Schedule:
                     stream[idx] = new
         self._bump()
 
+    # -- re-binding (ε-hardening support) ---------------------------------------
+
+    def with_dag(self, dag: InstructionDAG) -> "Schedule":
+        """A deep copy of this schedule bound to a different latency table.
+
+        ``dag`` must contain every scheduled node (same node ids, same
+        edges -- typically an ε-inflated variant built by
+        :func:`repro.faults.model.inflate_dag`).  Barrier objects are
+        cloned, not shared: barriers are mutable (merging widens their
+        participant sets), so insertions and merges performed on the copy
+        must never leak back into this schedule.
+        """
+        missing = [n for n in self._processor_of if n not in dag]
+        if missing:
+            raise ValueError(
+                f"target DAG is missing scheduled nodes: {missing[:5]}..."
+            )
+        clone = Schedule(dag, self.n_pes, self.barrier_latency)
+        copies: dict[int, Barrier] = {}
+        for old in (self.initial_barrier, *self.barriers()):
+            copy = Barrier(old.id, old.participants, is_initial=old.is_initial)
+            copy.merged_from = list(old.merged_from)
+            copies[old.id] = copy
+        clone.initial_barrier = copies[self.initial_barrier.id]
+        clone.streams = [
+            [copies[item.id] if isinstance(item, Barrier) else item for item in stream]
+            for stream in self.streams
+        ]
+        clone._processor_of = dict(self._processor_of)
+        clone._next_barrier_id = self._next_barrier_id
+        clone._bump()
+        return clone
+
     # -- stream navigation ----------------------------------------------------------
 
     def last_barrier_before(self, pe: int, idx: int) -> Barrier:

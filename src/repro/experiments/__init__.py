@@ -24,6 +24,11 @@ E11    Section 5.4 lookahead ablation                      :func:`ablation_looka
 E12    Section 5.4 timing-variation ablation               :func:`ablation_timing_variation`
 E13    Section 3 secondary effect (~28%)                   :func:`secondary_effect`
 E14    Conservative vs optimal insertion                   :func:`optimal_vs_conservative`
+E15    Extension: barrier hardware cost                    :func:`barrier_cost_experiment`
+E16    Extension: control-flow scheduling overhead         :func:`flow_overhead_experiment`
+E17    Extension: real kernels vs synthetic                :func:`kernel_suite_experiment`
+E18    Extension: conventional-MIMD sync removal           :func:`sync_elimination_experiment`
+E19    Extension: fault-tolerance curve (robustness)       :func:`robustness_experiment`
 =====  ==================================================  ==========================
 """
 
@@ -38,6 +43,10 @@ from repro.experiments.figures import (
 from repro.experiments.archive import archive_corpus, load_archive, stats_from_archive
 from repro.experiments.flow_exp import flow_overhead_experiment
 from repro.experiments.kernels_exp import kernel_suite_experiment
+from repro.experiments.robustness_exp import (
+    RobustnessResult,
+    robustness_experiment,
+)
 from repro.experiments.syncelim_exp import sync_elimination_experiment
 from repro.experiments.tables import (
     ablation_lookahead,
@@ -78,4 +87,6 @@ __all__ = [
     "load_archive",
     "stats_from_archive",
     "sync_elimination_experiment",
+    "RobustnessResult",
+    "robustness_experiment",
 ]

@@ -1,0 +1,48 @@
+"""Robustness toolkit: fault injection, race detection, ε-hardening.
+
+The paper's static scheduler eliminates run-time synchronization by
+*proving* orderings from ``[min,max]`` latency intervals.  This package
+asks -- and answers -- the adversarial question: what happens when the
+hardware violates those intervals?
+
+:mod:`repro.faults.model`
+    :class:`FaultPlan` (the bounded fault envelope), the
+    :class:`FaultySampler` / :class:`FaultyController` injectors, and
+    :func:`inflate_dag`.
+:mod:`repro.faults.margin`
+    Static robustness margins: per-edge slack and the schedule-level
+    ``ε*`` bound (:func:`robustness_margin`).
+:mod:`repro.faults.campaign`
+    Seeded Monte-Carlo fault campaigns with per-edge blame reports
+    (:func:`run_campaign`).
+:mod:`repro.faults.harden`
+    Constructive ε-hardening: re-prove the schedule against the
+    inflated timing model, inserting barriers where slack ran out
+    (:func:`harden_schedule`).
+"""
+
+from repro.faults.model import (
+    FaultPlan,
+    FaultySampler,
+    FaultyController,
+    inflate_dag,
+)
+from repro.faults.margin import EdgeMargin, MarginReport, robustness_margin
+from repro.faults.campaign import EdgeBlame, CampaignReport, run_campaign
+from repro.faults.harden import HardeningReport, harden_schedule, straggler_nodes
+
+__all__ = [
+    "FaultPlan",
+    "FaultySampler",
+    "FaultyController",
+    "inflate_dag",
+    "EdgeMargin",
+    "MarginReport",
+    "robustness_margin",
+    "EdgeBlame",
+    "CampaignReport",
+    "run_campaign",
+    "HardeningReport",
+    "harden_schedule",
+    "straggler_nodes",
+]

@@ -1,0 +1,328 @@
+"""Monte-Carlo fault campaigns with dynamic race detection and blame.
+
+A campaign executes one machine program many times under a
+:class:`~repro.faults.model.FaultPlan` (``run_machine`` in
+``allow_overrun`` mode), verifies every trace against the original
+producer/consumer edges, and aggregates the observed order violations
+into a *blame report*: which edge raced, which static proof the faults
+broke, and how much margin they had to consume to break it.
+
+Two kinds of runs are mixed:
+
+* **random** runs sample in-interval durations uniformly and perturb
+  them per the plan -- unbiased coverage of the fault envelope;
+* **directed** runs target the statically weakest timing-proved edges
+  (:func:`~repro.faults.margin.robustness_margin`).  For each such edge
+  three deterministic adversarial witnesses are executed: one stretching
+  the *producer's* stream through ``g`` to the plan's worst case with
+  everything else at its minimum, one stretching every processor
+  *except the consumer's*, and one stretching exactly the stream
+  segments the ``T_max(g)`` bound is built from (the longest max path
+  from the common dominator to ``LastBar(g)``, plus the producer's
+  trailing segment).  All stay inside the plan's envelope, so a
+  hardened schedule must survive them too -- they simply find the
+  needle much faster than uniform sampling when the remaining slack is
+  small.
+
+Races can only ever be observed on timing-proved edges: serialized
+edges are enforced by program order and PathFind/barrier edges by the
+barrier hardware itself, regardless of how late any instruction runs.
+A campaign that blames a non-timing edge has found a simulator or
+compiler bug, and says so.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.barriers.model import Barrier
+from repro.barriers.paths import PathExplosionError, k_longest_max_paths
+from repro.core.barrier_insert import ResolutionKind, classify_edge, timing_quantities
+from repro.core.schedule import Schedule
+from repro.faults.harden import straggler_nodes
+from repro.faults.margin import robustness_margin
+from repro.faults.model import FaultPlan, FaultySampler, FaultyController
+from repro.ir.dag import NodeId
+from repro.machine.dbm import DBMController
+from repro.machine.durations import UniformSampler
+from repro.machine.engine import run_machine
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import SBMController
+from repro.machine.trace import DeadlockError
+from repro.timing import Interval
+
+__all__ = ["EdgeBlame", "CampaignReport", "run_campaign"]
+
+#: Cap on how many weak edges get directed witnesses (2 runs each).
+MAX_WITNESS_EDGES = 16
+
+
+@dataclass(frozen=True)
+class _DirectedSampler:
+    """Deterministic adversarial sampler: worst case for ``slow`` nodes
+    (within the plan's envelope), minimum latency for everything else."""
+
+    plan: FaultPlan
+    slow: frozenset[NodeId]
+    straggler: frozenset[NodeId] = frozenset()
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        if node in self.slow:
+            return self.plan.worst_case_hi(latency, node in self.straggler)
+        return latency.lo
+
+
+@dataclass(frozen=True)
+class EdgeBlame:
+    """One raced edge, with the static proof the faults broke."""
+
+    producer: NodeId
+    consumer: NodeId
+    #: Which static discharge the race falsified ("timing",
+    #: "timing-optimal", or -- indicating a harness/compiler bug --
+    #: "serialized"/"path"/"barrier").
+    kind: str
+    #: ``T_min(i-) - T_max(g)`` of the original proof (None when the
+    #: edge was not timing-discharged).
+    static_slack: int | None
+    n_runs_violated: int
+    #: Largest observed ``finish(g) - start(i)`` across violating runs.
+    worst_excess: int
+    #: True when only directed witness runs (not random ones) raced it.
+    directed_only: bool
+
+    @property
+    def consumed_slack(self) -> int | None:
+        """Total margin the faults ate: the proof's static slack plus the
+        dynamic overshoot past the consumer's actual start."""
+        if self.static_slack is None:
+            return None
+        return self.static_slack + self.worst_excess
+
+    def describe(self) -> str:
+        slack = (
+            f"slack {self.static_slack} consumed (+{self.worst_excess} beyond)"
+            if self.static_slack is not None
+            else "non-timing edge (harness bug?)"
+        )
+        via = " [directed witness]" if self.directed_only else ""
+        return (
+            f"{self.producer!s} -> {self.consumer!s}: {self.kind} proof broken "
+            f"in {self.n_runs_violated} run(s), {slack}{via}"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregate of one fault campaign over one program."""
+
+    machine: str
+    plan: FaultPlan
+    n_random: int
+    n_directed: int
+    n_racy_runs: int
+    n_deadlocks: int
+    total_violations: int
+    total_overruns: int
+    blames: tuple[EdgeBlame, ...] = ()
+
+    @property
+    def n_runs(self) -> int:
+        return self.n_random + self.n_directed
+
+    @property
+    def race_free(self) -> bool:
+        return not self.blames and self.n_deadlocks == 0
+
+    def render(self) -> str:
+        lines = [
+            f"{self.machine.upper()} fault campaign [{self.plan.describe()}]: "
+            f"{self.n_runs} runs ({self.n_random} random + {self.n_directed} "
+            f"directed), {self.total_overruns} overruns injected"
+        ]
+        if self.race_free:
+            lines.append("  no races observed")
+        else:
+            lines.append(
+                f"  RACES: {self.n_racy_runs} racy run(s), "
+                f"{self.total_violations} violation(s) on "
+                f"{len(self.blames)} edge(s)"
+            )
+            for blame in self.blames:
+                lines.append(f"    {blame.describe()}")
+        if self.n_deadlocks:
+            lines.append(f"  DEADLOCKS: {self.n_deadlocks} run(s) hung")
+        return "\n".join(lines)
+
+
+@dataclass
+class _EdgeTally:
+    n_violated: int = 0
+    worst_excess: int = 0
+    from_random: bool = False
+
+
+def _make_controller(program: MachineProgram, machine: str):
+    if machine == "sbm":
+        return SBMController(program)
+    if machine == "dbm":
+        return DBMController(program)
+    raise ValueError(f"unknown machine {machine!r} (expected 'sbm' or 'dbm')")
+
+
+def _producer_witness(schedule: Schedule, g: NodeId) -> frozenset[NodeId]:
+    """The producer's stream up to and including ``g``."""
+    pe, pos = schedule.position_of(g)
+    return frozenset(
+        item for item in schedule.streams[pe][: pos + 1]
+        if not isinstance(item, Barrier)
+    )
+
+
+def _anti_consumer_witness(schedule: Schedule, i: NodeId) -> frozenset[NodeId]:
+    """Every instruction not on the consumer's processor."""
+    pe = schedule.processor_of(i)
+    return frozenset(
+        node for node in schedule.scheduled_nodes if schedule.processor_of(node) != pe
+    )
+
+
+def _chain_witness(schedule: Schedule, g: NodeId, i: NodeId) -> frozenset[NodeId]:
+    """The producer's stream through ``g`` *plus* every stream segment
+    along the longest max path ``dom -> LastBar(g)`` -- the exact nodes
+    whose latencies the ``T_max(g)`` bound is made of.  Stretching only
+    these realizes the proof's worst case on the producer side while the
+    consumer side (whose bound uses minimum latencies, untouched here)
+    runs as early as possible."""
+    slow = set(_producer_witness(schedule, g))
+    q = timing_quantities(schedule, g, i)
+    if q.dom == q.last_g:
+        return frozenset(slow)
+    try:
+        paths = k_longest_max_paths(schedule.barrier_dag(), q.dom, q.last_g)
+    except PathExplosionError:
+        return frozenset(slow)
+    if not paths:
+        return frozenset(slow)
+    _, path = paths[0]
+    on_path = set(zip(path, path[1:]))
+    for stream in schedule.streams:
+        prev: int | None = None
+        segment: list[NodeId] = []
+        for item in stream:
+            if isinstance(item, Barrier):
+                if prev is not None and (prev, item.id) in on_path:
+                    slow.update(segment)
+                prev = item.id
+                segment = []
+            else:
+                segment.append(item)
+    return frozenset(slow)
+
+
+def run_campaign(
+    schedule: Schedule,
+    machine: str = "sbm",
+    plan: FaultPlan | None = None,
+    runs: int = 50,
+    seed: int = 0,
+    directed: bool = True,
+    mode: str = "conservative",
+) -> CampaignReport:
+    """Execute a seeded fault campaign against a finished schedule.
+
+    ``mode`` names the insertion mode the schedule was built with (it
+    drives the blame classification and the directed-witness targeting).
+    Deterministic for a given ``(schedule, plan, runs, seed)``.
+    """
+    plan = plan or FaultPlan()
+    program = MachineProgram.from_schedule(schedule)
+    slow = straggler_nodes(schedule, plan)
+    random_sampler = FaultySampler(plan, UniformSampler(), slow)
+
+    tallies: dict[tuple[NodeId, NodeId], _EdgeTally] = {}
+    n_racy = 0
+    n_deadlocks = 0
+    total_violations = 0
+    total_overruns = 0
+
+    def one_run(sampler, rng, is_random: bool) -> None:
+        nonlocal n_racy, n_deadlocks, total_violations, total_overruns
+        controller = _make_controller(program, machine)
+        if plan.barrier_jitter:
+            controller = FaultyController(controller, plan, rng)
+        try:
+            trace = run_machine(
+                program, controller, machine, sampler, rng, allow_overrun=True
+            )
+        except DeadlockError:
+            n_deadlocks += 1
+            return
+        total_overruns += len(trace.overruns)
+        violations = trace.verify(program.edges)
+        if not violations:
+            return
+        n_racy += 1
+        total_violations += len(violations)
+        for v in violations:
+            tally = tallies.setdefault((v.producer, v.consumer), _EdgeTally())
+            tally.n_violated += 1
+            tally.worst_excess = max(
+                tally.worst_excess, v.producer_finish - v.consumer_start
+            )
+            tally.from_random = tally.from_random or is_random
+
+    for k in range(runs):
+        rng = random.Random(seed * 1_000_003 + k)
+        one_run(random_sampler, rng, is_random=True)
+
+    n_directed = 0
+    if directed:
+        margin = robustness_margin(schedule, mode)
+        for k, edge in enumerate(margin.edges[:MAX_WITNESS_EDGES]):
+            witnesses = (
+                _producer_witness(schedule, edge.producer),
+                _anti_consumer_witness(schedule, edge.consumer),
+                _chain_witness(schedule, edge.producer, edge.consumer),
+            )
+            for w, slow_set in enumerate(witnesses):
+                rng = random.Random(seed * 1_000_003 + runs + 3 * k + w)
+                one_run(
+                    _DirectedSampler(plan, slow_set, slow), rng, is_random=False
+                )
+                n_directed += 1
+
+    blames = []
+    for (g, i), tally in tallies.items():
+        verdict = classify_edge(schedule, g, i, mode)
+        if verdict.kind is ResolutionKind.TIMING:
+            kind = "timing-optimal" if verdict.via_optimal else "timing"
+            slack = timing_quantities(schedule, g, i).slack
+        else:
+            kind = verdict.kind.value
+            slack = None
+        blames.append(
+            EdgeBlame(
+                producer=g,
+                consumer=i,
+                kind=kind,
+                static_slack=slack,
+                n_runs_violated=tally.n_violated,
+                worst_excess=tally.worst_excess,
+                directed_only=not tally.from_random,
+            )
+        )
+    blames.sort(key=lambda b: (-b.worst_excess, str(b.producer), str(b.consumer)))
+
+    return CampaignReport(
+        machine=machine,
+        plan=plan,
+        n_random=runs,
+        n_directed=n_directed,
+        n_racy_runs=n_racy,
+        n_deadlocks=n_deadlocks,
+        total_violations=total_violations,
+        total_overruns=total_overruns,
+        blames=tuple(blames),
+    )

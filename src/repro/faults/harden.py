@@ -1,0 +1,140 @@
+"""ε-hardening: re-prove a schedule against a fault-inflated timing model.
+
+:func:`repro.faults.margin.robustness_margin` gives a closed-form lower
+bound ``ε*`` on the overrun a schedule tolerates.  This module gives the
+*constructive* counterpart: take a concrete :class:`~repro.faults.model.
+FaultPlan`, stretch every maximum latency to the plan's worst-case
+envelope (:func:`~repro.faults.model.inflate_dag`), and re-run the
+repository's own validation/repair loop against the inflated DAG.  Every
+timing proof whose slack the faults could consume fails revalidation and
+is replaced by an inserted barrier -- the hardware-enforced ordering
+that no latency overrun can break.
+
+The hardening pass never moves an instruction: processor assignment and
+stream order are exactly the input schedule's, only barriers are added
+(and, on SBM, merged to restore the FIFO no-unordered-overlap
+invariant).  The price of robustness is therefore measured precisely as
+*extra barriers* and the resulting makespan growth.
+
+Soundness: the injection envelope of ``FaultPlan.perturb`` is by
+construction the ``[lo, worst_case_hi]`` interval that ``inflate_dag``
+bakes into the inflated DAG, so every faulty execution of the hardened
+schedule is an in-interval execution of a validated schedule -- the
+paper's own soundness argument then guarantees race freedom.  The one
+excursion mode this does not cover is barrier-release *jitter*, which
+delays barrier-enforced orderings themselves; see ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.core.validate import finalize_schedule
+from repro.faults.model import FaultPlan, inflate_dag
+from repro.ir.dag import NodeId
+from repro.timing import Interval
+
+__all__ = ["HardeningReport", "harden_schedule", "straggler_nodes"]
+
+
+def straggler_nodes(schedule: Schedule, plan: FaultPlan) -> frozenset[NodeId]:
+    """The instructions the plan's straggler processors will run slow."""
+    if not plan.straggler_pes:
+        return frozenset()
+    return frozenset(
+        node
+        for node in schedule.scheduled_nodes
+        if schedule.processor_of(node) in plan.straggler_pes
+    )
+
+
+@dataclass(frozen=True)
+class HardeningReport:
+    """What ε-hardening cost, and what it bought."""
+
+    plan: FaultPlan
+    schedule: Schedule  # hardened, re-bound to the *original* timing model
+    barriers_before: int
+    barriers_after: int
+    repairs: int
+    merges: int
+    makespan_before: Interval  # original schedule, original latencies
+    makespan_after: Interval  # hardened schedule, original latencies
+    worst_case_makespan: Interval  # hardened schedule, fault-inflated latencies
+
+    @property
+    def extra_barriers(self) -> int:
+        return self.barriers_after - self.barriers_before
+
+    @property
+    def makespan_overhead(self) -> float:
+        """Fractional worst-case makespan growth under the original model."""
+        if self.makespan_before.hi == 0:
+            return 0.0
+        return self.makespan_after.hi / self.makespan_before.hi - 1.0
+
+    def render(self) -> str:
+        return (
+            f"hardened against {self.plan.describe()}: "
+            f"{self.barriers_before} -> {self.barriers_after} barriers "
+            f"(+{self.extra_barriers}), "
+            f"makespan {self.makespan_before} -> {self.makespan_after} "
+            f"(+{self.makespan_overhead:.1%} worst case), "
+            f"faulty worst case {self.worst_case_makespan.hi}"
+        )
+
+
+def harden_schedule(
+    schedule: Schedule,
+    epsilon: float | None = None,
+    *,
+    plan: FaultPlan | None = None,
+    mode: str = "conservative",
+    merge: bool = False,
+) -> HardeningReport:
+    """Insert the barriers needed to survive a fault plan's worst case.
+
+    Either pass a bare ``epsilon`` (uniform multiplicative overrun) or a
+    full :class:`FaultPlan`.  ``mode`` and ``merge`` should match how the
+    input schedule was built (``merge=True`` for SBM targets, so the
+    hardened schedule re-establishes the FIFO queue-consistency
+    invariant against the *inflated* fire windows).
+
+    The input schedule is never mutated; the hardened copy is returned
+    re-bound to the original DAG so downstream code (simulation, margin
+    analysis, program extraction) sees the paper's timing model.
+    """
+    if plan is None:
+        if epsilon is None:
+            raise ValueError("harden_schedule needs either epsilon or a FaultPlan")
+        plan = FaultPlan(epsilon=epsilon)
+    elif epsilon is not None and epsilon != plan.epsilon:
+        raise ValueError("pass either epsilon or plan, not conflicting both")
+
+    slow = straggler_nodes(schedule, plan)
+    inflated = inflate_dag(schedule.dag, plan, slow)
+
+    makespan_before = schedule.makespan()
+    barriers_before = len(schedule.barriers())
+
+    # Re-bind the same placement to the inflated timing model and let the
+    # standard repair loop re-prove every edge, inserting barriers where
+    # the fault envelope ate the slack.
+    hardened = schedule.with_dag(inflated)
+    repairs, merges = finalize_schedule(hardened, mode, merge)
+    worst_case = hardened.makespan()
+
+    # Back to the original model for downstream consumers.
+    result = hardened.with_dag(schedule.dag)
+    return HardeningReport(
+        plan=plan,
+        schedule=result,
+        barriers_before=barriers_before,
+        barriers_after=len(result.barriers()),
+        repairs=repairs,
+        merges=merges,
+        makespan_before=makespan_before,
+        makespan_after=result.makespan(),
+        worst_case_makespan=worst_case,
+    )

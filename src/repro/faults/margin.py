@@ -1,0 +1,151 @@
+"""Static robustness margins: how much overrun a schedule tolerates.
+
+Every discharged producer/consumer edge falls into one of two classes:
+
+* **structurally robust** -- serialized (program order), PathFind (a
+  chain of barriers), or enforced by a dedicated barrier.  The hardware
+  enforces these orders *dynamically*, so no latency overrun, however
+  large, can break them;
+* **timing-proved** -- discharged by the step [2]-[5] inequality
+  ``T_min(i-) >= T_max(g)`` alone.  Nothing at runtime enforces the
+  order; the proof's margin (its *slack*) is all that stands between a
+  latency overrun and a silent data race.
+
+For a timing-proved edge with slack ``s = T_min(i-) - T_max(g)`` and
+producer-side worst-case time ``T_max(g)`` (both relative to the common
+dominating barrier), a uniform multiplicative stretch of every maximum
+latency by ``(1 + ε)`` raises the producer side by at most
+``ε * T_max(g)`` while leaving the consumer side's minimum bound intact
+(minimum latencies do not change).  The edge therefore provably survives
+any ``ε <= s / T_max(g)``; the schedule-level margin
+
+    ``ε* = min over timing-proved edges of  slack / T_max(g)``
+
+is a sound (conservative) bound on the uniform overrun the whole
+schedule tolerates.  Edges rescued only by the section 4.4.2 overlap
+analysis carry no conservative slack, so their margin is reported as 0:
+the overlap argument couples min- and max-paths and does not survive
+independent overruns.
+
+``ε*`` is a closed-form *lower* bound; :func:`repro.faults.harden.
+harden_schedule` gives the exact answer for a concrete ε by re-running
+validation against the inflated DAG.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.barrier_insert import ResolutionKind, classify_edge, timing_quantities
+from repro.core.schedule import Schedule
+from repro.ir.dag import NodeId
+
+__all__ = ["EdgeMargin", "MarginReport", "robustness_margin"]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeMargin:
+    """Overrun tolerance of one timing-proved cross-processor edge."""
+
+    producer: NodeId
+    consumer: NodeId
+    kind: str  # "timing" | "timing-optimal"
+    slack: int
+    t_max_producer: int
+
+    @property
+    def epsilon_edge(self) -> float:
+        """Largest uniform max-latency stretch this edge provably survives."""
+        if self.kind == "timing-optimal":
+            return 0.0  # no conservative slack to spend
+        if self.slack <= 0:
+            return 0.0
+        if self.t_max_producer <= 0:
+            return math.inf
+        return self.slack / self.t_max_producer
+
+    def describe(self) -> str:
+        eps = "inf" if math.isinf(self.epsilon_edge) else f"{self.epsilon_edge:.3f}"
+        return (
+            f"{self.producer!s} -> {self.consumer!s}: {self.kind}, "
+            f"slack {self.slack}, producer T_max {self.t_max_producer}, "
+            f"eps {eps}"
+        )
+
+
+@dataclass(frozen=True)
+class MarginReport:
+    """Schedule-level robustness margins (see module docstring)."""
+
+    edges: tuple[EdgeMargin, ...]  # timing-proved edges, weakest first
+    n_edges: int  # all real producer/consumer edges
+    n_structural: int  # serialized + path + barrier-enforced
+
+    @property
+    def n_timing(self) -> int:
+        return len(self.edges)
+
+    @property
+    def epsilon_star(self) -> float:
+        """Max uniform overrun the whole schedule provably tolerates."""
+        if not self.edges:
+            return math.inf
+        return min(e.epsilon_edge for e in self.edges)
+
+    @property
+    def weakest(self) -> EdgeMargin | None:
+        return self.edges[0] if self.edges else None
+
+    @property
+    def min_slack(self) -> int | None:
+        if not self.edges:
+            return None
+        return min(e.slack for e in self.edges)
+
+    def render(self, limit: int = 5) -> str:
+        star = (
+            "inf (every edge is structurally robust)"
+            if math.isinf(self.epsilon_star)
+            else f"{self.epsilon_star:.3f}"
+        )
+        lines = [
+            f"robustness margin: {self.n_edges} edges = "
+            f"{self.n_structural} structural + {self.n_timing} timing-proved; "
+            f"epsilon* = {star}"
+        ]
+        for edge in self.edges[:limit]:
+            lines.append(f"  {edge.describe()}")
+        if self.n_timing > limit:
+            lines.append(f"  ... and {self.n_timing - limit} more timing edges")
+        return "\n".join(lines)
+
+
+def robustness_margin(schedule: Schedule, mode: str = "conservative") -> MarginReport:
+    """Classify every edge of a *finished* schedule and measure its margin.
+
+    ``mode`` is the insertion mode the schedule was built with -- the
+    classification must match what the compiler actually relied on, or a
+    conservative-failing / optimal-passing edge would be miscounted.
+    """
+    margins: list[EdgeMargin] = []
+    structural = 0
+    total = 0
+    for g, i in schedule.dag.real_edges():
+        total += 1
+        verdict = classify_edge(schedule, g, i, mode)
+        if verdict.kind is not ResolutionKind.TIMING:
+            structural += 1
+            continue
+        q = timing_quantities(schedule, g, i)
+        margins.append(
+            EdgeMargin(
+                producer=g,
+                consumer=i,
+                kind="timing-optimal" if verdict.via_optimal else "timing",
+                slack=q.slack,
+                t_max_producer=q.t_max_g,
+            )
+        )
+    margins.sort(key=lambda e: (e.epsilon_edge, e.slack, str(e.producer)))
+    return MarginReport(edges=tuple(margins), n_edges=total, n_structural=structural)

@@ -1,0 +1,225 @@
+"""The fault model: what can go wrong with the paper's timing assumptions.
+
+The compiler discharges synchronizations by proving, statically, that
+every instruction's runtime stays inside its ``[min,max]`` interval.
+Real hardware is less polite: a cache miss or DRAM refresh stretches a
+load past its budgeted maximum, an interrupt steals a few hundred cycles
+from one processor, a thermally-throttled core runs every instruction
+slow, and a barrier network takes a variable number of cycles to
+propagate its release.  A :class:`FaultPlan` captures those four
+excursion modes as an *envelope* around the static timing model:
+
+``epsilon``
+    Multiplicative latency overrun: an instruction with maximum time
+    ``hi`` may take up to ``hi + floor(hi * epsilon)`` units
+    (cache-miss / contention model).  Each instruction overruns
+    independently with probability ``p_overrun``.
+``spike_prob`` / ``spike_magnitude``
+    Additive interrupt spikes: with probability ``spike_prob`` an
+    instruction is charged an extra ``1..spike_magnitude`` units on top
+    of any multiplicative overrun.
+``straggler_pes`` / ``straggler_factor``
+    Per-PE stragglers: instructions on the named processors see their
+    ``epsilon`` budget multiplied by ``straggler_factor`` (a slow core
+    is slow for *everything* it runs).
+``barrier_jitter``
+    Barrier-release jitter: each firing is delayed by ``0..jitter``
+    units after the last arrival (:class:`FaultyController`).
+
+Everything is bounded so that ε-hardening has a well-defined target:
+:meth:`FaultPlan.worst_case_hi` is the largest duration the plan can
+ever inject for a given latency interval, and :func:`inflate_dag` bakes
+that bound into a new :class:`~repro.ir.dag.InstructionDAG` -- a
+schedule revalidated against the inflated DAG is provably race-free
+under every realization the plan can produce (barrier jitter aside,
+which delays releases and is stress-tested dynamically instead; see
+``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.ir.dag import InstructionDAG, NodeId
+from repro.machine.durations import DurationSampler, UniformSampler
+from repro.timing import Interval
+
+__all__ = ["FaultPlan", "FaultySampler", "FaultyController", "inflate_dag"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A bounded envelope of timing faults to inject (see module docstring)."""
+
+    epsilon: float = 0.0
+    p_overrun: float = 1.0
+    spike_prob: float = 0.0
+    spike_magnitude: int = 0
+    straggler_pes: frozenset[int] = frozenset()
+    straggler_factor: float = 2.0
+    barrier_jitter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be >= 0")
+        if not 0.0 <= self.p_overrun <= 1.0:
+            raise ValueError("p_overrun must be in [0, 1]")
+        if not 0.0 <= self.spike_prob <= 1.0:
+            raise ValueError("spike_prob must be in [0, 1]")
+        if self.spike_magnitude < 0:
+            raise ValueError("spike_magnitude must be >= 0")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.barrier_jitter < 0:
+            raise ValueError("barrier_jitter must be >= 0")
+        # normalize so FaultPlan(straggler_pes={1}) hashes/compares sanely
+        object.__setattr__(self, "straggler_pes", frozenset(self.straggler_pes))
+
+    @property
+    def is_null(self) -> bool:
+        """True iff the plan can never perturb an execution."""
+        return (
+            self.epsilon == 0.0
+            and (self.spike_prob == 0.0 or self.spike_magnitude == 0)
+            and self.barrier_jitter == 0
+        )
+
+    @property
+    def worst_stretch(self) -> float:
+        """The largest multiplicative budget any instruction can see."""
+        if self.straggler_pes:
+            return self.epsilon * self.straggler_factor
+        return self.epsilon
+
+    # -- the injection envelope ------------------------------------------------
+
+    def stretch_hi(self, hi: int, slow: bool = False) -> int:
+        """Largest *multiplicative* duration for a max latency of ``hi``."""
+        budget = self.epsilon * (self.straggler_factor if slow else 1.0)
+        return hi + int(hi * budget)
+
+    def worst_case_hi(self, latency: Interval, slow: bool = False) -> int:
+        """Largest duration the plan can ever inject for ``latency``."""
+        hi = self.stretch_hi(latency.hi, slow)
+        if self.spike_prob > 0.0:
+            hi += self.spike_magnitude
+        return hi
+
+    def perturb(
+        self,
+        duration: int,
+        latency: Interval,
+        rng: random.Random,
+        slow: bool = False,
+    ) -> int:
+        """Apply the plan's faults to one sampled in-interval duration.
+
+        The result is always within ``[latency.lo, worst_case_hi(latency)]``
+        -- faults only ever lengthen executions.
+        """
+        total = duration
+        cap = self.stretch_hi(latency.hi, slow)
+        room = cap - latency.hi
+        if room > 0 and rng.random() < self.p_overrun:
+            total += rng.randint(0, room)
+        if (
+            self.spike_prob > 0.0
+            and self.spike_magnitude > 0
+            and rng.random() < self.spike_prob
+        ):
+            total += rng.randint(1, self.spike_magnitude)
+        return total
+
+    def sample_jitter(self, rng: random.Random) -> int:
+        """Release delay for one barrier firing."""
+        if self.barrier_jitter == 0:
+            return 0
+        return rng.randint(0, self.barrier_jitter)
+
+    def describe(self) -> str:
+        parts = [f"epsilon={self.epsilon:g} (p={self.p_overrun:g})"]
+        if self.spike_prob > 0 and self.spike_magnitude > 0:
+            parts.append(f"spikes p={self.spike_prob:g} mag={self.spike_magnitude}")
+        if self.straggler_pes:
+            pes = ",".join(str(p) for p in sorted(self.straggler_pes))
+            parts.append(f"stragglers PE{{{pes}}} x{self.straggler_factor:g}")
+        if self.barrier_jitter:
+            parts.append(f"barrier jitter <= {self.barrier_jitter}")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultySampler:
+    """Wrap any :class:`DurationSampler`, perturbing its draws per a plan.
+
+    ``slow_nodes`` names the instructions that live on straggler
+    processors (the sampler interface sees nodes, not PEs, so the caller
+    resolves the plan's ``straggler_pes`` against the concrete program;
+    see :func:`repro.faults.campaign.straggler_nodes`).
+    """
+
+    plan: FaultPlan
+    base: DurationSampler = field(default_factory=UniformSampler)
+    slow_nodes: frozenset[NodeId] = frozenset()
+
+    def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
+        duration = self.base.sample(node, latency, rng)
+        return self.plan.perturb(duration, latency, rng, node in self.slow_nodes)
+
+
+@dataclass
+class FaultyController:
+    """Wrap a barrier controller, jittering every release it selects.
+
+    The inner controller (SBM FIFO or DBM associative) decides *which*
+    barrier fires; the wrapper delays *when* its release reaches the
+    processors, modelling a barrier network with variable propagation
+    time.  Injected delays are recorded in ``jitter`` for post-mortem
+    correlation.
+    """
+
+    inner: object  # BarrierController protocol
+    plan: FaultPlan
+    rng: random.Random
+    jitter: dict[int, int] = field(default_factory=dict)
+
+    def select(
+        self, waiting: dict[int, int], arrival: dict[int, int]
+    ) -> tuple[int, int] | None:
+        choice = self.inner.select(waiting, arrival)
+        if choice is None:
+            return None
+        barrier_id, fire_time = choice
+        delay = self.plan.sample_jitter(self.rng)
+        if delay:
+            self.jitter[barrier_id] = delay
+        return barrier_id, fire_time + delay
+
+
+def inflate_dag(
+    dag: InstructionDAG,
+    plan: FaultPlan,
+    slow_nodes: frozenset[NodeId] = frozenset(),
+) -> InstructionDAG:
+    """The same DAG with every max latency stretched to the plan's envelope.
+
+    Minimum latencies are untouched (faults only lengthen executions), so
+    consumer-side earliest-start bounds survive; producer-side worst-case
+    bounds absorb the full fault envelope.  Re-running edge validation
+    and barrier insertion against the inflated DAG is exactly the
+    ε-hardening pass (:func:`repro.faults.harden.harden_schedule`).
+    """
+    latencies = {
+        node: Interval(
+            dag.latency(node).lo,
+            plan.worst_case_hi(dag.latency(node), node in slow_nodes),
+        )
+        for node in dag.real_nodes
+    }
+    payload = {
+        node: dag.payload(node)
+        for node in dag.real_nodes
+        if dag.payload(node) is not None
+    }
+    return InstructionDAG.build(latencies, dag.real_edges(), payload)

@@ -57,9 +57,12 @@ class DBMSimulator:
         self,
         sampler: DurationSampler | None = None,
         rng: random.Random | int | None = None,
+        allow_overrun: bool = False,
     ) -> ExecutionTrace:
         controller = DBMController(self.program)
-        return run_machine(self.program, controller, "dbm", sampler, rng)
+        return run_machine(
+            self.program, controller, "dbm", sampler, rng, allow_overrun
+        )
 
     def run_many(
         self,
@@ -75,6 +78,7 @@ def simulate_dbm(
     program: MachineProgram,
     sampler: DurationSampler | None = None,
     rng: random.Random | int | None = None,
+    allow_overrun: bool = False,
 ) -> ExecutionTrace:
     """One DBM execution of ``program`` under ``sampler``."""
-    return DBMSimulator(program).run(sampler, rng)
+    return DBMSimulator(program).run(sampler, rng, allow_overrun)

@@ -97,6 +97,12 @@ class FixedSampler:
     durations: Mapping[NodeId, int] = field(default_factory=dict)
     default: str = "max"
 
+    def __post_init__(self) -> None:
+        if self.default not in ("max", "min"):
+            raise ValueError(
+                f"FixedSampler default must be 'max' or 'min', got {self.default!r}"
+            )
+
     def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
         if node in self.durations:
             value = self.durations[node]

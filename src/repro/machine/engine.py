@@ -55,8 +55,19 @@ def run_machine(
     machine_name: str,
     sampler: DurationSampler | None = None,
     rng: random.Random | int | None = None,
+    allow_overrun: bool = False,
 ) -> ExecutionTrace:
-    """Execute ``program`` under ``controller``; return the full trace."""
+    """Execute ``program`` under ``controller``; return the full trace.
+
+    By default a sampled duration outside an instruction's static
+    ``[min,max]`` interval is a programming error and raises
+    ``ValueError`` -- the compiler's entire soundness story rests on the
+    interval being respected.  Fault-injection campaigns
+    (:mod:`repro.faults`) deliberately violate the model: with
+    ``allow_overrun=True`` the excursion is executed anyway and recorded
+    in ``ExecutionTrace.overruns`` so the race detector can correlate
+    observed order violations with the injected faults.
+    """
     sampler = sampler or UniformSampler()
     if rng is None or isinstance(rng, int):
         rng = random.Random(rng)
@@ -65,6 +76,7 @@ def run_machine(
     start: dict = {}
     finish: dict = {}
     durations: dict = {}
+    overruns: dict = {}
     barrier_fire: dict[int, int] = {}
 
     def advance(pe: int) -> None:
@@ -80,9 +92,16 @@ def run_machine(
             assert isinstance(item, MachineOp)
             dur = sampler.sample(item.node, item.latency, rng)
             if dur not in item.latency:
-                raise ValueError(
-                    f"sampler produced {dur} outside {item.latency} for {item.node!r}"
+                if not allow_overrun:
+                    raise ValueError(
+                        f"sampler produced {dur} outside {item.latency} for {item.node!r}"
+                    )
+                excess = (
+                    dur - item.latency.hi
+                    if dur > item.latency.hi
+                    else dur - item.latency.lo
                 )
+                overruns[item.node] = excess
             start[item.node] = st.clock
             st.clock += dur
             finish[item.node] = st.clock
@@ -130,4 +149,5 @@ def run_machine(
         barrier_fire=barrier_fire,
         pe_finish=tuple(st.clock for st in states),
         durations=durations,
+        overruns=overruns,
     )

@@ -69,9 +69,12 @@ class SBMSimulator:
         self,
         sampler: DurationSampler | None = None,
         rng: random.Random | int | None = None,
+        allow_overrun: bool = False,
     ) -> ExecutionTrace:
         controller = SBMController(self.program)
-        return run_machine(self.program, controller, "sbm", sampler, rng)
+        return run_machine(
+            self.program, controller, "sbm", sampler, rng, allow_overrun
+        )
 
     def run_many(
         self,
@@ -87,6 +90,7 @@ def simulate_sbm(
     program: MachineProgram,
     sampler: DurationSampler | None = None,
     rng: random.Random | int | None = None,
+    allow_overrun: bool = False,
 ) -> ExecutionTrace:
     """One SBM execution of ``program`` under ``sampler``."""
-    return SBMSimulator(program).run(sampler, rng)
+    return SBMSimulator(program).run(sampler, rng, allow_overrun)

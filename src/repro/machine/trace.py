@@ -56,6 +56,11 @@ class ExecutionTrace:
     barrier_fire: Mapping[int, int]
     pe_finish: tuple[int, ...]
     durations: Mapping[NodeId, int] = field(default_factory=dict)
+    #: Out-of-interval excursions recorded under fault injection
+    #: (``run_machine(..., allow_overrun=True)``): signed excess beyond the
+    #: static interval -- ``duration - latency.hi`` for an overrun,
+    #: ``duration - latency.lo`` (negative) for an underrun.
+    overruns: Mapping[NodeId, int] = field(default_factory=dict)
 
     @property
     def makespan(self) -> int:
@@ -83,7 +88,8 @@ class ExecutionTrace:
         fires = " ".join(
             f"b{bid}@{t}" for bid, t in sorted(self.barrier_fire.items())
         )
+        faults = f" overruns={len(self.overruns)}" if self.overruns else ""
         return (
             f"{self.machine.upper()} run: makespan={self.makespan} "
-            f"PE finishes={list(self.pe_finish)} fires: {fires}"
+            f"PE finishes={list(self.pe_finish)} fires: {fires}{faults}"
         )

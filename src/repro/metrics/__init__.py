@@ -1,6 +1,11 @@
 """Synchronization metrics and corpus statistics (paper section 3.1/5)."""
 
 from repro.metrics.fractions import SyncFractions, fractions_of
+from repro.metrics.robustness import (
+    CaseRobustness,
+    RobustnessPoint,
+    aggregate_robustness,
+)
 from repro.metrics.stats import (
     CorpusStats,
     FractionAggregate,
@@ -15,4 +20,7 @@ __all__ = [
     "FractionAggregate",
     "aggregate_fractions",
     "aggregate_results",
+    "CaseRobustness",
+    "RobustnessPoint",
+    "aggregate_robustness",
 ]

@@ -1,0 +1,79 @@
+"""Corpus-level aggregation of fault-campaign outcomes.
+
+One :class:`CaseRobustness` records what a fault plan did to a single
+scheduled benchmark -- races before and after ε-hardening, the static
+``ε*`` margin, and what hardening cost.  :func:`aggregate_robustness`
+reduces a batch of them to one :class:`RobustnessPoint`, i.e. one point
+of the fault-tolerance curve the ``robustness`` experiment sweeps out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CaseRobustness", "RobustnessPoint", "aggregate_robustness"]
+
+
+@dataclass(frozen=True, slots=True)
+class CaseRobustness:
+    """Fault-campaign outcome for one benchmark at one ε."""
+
+    epsilon: float
+    n_timing_edges: int
+    epsilon_star: float  # math.inf when every edge is structural
+    races_unhardened: int  # distinct raced edges
+    races_hardened: int
+    extra_barriers: int
+    makespan_overhead: float
+    deadlocks: int = 0
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One ε point of the corpus fault-tolerance curve."""
+
+    epsilon: float
+    n_cases: int
+    #: Fraction of benchmarks with at least one observed race, before
+    #: and after hardening.  ``racy_hardened`` staying at zero is the
+    #: experimental check of the hardening soundness argument.
+    racy_fraction: float
+    racy_fraction_hardened: float
+    mean_races: float
+    mean_races_hardened: float
+    #: Fraction whose static margin already covers this ε (``ε* >= ε``);
+    #: the complement is the population hardening exists for.
+    covered_fraction: float
+    mean_extra_barriers: float
+    mean_makespan_overhead: float
+    n_deadlocks: int
+
+
+def aggregate_robustness(cases: Sequence[CaseRobustness]) -> RobustnessPoint:
+    if not cases:
+        raise ValueError("cannot aggregate an empty robustness batch")
+    eps = cases[0].epsilon
+    if any(c.epsilon != eps for c in cases):
+        raise ValueError("mixed-epsilon batch; aggregate one point at a time")
+    unhardened = np.asarray([c.races_unhardened for c in cases], dtype=float)
+    hardened = np.asarray([c.races_hardened for c in cases], dtype=float)
+    return RobustnessPoint(
+        epsilon=eps,
+        n_cases=len(cases),
+        racy_fraction=float((unhardened > 0).mean()),
+        racy_fraction_hardened=float((hardened > 0).mean()),
+        mean_races=float(unhardened.mean()),
+        mean_races_hardened=float(hardened.mean()),
+        covered_fraction=float(
+            np.mean([1.0 if c.epsilon_star >= eps or math.isinf(c.epsilon_star) else 0.0 for c in cases])
+        ),
+        mean_extra_barriers=float(np.mean([c.extra_barriers for c in cases])),
+        mean_makespan_overhead=float(
+            np.mean([c.makespan_overhead for c in cases])
+        ),
+        n_deadlocks=sum(c.deadlocks for c in cases),
+    )

@@ -1,0 +1,104 @@
+"""Tests for the robustness experiment and its aggregation layer."""
+
+import math
+
+import pytest
+
+from repro.experiments.robustness_exp import (
+    DEFAULT_EPSILONS,
+    robustness_experiment,
+)
+from repro.metrics.robustness import CaseRobustness, aggregate_robustness
+
+
+def small_result(**kw):
+    defaults = dict(
+        count=3,
+        epsilons=(0.0, 0.25),
+        runs=5,
+        n_statements=20,
+        n_pes=4,
+        master_seed=0,
+    )
+    defaults.update(kw)
+    return robustness_experiment(**defaults)
+
+
+class TestRobustnessExperiment:
+    def test_one_point_per_epsilon(self):
+        result = small_result()
+        assert [p.epsilon for p in result.points] == [0.0, 0.25]
+        assert all(p.n_cases == 3 for p in result.points)
+
+    def test_epsilon_zero_row_is_race_free(self):
+        result = small_result()
+        zero = result.points[0]
+        assert zero.epsilon == 0.0
+        assert zero.racy_fraction == 0.0
+        assert zero.racy_fraction_hardened == 0.0
+        assert zero.n_deadlocks == 0
+
+    def test_hardening_never_increases_racy_fraction(self):
+        result = small_result(epsilons=(0.25, 0.5))
+        for point in result.points:
+            assert point.racy_fraction_hardened <= point.racy_fraction
+
+    def test_render_is_a_fault_tolerance_curve(self):
+        result = small_result()
+        text = result.render()
+        assert "fault-tolerance curve" in text
+        for column in ("eps", "racy", "hardened-racy", "+barriers"):
+            assert column in text
+
+    def test_deterministic(self):
+        a = small_result()
+        b = small_result()
+        assert a == b
+
+    def test_default_epsilons_start_at_zero(self):
+        # The eps = 0 row doubles as a soundness regression: the curve
+        # must always show the fault-free baseline.
+        assert DEFAULT_EPSILONS[0] == 0.0
+        assert list(DEFAULT_EPSILONS) == sorted(DEFAULT_EPSILONS)
+
+
+class TestAggregateRobustness:
+    def _case(self, **kw):
+        defaults = dict(
+            epsilon=0.25,
+            n_timing_edges=4,
+            epsilon_star=0.5,
+            races_unhardened=1,
+            races_hardened=0,
+            extra_barriers=2,
+            makespan_overhead=0.1,
+        )
+        defaults.update(kw)
+        return CaseRobustness(**defaults)
+
+    def test_aggregates_fractions(self):
+        point = aggregate_robustness(
+            [self._case(), self._case(races_unhardened=0, extra_barriers=0)]
+        )
+        assert point.n_cases == 2
+        assert point.racy_fraction == pytest.approx(0.5)
+        assert point.racy_fraction_hardened == 0.0
+        assert point.mean_extra_barriers == pytest.approx(1.0)
+
+    def test_covered_fraction_counts_epsilon_star(self):
+        covered = self._case(epsilon_star=0.5)  # eps* >= eps: covered
+        exposed = self._case(epsilon_star=0.1)
+        point = aggregate_robustness([covered, exposed])
+        assert point.covered_fraction == pytest.approx(0.5)
+
+    def test_infinite_epsilon_star_counts_as_covered(self):
+        point = aggregate_robustness([self._case(epsilon_star=math.inf)])
+        assert point.covered_fraction == 1.0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_robustness([])
+
+    def test_mixed_epsilon_batch_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_robustness([self._case(epsilon=0.1), self._case(epsilon=0.2)])

@@ -1,0 +1,102 @@
+"""Tests for ε-hardening: the constructive half of the robustness story."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.core.validate import find_violations
+from repro.faults import FaultPlan, harden_schedule, run_campaign
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+RACY_SEED = 7  # see tests/faults/test_campaign.py
+
+
+def scheduled(seed=RACY_SEED, n_pes=4, machine="sbm"):
+    case = compile_case(GeneratorConfig(n_statements=30), seed)
+    cfg = SchedulerConfig(n_pes=n_pes, machine=machine, seed=seed)
+    return schedule_dag(case.dag, cfg).schedule
+
+
+class TestHardenSchedule:
+    def test_hardened_schedule_is_race_free_under_same_plan(self):
+        # The acceptance property: a schedule that races at eps = 0.25
+        # stops racing after hardening against that exact plan -- every
+        # faulty execution of the hardened schedule is an in-interval
+        # execution of the inflated DAG it was validated against.
+        schedule = scheduled()
+        plan = FaultPlan(epsilon=0.25)
+        before = run_campaign(schedule, "sbm", plan, runs=50, seed=7)
+        assert not before.race_free  # the premise: the raw schedule races
+        report = harden_schedule(schedule, plan=plan, merge=True)
+        after = run_campaign(report.schedule, "sbm", plan, runs=50, seed=7)
+        assert after.race_free, after.render()
+
+    def test_hardened_race_free_across_seeds_and_epsilons(self):
+        for seed in range(4):
+            schedule = scheduled(seed=seed)
+            for eps in (0.25, 0.5, 1.0):
+                plan = FaultPlan(epsilon=eps)
+                report = harden_schedule(schedule, plan=plan, merge=True)
+                after = run_campaign(
+                    report.schedule, "sbm", plan, runs=15, seed=seed
+                )
+                assert after.race_free, (seed, eps, after.render())
+
+    def test_null_plan_changes_nothing(self):
+        schedule = scheduled()
+        report = harden_schedule(schedule, epsilon=0.0, merge=True)
+        assert report.repairs == 0
+        assert report.extra_barriers == 0
+        assert report.makespan_after == report.makespan_before
+
+    def test_placement_is_preserved(self):
+        # Hardening only adds synchronization; instructions never move.
+        schedule = scheduled()
+        report = harden_schedule(schedule, epsilon=1.0, merge=True)
+        for node in schedule.scheduled_nodes:
+            assert report.schedule.processor_of(node) == schedule.processor_of(node)
+        for pe in range(schedule.n_pes):
+            assert report.schedule.instructions_on(pe) == schedule.instructions_on(pe)
+
+    def test_input_schedule_not_mutated(self):
+        schedule = scheduled()
+        barriers = schedule.n_barriers
+        streams = [list(s) for s in schedule.streams]
+        harden_schedule(schedule, epsilon=1.0, merge=True)
+        assert schedule.n_barriers == barriers
+        assert [list(s) for s in schedule.streams] == streams
+        assert find_violations(schedule) == []
+
+    def test_hardened_schedule_still_valid_under_original_model(self):
+        schedule = scheduled()
+        report = harden_schedule(schedule, epsilon=0.5, merge=True)
+        assert find_violations(report.schedule) == []
+
+    def test_needs_epsilon_or_plan(self):
+        with pytest.raises(ValueError):
+            harden_schedule(scheduled())
+
+    def test_conflicting_epsilon_and_plan_rejected(self):
+        with pytest.raises(ValueError):
+            harden_schedule(scheduled(), 0.5, plan=FaultPlan(epsilon=0.25))
+
+    def test_matching_epsilon_and_plan_accepted(self):
+        report = harden_schedule(scheduled(), 0.25, plan=FaultPlan(epsilon=0.25))
+        assert report.plan.epsilon == 0.25
+
+    def test_report_accounting(self):
+        schedule = scheduled()
+        report = harden_schedule(schedule, epsilon=0.5, merge=True)
+        assert report.barriers_before == schedule.n_barriers
+        assert report.barriers_after == report.schedule.n_barriers
+        assert report.extra_barriers == report.barriers_after - report.barriers_before
+        assert report.worst_case_makespan.hi >= report.makespan_after.hi
+        assert "barriers" in report.render()
+
+    def test_makespan_overhead_nonnegative(self):
+        # Adding barriers can only delay completion under the original
+        # timing model.
+        for seed in range(4):
+            report = harden_schedule(scheduled(seed=seed), epsilon=1.0, merge=True)
+            assert report.makespan_overhead >= 0.0
+            assert report.makespan_after.hi >= report.makespan_before.hi

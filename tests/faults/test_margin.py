@@ -1,0 +1,75 @@
+"""Tests for the static robustness-margin analysis."""
+
+import math
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.faults import robustness_margin
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+from tests.conftest import chain_dag
+
+
+def scheduled(seed=7, n_pes=4, n_statements=30, machine="sbm", insertion="conservative"):
+    case = compile_case(GeneratorConfig(n_statements=n_statements), seed)
+    cfg = SchedulerConfig(n_pes=n_pes, machine=machine, insertion=insertion, seed=seed)
+    return schedule_dag(case.dag, cfg).schedule
+
+
+class TestRobustnessMargin:
+    def test_edge_partition_is_total(self):
+        schedule = scheduled()
+        report = robustness_margin(schedule)
+        assert report.n_edges == len(list(schedule.dag.real_edges()))
+        assert report.n_structural + report.n_timing == report.n_edges
+
+    def test_single_pe_chain_is_all_structural(self):
+        dag = chain_dag([(1, 4), (1, 1), (2, 3)])
+        schedule = schedule_dag(dag, SchedulerConfig(n_pes=1)).schedule
+        report = robustness_margin(schedule)
+        assert report.n_timing == 0
+        assert math.isinf(report.epsilon_star)
+        assert report.weakest is None
+        assert report.min_slack is None
+        assert "structurally robust" in report.render()
+
+    def test_timing_edges_have_nonnegative_slack(self):
+        # A validated schedule's conservative timing proofs all hold.
+        for seed in range(5):
+            report = robustness_margin(scheduled(seed=seed))
+            for edge in report.edges:
+                assert edge.slack >= 0
+                assert edge.epsilon_edge >= 0.0
+
+    def test_epsilon_star_is_the_minimum(self):
+        report = robustness_margin(scheduled())
+        if report.edges:
+            assert report.epsilon_star == min(e.epsilon_edge for e in report.edges)
+            assert report.weakest.epsilon_edge == report.epsilon_star
+
+    def test_edges_sorted_weakest_first(self):
+        report = robustness_margin(scheduled())
+        eps = [e.epsilon_edge for e in report.edges]
+        assert eps == sorted(eps)
+
+    def test_optimal_mode_margins_are_zero(self):
+        # Edges rescued only by the 4.4.2 overlap analysis carry no
+        # conservative slack; their margin must be reported as 0.
+        for seed in range(8):
+            schedule = scheduled(seed=seed, insertion="optimal")
+            report = robustness_margin(schedule, mode="optimal")
+            for edge in report.edges:
+                if edge.kind == "timing-optimal":
+                    assert edge.epsilon_edge == 0.0
+
+    def test_render_lists_weakest_edges(self):
+        report = robustness_margin(scheduled())
+        text = report.render(limit=2)
+        assert "epsilon*" in text
+        if report.n_timing > 2:
+            assert "more timing edges" in text
+
+    def test_describe_mentions_slack(self):
+        report = robustness_margin(scheduled())
+        if report.edges:
+            assert "slack" in report.edges[0].describe()

@@ -1,0 +1,177 @@
+"""Tests for the fault model: plans, injectors, DAG inflation."""
+
+import random
+
+import pytest
+
+from repro.timing import Interval
+from repro.faults import FaultPlan, FaultySampler, FaultyController, inflate_dag
+from repro.ir.dag import InstructionDAG
+from repro.machine.durations import MaxSampler, UniformSampler
+
+IV = Interval(4, 8)
+RNG = lambda seed=0: random.Random(seed)
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epsilon=-0.1),
+            dict(p_overrun=1.5),
+            dict(p_overrun=-0.1),
+            dict(spike_prob=2.0),
+            dict(spike_magnitude=-1),
+            dict(straggler_factor=0.5),
+            dict(barrier_jitter=-3),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_straggler_pes_normalized_to_frozenset(self):
+        plan = FaultPlan(straggler_pes={1, 2})
+        assert isinstance(plan.straggler_pes, frozenset)
+        assert plan == FaultPlan(straggler_pes=frozenset({2, 1}))
+
+    def test_is_null(self):
+        assert FaultPlan().is_null
+        assert FaultPlan(spike_prob=0.5).is_null  # zero magnitude
+        assert FaultPlan(spike_magnitude=3).is_null  # zero probability
+        assert not FaultPlan(epsilon=0.1).is_null
+        assert not FaultPlan(spike_prob=0.5, spike_magnitude=3).is_null
+        assert not FaultPlan(barrier_jitter=1).is_null
+
+
+class TestEnvelope:
+    def test_stretch_hi_floor(self):
+        plan = FaultPlan(epsilon=0.25)
+        assert plan.stretch_hi(8) == 10  # 8 + floor(2.0)
+        assert plan.stretch_hi(1) == 1  # floor(0.25) == 0: no room
+        assert plan.stretch_hi(7) == 8  # 7 + floor(1.75)
+
+    def test_straggler_budget(self):
+        plan = FaultPlan(epsilon=0.25, straggler_pes={0}, straggler_factor=2.0)
+        assert plan.stretch_hi(8, slow=True) == 12
+        assert plan.stretch_hi(8, slow=False) == 10
+        assert plan.worst_stretch == 0.5
+
+    def test_worst_case_hi_includes_spikes(self):
+        plan = FaultPlan(epsilon=0.25, spike_prob=0.5, spike_magnitude=3)
+        assert plan.worst_case_hi(IV) == 10 + 3
+        assert FaultPlan(epsilon=0.25).worst_case_hi(IV) == 10
+
+    def test_perturb_stays_in_envelope(self):
+        plan = FaultPlan(
+            epsilon=0.5, p_overrun=0.7, spike_prob=0.3, spike_magnitude=5
+        )
+        rng = RNG(1)
+        cap = plan.worst_case_hi(IV)
+        for _ in range(500):
+            out = plan.perturb(IV.hi, IV, rng)
+            assert IV.lo <= out <= cap
+
+    def test_null_plan_never_perturbs(self):
+        plan = FaultPlan()
+        assert all(plan.perturb(5, IV, RNG(k)) == 5 for k in range(20))
+
+    def test_describe_mentions_active_modes(self):
+        plan = FaultPlan(
+            epsilon=0.2,
+            spike_prob=0.1,
+            spike_magnitude=4,
+            straggler_pes={1},
+            barrier_jitter=2,
+        )
+        text = plan.describe()
+        assert "epsilon=0.2" in text
+        assert "spikes" in text
+        assert "stragglers" in text and "PE{1}" in text
+        assert "jitter" in text
+
+
+class TestFaultySampler:
+    def test_zero_epsilon_is_transparent(self):
+        sampler = FaultySampler(FaultPlan(), MaxSampler())
+        assert sampler.sample("n", IV, RNG()) == IV.hi
+
+    def test_overruns_bounded(self):
+        sampler = FaultySampler(FaultPlan(epsilon=1.0), UniformSampler())
+        rng = RNG(2)
+        draws = [sampler.sample("n", IV, rng) for _ in range(300)]
+        assert max(draws) <= 16
+        assert max(draws) > IV.hi  # overruns actually happen
+
+    def test_slow_nodes_get_bigger_budget(self):
+        plan = FaultPlan(epsilon=0.5, straggler_pes={0}, straggler_factor=2.0)
+        sampler = FaultySampler(plan, MaxSampler(), slow_nodes=frozenset({"s"}))
+        rng = RNG(3)
+        fast = max(sampler.sample("n", IV, rng) for _ in range(200))
+        slow = max(sampler.sample("s", IV, rng) for _ in range(200))
+        assert fast <= plan.stretch_hi(IV.hi) < slow <= plan.stretch_hi(IV.hi, True)
+
+
+class _StubController:
+    def __init__(self, fire_at=7):
+        self.fire_at = fire_at
+
+    def select(self, waiting, arrival):
+        if not waiting:
+            return None
+        return next(iter(waiting.values())), self.fire_at
+
+
+class TestFaultyController:
+    def test_jitter_delays_and_records(self):
+        plan = FaultPlan(barrier_jitter=5)
+        wrapped = FaultyController(_StubController(), plan, RNG(4))
+        delayed = 0
+        for _ in range(50):
+            bid, t = wrapped.select({0: 1}, {0: 7})
+            assert 7 <= t <= 12
+            delayed += t > 7
+        assert delayed > 0
+        assert wrapped.jitter  # recorded for post-mortem correlation
+
+    def test_zero_jitter_is_passthrough(self):
+        wrapped = FaultyController(_StubController(), FaultPlan(), RNG())
+        assert wrapped.select({0: 1}, {0: 7}) == (1, 7)
+        assert wrapped.jitter == {}
+
+    def test_none_propagates(self):
+        wrapped = FaultyController(_StubController(), FaultPlan(), RNG())
+        assert wrapped.select({}, {}) is None
+
+
+class TestInflateDag:
+    def _dag(self):
+        return InstructionDAG.build(
+            {"a": Interval(1, 4), "b": Interval(16, 24), "c": Interval(1, 1)},
+            [("a", "b"), ("b", "c")],
+        )
+
+    def test_hi_stretched_lo_preserved(self):
+        dag = self._dag()
+        inflated = inflate_dag(dag, FaultPlan(epsilon=0.25))
+        assert inflated.latency("a") == Interval(1, 5)
+        assert inflated.latency("b") == Interval(16, 30)
+        assert inflated.latency("c") == Interval(1, 1)
+
+    def test_edges_preserved(self):
+        dag = self._dag()
+        inflated = inflate_dag(dag, FaultPlan(epsilon=0.5))
+        assert sorted(inflated.real_edges()) == sorted(dag.real_edges())
+
+    def test_null_plan_identity_latencies(self):
+        dag = self._dag()
+        inflated = inflate_dag(dag, FaultPlan())
+        for node in dag.real_nodes:
+            assert inflated.latency(node) == dag.latency(node)
+
+    def test_slow_nodes_inflate_more(self):
+        dag = self._dag()
+        plan = FaultPlan(epsilon=0.25, straggler_pes={0}, straggler_factor=2.0)
+        inflated = inflate_dag(dag, plan, slow_nodes=frozenset({"b"}))
+        assert inflated.latency("b") == Interval(16, 36)  # 24 + floor(24*0.5)
+        assert inflated.latency("a") == Interval(1, 5)

@@ -56,3 +56,10 @@ class TestSamplers:
         sampler = FixedSampler({"a": 9})
         with pytest.raises(ValueError):
             sampler.sample("a", IV, RNG())
+
+    @pytest.mark.parametrize("default", ["mx", "MAX", "", "median"])
+    def test_fixed_bad_default_rejected_at_construction(self, default):
+        # A typo like "mx" would otherwise silently behave as "min"
+        # (the fallback branch) for every unlisted node.
+        with pytest.raises(ValueError, match="'max' or 'min'"):
+            FixedSampler({}, default=default)

@@ -1,0 +1,159 @@
+"""Failure-mode tests for the execution engine: deadlocks and overruns.
+
+The engine's diagnostics are load-bearing -- when a fault campaign or a
+miscompiled program hangs the machine, the error message is the only
+clue to which processors are stuck where.  These tests pin the shape of
+those diagnostics.
+"""
+
+import random
+
+import pytest
+
+from repro.timing import Interval
+from repro.barriers.mask import BarrierMask
+from repro.machine.durations import MaxSampler
+from repro.machine.engine import run_machine
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.sbm import SBMController, simulate_sbm
+from repro.machine.trace import DeadlockError
+
+
+def hand_program(streams, masks, order, edges=()):
+    return MachineProgram(
+        n_pes=len(streams),
+        streams=tuple(tuple(s) for s in streams),
+        masks=masks,
+        barrier_order=tuple(order),
+        initial_barrier_id=0,
+        edges=tuple(edges),
+    )
+
+
+class TestSBMQueueOrderDeadlock:
+    def _mismatched_program(self):
+        """The compile-time queue order disagrees with stream order.
+
+        PE0's stream waits on b1 while PE1's waits on b2, but the FIFO
+        queue is loaded [b0, b1, b2] with b1's mask covering *both* PEs:
+        the head (b1) needs PE1, PE1 is stuck at b2, and b2 can never
+        reach the head -- a real SBM hardware hang.
+        """
+        b0, b1, b2 = BarrierRef(0), BarrierRef(1), BarrierRef(2)
+        streams = [[b0, b1], [b0, b2, b1]]
+        masks = {
+            0: BarrierMask.from_pes([0, 1], 2),
+            1: BarrierMask.from_pes([0, 1], 2),
+            2: BarrierMask.from_pes([1], 2),
+        }
+        return hand_program(streams, masks, [0, 1, 2])
+
+    def test_deadlock_raised(self):
+        with pytest.raises(DeadlockError):
+            simulate_sbm(self._mismatched_program(), MaxSampler())
+
+    def test_diagnostic_names_stuck_pes_and_barriers(self):
+        with pytest.raises(DeadlockError) as exc:
+            simulate_sbm(self._mismatched_program(), MaxSampler())
+        message = str(exc.value)
+        assert "sbm" in message
+        assert "no barrier can fire" in message
+        # Both stuck processors and the barriers they wait on are named.
+        assert "0: 'b1'" in message
+        assert "1: 'b2'" in message
+
+
+class _RogueController:
+    """Fires the initial barrier, then fires b1 regardless of arrivals."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def select(self, waiting, arrival):
+        self.calls += 1
+        if self.calls == 1:
+            return 0, 0
+        return 1, max(arrival.values(), default=0)
+
+
+class TestNonWaitingParticipant:
+    def test_firing_with_absent_participant_is_fatal(self):
+        # b1's mask claims PE1 participates, but PE1's stream retires
+        # without ever waiting on it.  A controller that fires b1 anyway
+        # models corrupted barrier state; the engine must refuse.
+        b0, b1 = BarrierRef(0), BarrierRef(1)
+        op = MachineOp("x", Interval(1, 1), "x")
+        streams = [[b0, b1], [b0, op]]
+        masks = {
+            0: BarrierMask.from_pes([0, 1], 2),
+            1: BarrierMask.from_pes([0, 1], 2),
+        }
+        program = hand_program(streams, masks, [0, 1])
+        with pytest.raises(DeadlockError) as exc:
+            run_machine(program, _RogueController(), "sbm", MaxSampler())
+        message = str(exc.value)
+        assert "barrier b1 fired" in message
+        assert "PE 1" in message
+        assert "not waiting" in message
+
+
+class _LiteralSampler:
+    """Returns a fixed value with no interval validation -- unlike
+    FixedSampler, which refuses to produce out-of-interval durations."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def sample(self, node, latency, rng):
+        return self.value
+
+
+class TestOverrunMode:
+    def _one_op_program(self):
+        b0 = BarrierRef(0)
+        op = MachineOp("x", Interval(2, 4), "x")
+        masks = {0: BarrierMask.from_pes([0], 1)}
+        return hand_program([[b0, op]], masks, [0])
+
+    def test_out_of_interval_rejected_by_default(self):
+        program = self._one_op_program()
+        sampler = _LiteralSampler(9)
+        with pytest.raises(ValueError, match="outside"):
+            run_machine(program, SBMController(program), "sbm", sampler)
+
+    def test_allow_overrun_records_signed_excess(self):
+        program = self._one_op_program()
+        trace = run_machine(
+            program,
+            SBMController(program),
+            "sbm",
+            _LiteralSampler(9),
+            allow_overrun=True,
+        )
+        assert trace.overruns == {"x": 5}  # 9 - hi(4)
+        assert trace.finish["x"] - trace.start["x"] == 9
+        assert "overruns=1" in trace.describe()
+
+    def test_allow_overrun_records_underrun_negative(self):
+        program = self._one_op_program()
+        trace = run_machine(
+            program,
+            SBMController(program),
+            "sbm",
+            _LiteralSampler(1),
+            allow_overrun=True,
+        )
+        assert trace.overruns == {"x": -1}  # 1 - lo(2)
+
+    def test_in_interval_run_records_no_overruns(self):
+        program = self._one_op_program()
+        trace = run_machine(
+            program,
+            SBMController(program),
+            "sbm",
+            MaxSampler(),
+            rng=random.Random(0),
+            allow_overrun=True,
+        )
+        assert trace.overruns == {}
+        assert "overruns" not in trace.describe()

@@ -155,3 +155,110 @@ class TestDot:
         assert main(["dot", block_file, "--what", "dag"]) == 0
         out = capsys.readouterr().out
         assert out.count("digraph") == 1 and "Load" in out
+
+
+class TestFaults:
+    def test_campaign_on_file(self, capsys, block_file):
+        assert main(["faults", block_file, "--runs", "5", "--epsilon", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "static robustness margin" in out
+        assert "fault campaign (as scheduled)" in out
+        assert "epsilon-hardening" in out
+        assert "fault campaign (hardened)" in out
+
+    def test_reference_command_finds_and_fixes_race(self, capsys):
+        # The reference invocation of docs/robustness.md: on the
+        # auto-generated block, eps = 0.25 must surface at least one
+        # race, and the hardened schedule must show none.
+        assert main(["faults", "--epsilon", "0.25", "--runs", "50", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "RACES" in out
+        assert "proof broken" in out and "slack" in out
+        scheduled_part, hardened_part = out.split("== fault campaign (hardened) ==")
+        assert "RACES" in scheduled_part
+        assert "no races observed" in hardened_part
+
+    def test_epsilon_zero_never_races(self, capsys):
+        for machine in ("sbm", "dbm"):
+            assert main(
+                ["faults", "--epsilon", "0", "--runs", "10", "--machine", machine]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "RACES" not in out
+            assert "epsilon-hardening" not in out  # null plan: nothing to harden
+
+    def test_no_harden_skips_second_campaign(self, capsys, block_file):
+        assert main(["faults", block_file, "--runs", "3", "--no-harden"]) == 0
+        assert "hardened" not in capsys.readouterr().out
+
+    def test_fault_modes_accepted(self, capsys, block_file):
+        assert main(
+            [
+                "faults", block_file, "--runs", "3", "--epsilon", "0.2",
+                "--p-overrun", "0.5", "--spike-prob", "0.2", "--spike", "4",
+                "--stragglers", "0,2", "--straggler-factor", "3",
+                "--jitter", "2", "--no-directed",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stragglers" in out and "jitter" in out
+
+    def test_bad_stragglers_entry(self, capsys, block_file):
+        assert main(["faults", block_file, "--stragglers", "zero"]) == 2
+        assert "repro-sbm: error:" in capsys.readouterr().err
+
+    def test_stragglers_out_of_range(self, capsys, block_file):
+        assert main(["faults", block_file, "--pes", "2", "--stragglers", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_bad_epsilon_rejected(self, capsys, block_file):
+        assert main(["faults", block_file, "--epsilon", "-1"]) == 2
+        assert "epsilon" in capsys.readouterr().err
+
+
+class TestBadInputDiagnostics:
+    """Bad inputs exit with status 2 and one line on stderr -- never a
+    traceback (the robustness satellite of the fault-injection PR)."""
+
+    def test_missing_source_file(self, capsys):
+        assert main(["schedule", "/no/such/file.src"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-sbm: error:")
+        assert "file.src" in err
+
+    def test_parse_error_is_one_line(self, capsys, tmp_path):
+        path = tmp_path / "bad.src"
+        path.write_text("a = b +\n")
+        assert main(["schedule", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-sbm: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_file_for_simulate_and_compile(self, capsys):
+        assert main(["simulate", "/no/such/file.src"]) == 2
+        assert main(["compile", "/no/such/file.src"]) == 2
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("value", ["0", "-2", "abc"])
+    def test_invalid_pes_exits_two(self, value, block_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["schedule", block_file, "--pes", value])
+        assert exc.value.code == 2
+
+    def test_invalid_seed_exits_two(self, block_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["schedule", block_file, "--seed", "abc"])
+        assert exc.value.code == 2
+
+    def test_invalid_runs_for_faults(self, block_file):
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", block_file, "--runs", "0"])
+        assert exc.value.code == 2
+
+
+class TestRobustnessExperiment:
+    def test_registered_and_runs(self, capsys):
+        assert main(["experiment", "robustness", "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-tolerance curve" in out
+        assert "hardened-racy" in out
