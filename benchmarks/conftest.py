@@ -11,7 +11,11 @@ paper (see the experiment index in DESIGN.md).  Each test
 
 Corpus sizes default to :data:`BENCH_COUNT` benchmarks per parameter
 point (the paper uses 100; the shapes are stable well below that).  Set
-``REPRO_BENCH_COUNT=100`` in the environment for full paper-scale runs.
+``REPRO_BENCH_COUNT=100`` in the environment for full paper-scale runs;
+at that scale the corpus drivers fan out over all cores by default
+(``REPRO_JOBS=0``; export ``REPRO_JOBS`` yourself to pin a worker count
+or force serial with ``REPRO_JOBS=1``).  Parallel results are
+bit-identical to serial -- see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -22,6 +26,11 @@ import pytest
 
 #: Benchmarks per parameter point (paper: 100).
 BENCH_COUNT = int(os.environ.get("REPRO_BENCH_COUNT", "50"))
+
+#: Full-paper-scale runs are exactly when parallelism pays for the pool
+#: startup; smaller runs keep the serial default.
+if BENCH_COUNT >= 100:
+    os.environ.setdefault("REPRO_JOBS", "0")  # 0 = all cores
 
 
 @pytest.fixture

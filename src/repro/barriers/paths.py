@@ -9,14 +9,28 @@ max-paths to the producer in decreasing length order, and for each
 recomputes the consumer's min-path with the overlapping edges forced to
 their maximum time.
 
-Barrier dags are small (a few dozen barriers), so the k longest paths are
-obtained by enumerating all ``u -> v`` paths and sorting.  A hard cap
-(:data:`MAX_PATHS`) guards against pathological blowup; callers fall back
-to the conservative answer when it is hit.
+The walk almost always stops after a handful of paths -- as soon as one
+path satisfies the plain timing condition, every shorter path does too --
+so the ``psi^k_max`` sequence is produced *lazily* by
+:func:`iter_longest_max_paths`, a best-first search that yields paths in
+exact decreasing-length order without materializing (or sorting) the
+full, potentially exponential path set.  :func:`k_longest_max_paths`
+keeps the old materialized interface on top of it.
+
+A hard cap (:data:`MAX_PATHS`) still bounds pathological walks that
+genuinely visit many paths.  **Contract:** the generators yield up to
+:data:`MAX_PATHS` paths normally and raise :class:`PathExplosionError`
+*lazily, mid-iteration*, on the attempt to produce path
+``MAX_PATHS + 1`` -- by then up to :data:`MAX_PATHS` paths have already
+been yielded and consumed.  Callers that need the complete path set must
+therefore treat any yielded prefix as void when the error arrives;
+callers that decide early (the optimal check) simply stop iterating and
+never trip the cap.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Iterable, Iterator, Sequence
 
 from repro.barriers.dag import BarrierDag
@@ -25,24 +39,31 @@ __all__ = [
     "MAX_PATHS",
     "PathExplosionError",
     "all_paths",
+    "iter_longest_max_paths",
     "k_longest_max_paths",
     "longest_min_path_with_forced_max",
 ]
 
-#: Maximum number of paths enumerated before giving up.
+#: Maximum number of paths produced before giving up.
 MAX_PATHS = 20_000
 
 
 class PathExplosionError(RuntimeError):
-    """Raised when a barrier dag has too many ``u -> v`` paths to enumerate."""
+    """Raised when a barrier dag has too many ``u -> v`` paths to walk.
+
+    Raised *after* :data:`MAX_PATHS` paths have been yielded (see the
+    module docstring for the mid-iteration contract).
+    """
 
 
 def all_paths(dag: BarrierDag, u: int, v: int) -> Iterator[tuple[int, ...]]:
     """Yield every path from ``u`` to ``v`` as a tuple of barrier ids.
 
     ``u == v`` yields the trivial single-node path.  Paths in a dag are
-    automatically simple.  Raises :class:`PathExplosionError` past
-    :data:`MAX_PATHS`.
+    automatically simple.  Raises :class:`PathExplosionError` lazily on
+    the attempt to yield path :data:`MAX_PATHS` ``+ 1`` -- i.e. *after*
+    :data:`MAX_PATHS` paths were already yielded; consumers needing the
+    complete set must discard the partial prefix on error.
     """
     if u == v:
         yield (u,)
@@ -84,19 +105,88 @@ def path_length(dag: BarrierDag, path: Sequence[int], use_max: bool) -> int:
     return total
 
 
+def _completion_bounds(dag: BarrierDag, u: int, v: int) -> dict[int, int]:
+    """Longest max-time path length from each node to ``v``, for every
+    node on some ``u -> v`` path.  One reverse-topological sweep."""
+    bound: dict[int, int] = {v: 0}
+    order = dag.barrier_ids
+    index = dag.order_index
+    start, end = index[u], index[v]
+    for bid in reversed(order[start:end]):
+        if bid != u and not dag.has_path(u, bid):
+            continue
+        best = None
+        for s in dag.succs(bid):
+            tail = bound.get(s)
+            if tail is None:
+                continue
+            cand = dag.weight(bid, s).hi + tail
+            if best is None or cand > best:
+                best = cand
+        if best is not None:
+            bound[bid] = best
+    return bound
+
+
+def iter_longest_max_paths(
+    dag: BarrierDag, u: int, v: int
+) -> Iterator[tuple[int, tuple[int, ...]]]:
+    """Lazily yield every ``u -> v`` path as ``(max_length, path)`` in
+    decreasing max-length order, ties broken by path contents.
+
+    This realizes the sequence ``psi_max(u,v), psi^2_max(u,v), ...`` of
+    section 4.4.2 without enumerating the whole path set first: a
+    best-first search over path prefixes, ranked by the prefix length
+    plus the *exact* longest completion to ``v`` (an admissible,
+    consistent bound computed by one reverse-topological sweep), pops
+    complete paths in exactly the order the old enumerate-and-sort
+    produced -- ``sorted(key=(-length, path))`` -- so consumers that stop
+    after the first decisive path do sublinear work in the path count.
+
+    Raises :class:`PathExplosionError` under the same lazy
+    :data:`MAX_PATHS` contract as :func:`all_paths`.
+    """
+    if u == v:
+        yield 0, (u,)
+        return
+    if not dag.has_path(u, v):
+        return
+
+    bound = _completion_bounds(dag, u, v)
+    produced = 0
+    # Heap entries: (-(length_so_far + best_completion), path, length_so_far).
+    # Equal-priority entries tie-break on the path tuple, matching the old
+    # sort key; with the exact completion bound this yields total order
+    # identical to sorting all complete paths.
+    heap: list[tuple[int, tuple[int, ...], int]] = [(-bound[u], (u,), 0)]
+    while heap:
+        neg_f, path, length = heappop(heap)
+        node = path[-1]
+        if node == v:
+            produced += 1
+            if produced > MAX_PATHS:
+                raise PathExplosionError(
+                    f"more than {MAX_PATHS} paths between barriers {u} and {v}"
+                )
+            yield length, path
+            continue
+        for s in dag.succs(node):
+            tail = bound.get(s)
+            if tail is None:
+                continue
+            step = length + dag.weight(node, s).hi
+            heappush(heap, (-(step + tail), path + (s,), step))
+
+
 def k_longest_max_paths(
     dag: BarrierDag, u: int, v: int
 ) -> list[tuple[int, tuple[int, ...]]]:
     """All ``u -> v`` paths as ``(max_length, path)`` sorted by length desc.
 
-    This realizes the sequence ``psi_max(u,v), psi^2_max(u,v), ...`` of
-    section 4.4.2.  Ties are broken by path contents for determinism.
+    Materialized convenience wrapper over :func:`iter_longest_max_paths`;
+    ties are broken by path contents for determinism, as before.
     """
-    scored = [
-        (path_length(dag, p, use_max=True), p) for p in all_paths(dag, u, v)
-    ]
-    scored.sort(key=lambda item: (-item[0], item[1]))
-    return scored
+    return list(iter_longest_max_paths(dag, u, v))
 
 
 def longest_min_path_with_forced_max(
@@ -117,7 +207,7 @@ def longest_min_path_with_forced_max(
         return None
     forced = set(forced_edges)
     order = dag.barrier_ids
-    index = {bid: k for k, bid in enumerate(order)}
+    index = dag.order_index
     end = index[w]
     best: dict[int, int] = {u: 0}
     for bid in order[index[u]:end + 1]:

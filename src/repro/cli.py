@@ -13,6 +13,8 @@ Subcommands mirror the pipeline stages:
 ``faults``      fault-injection campaign: races, blame, ε-hardening
 ``experiment``  run one of the paper's experiments (fig14..fig18,
                 table1, ranges, merging, ablations, robustness, ...)
+``perf``        run the standard perf workload and emit a BENCH_*.json
+                trajectory record (see docs/performance.md)
 
 Examples::
 
@@ -20,7 +22,8 @@ Examples::
     repro-sbm generate -s 30 | repro-sbm schedule --pes 8
     repro-sbm simulate --pes 4 --runs 3 examples/block.src
     repro-sbm faults --epsilon 0.25 --runs 50 --seed 7
-    repro-sbm experiment fig15 --count 30
+    repro-sbm experiment fig15 --count 30 --jobs 4
+    repro-sbm perf --count 25 --jobs 0 --output BENCH_perf.json
 
 Bad inputs (missing files, malformed source, out-of-range parameters)
 exit with status 2 and a one-line diagnostic, never a traceback.
@@ -29,7 +32,9 @@ exit with status 2 and a one-line diagnostic, never a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
 
 from repro.core.scheduler import SchedulerConfig, schedule_dag
 from repro.experiments import (
@@ -238,8 +243,39 @@ def _build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run one of the paper's experiments")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--count", type=int, default=50, help="benchmarks per point")
+    _add_perf_args(exp)
+    exp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point instead of reusing the on-disk sweep cache",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the standard perf workload; emit a BENCH_*.json record",
+    )
+    perf.add_argument("--count", type=_positive_int, default=25)
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument(
+        "--output",
+        "-o",
+        default="BENCH_perf.json",
+        help="report path ('-' prints the JSON to stdout only)",
+    )
+    _add_perf_args(perf)
 
     return parser
+
+
+def _add_perf_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=_nonnegative_int,
+        default=None,
+        help="worker processes for corpus points (0 = all cores; "
+        "default: the REPRO_JOBS environment variable, else serial)",
+    )
 
 
 def _add_schedule_args(p: argparse.ArgumentParser) -> None:
@@ -496,9 +532,53 @@ def _cmd_archive(args) -> int:
     return 0
 
 
+@contextmanager
+def _perf_env(args, cache: bool | None = None):
+    """Scope the REPRO_JOBS / REPRO_CACHE knobs to one command.
+
+    The experiment functions reach run_point/sweep several layers down;
+    the jobs/cache choices travel via the environment variables those
+    helpers already resolve.  Scoping (rather than plain assignment)
+    keeps in-process callers of :func:`main` -- the test suite -- from
+    leaking configuration between invocations.
+    """
+    overrides: dict[str, str] = {}
+    if args.jobs is not None:
+        overrides["REPRO_JOBS"] = str(args.jobs)
+    if cache is not None:
+        overrides["REPRO_CACHE"] = "1" if cache else "0"
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
 def _cmd_experiment(args) -> int:
-    result = _EXPERIMENTS[args.name](args)
+    with _perf_env(args, cache=not args.no_cache):
+        result = _EXPERIMENTS[args.name](args)
     print(result.render())
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.perf.report import run_perf_report
+
+    with _perf_env(args):
+        report = run_perf_report(count=args.count, master_seed=args.seed)
+    print(report.render())
+    if args.output and args.output != "-":
+        path = report.write(args.output)
+        print(f"wrote {path}")
+    else:
+        import json
+
+        print(json.dumps(report.data, indent=1, sort_keys=True))
     return 0
 
 
@@ -514,6 +594,7 @@ def main(argv: list[str] | None = None) -> int:
         "dot": _cmd_dot,
         "archive": _cmd_archive,
         "experiment": _cmd_experiment,
+        "perf": _cmd_perf,
     }
     try:
         return handlers[args.command](args)

@@ -38,12 +38,13 @@ from dataclasses import dataclass, field
 from repro.barriers.model import Barrier
 from repro.barriers.paths import (
     PathExplosionError,
-    k_longest_max_paths,
+    iter_longest_max_paths,
     longest_min_path_with_forced_max,
 )
 from repro.core.merging import merge_new_barrier
 from repro.core.schedule import Schedule
 from repro.ir.dag import NodeId
+from repro.perf.timers import stage
 
 __all__ = [
     "ResolutionKind",
@@ -129,6 +130,11 @@ class EdgeResolution:
     via_optimal: bool = False
     #: Barriers absorbed into the new barrier by SBM merging.
     merges: int = 0
+    #: The optimal-mode path walk hit :data:`~repro.barriers.paths.MAX_PATHS`
+    #: and the resolution fell back to the conservative verdict.  Surfaced
+    #: in :class:`~repro.core.scheduler.SyncCounts` so explosions are
+    #: counted instead of silently swallowed.
+    explosion: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -198,14 +204,14 @@ def _timing_check(
     g: NodeId,
     i: NodeId,
     mode: str,
-) -> tuple[bool, bool, int]:
+) -> tuple[bool, bool, int, bool]:
     """Steps [2]-[5] (+ section 4.4.2 in ``optimal`` mode).
 
-    Returns ``(resolved, via_optimal, dominator_id)``.
+    Returns ``(resolved, via_optimal, dominator_id, explosion)``.
     """
     q = timing_quantities(schedule, g, i)
     if q.slack >= 0:
-        return True, False, q.dom
+        return True, False, q.dom, False
 
     if mode == "optimal":
         try:
@@ -219,10 +225,13 @@ def _timing_check(
                 q.lp_min,
             )
         except PathExplosionError:
-            resolved = False  # fall back to the conservative verdict
+            # Fall back to the conservative verdict, but *count* the
+            # explosion (EdgeResolution.explosion -> SyncCounts) rather
+            # than swallowing it silently.
+            return False, False, q.dom, True
         if resolved:
-            return True, True, q.dom
-    return False, False, q.dom
+            return True, True, q.dom, False
+    return False, False, q.dom, False
 
 
 def _optimal_check(
@@ -240,10 +249,13 @@ def _optimal_check(
     edges forced to maximum time; if even then the producer can finish
     after the consumer starts, a barrier is required.  The walk stops as
     soon as a path satisfies the *plain* condition, since all shorter
-    paths then satisfy it too.
+    paths then satisfy it too -- and because the paths arrive *lazily*
+    from the best-first generator, stopping early means the (possibly
+    exponential) path set is never materialized; only a genuinely long
+    walk can hit :class:`PathExplosionError`.
     """
     rhs_plain = base_min + delta_min_i
-    for length, path in k_longest_max_paths(bd, dom, v):
+    for length, path in iter_longest_max_paths(bd, dom, v):
         lhs = length + delta_max_g
         if lhs <= rhs_plain:
             return True  # this and every shorter path is harmless
@@ -279,7 +291,7 @@ def classify_edge(
     if next_g is not None and bd.has_path(next_g.id, last_i.id):
         return EdgeResolution(g, i, ResolutionKind.PATH, secondary=True)
 
-    resolved, via_optimal, dom = _timing_check(schedule, g, i, mode)
+    resolved, via_optimal, dom, explosion = _timing_check(schedule, g, i, mode)
     if resolved:
         last_g = schedule.last_barrier_before(pe_p, pos_g)
         secondary = not (last_g.is_initial and last_i.is_initial)
@@ -291,7 +303,9 @@ def classify_edge(
             secondary=secondary,
             via_optimal=via_optimal,
         )
-    return EdgeResolution(g, i, ResolutionKind.BARRIER, dominator=dom)
+    return EdgeResolution(
+        g, i, ResolutionKind.BARRIER, dominator=dom, explosion=explosion
+    )
 
 
 @dataclass
@@ -314,7 +328,8 @@ class BarrierInserter:
             self.resolutions.append(verdict)
             return verdict
 
-        barrier, merges = self._insert(g, i, verdict.dominator)
+        with stage("insert"):
+            barrier, merges = self._insert(g, i, verdict.dominator)
         outcome = EdgeResolution(
             g,
             i,
@@ -322,6 +337,7 @@ class BarrierInserter:
             barrier=barrier,
             dominator=verdict.dominator,
             merges=merges,
+            explosion=verdict.explosion,
         )
         self.resolutions.append(outcome)
         return outcome
@@ -366,5 +382,8 @@ class BarrierInserter:
 
         placements = choose_safe_placements(schedule, g, i, preferred_p=insert_at_p)
         barrier = schedule.insert_barrier(placements)
-        merges = merge_new_barrier(schedule, barrier) if self.merge else 0
+        if not self.merge:
+            return barrier, 0
+        with stage("merge"):
+            merges = merge_new_barrier(schedule, barrier)
         return barrier, merges

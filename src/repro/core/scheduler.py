@@ -95,6 +95,9 @@ class SyncCounts:
     secondary_resolutions: int
     optimal_rescues: int
     repairs: int
+    #: Optimal-mode path walks that hit the MAX_PATHS cap and fell back to
+    #: the conservative verdict (0 in conservative mode by construction).
+    path_explosions: int = 0
 
     @property
     def static_edges(self) -> int:
@@ -187,6 +190,7 @@ def _tally(
     merges = 0
     secondary = 0
     rescues = 0
+    explosions = 0
     for r in resolutions:
         by_kind[r.kind] += 1
         merges += r.merges
@@ -194,6 +198,8 @@ def _tally(
             secondary += 1
         if r.via_optimal:
             rescues += 1
+        if r.explosion:
+            explosions += 1
     return SyncCounts(
         total_edges=len(resolutions),
         serialized_edges=by_kind[ResolutionKind.SERIALIZED],
@@ -205,4 +211,5 @@ def _tally(
         secondary_resolutions=secondary,
         optimal_rescues=rescues,
         repairs=repairs,
+        path_explosions=explosions,
     )

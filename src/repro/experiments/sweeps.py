@@ -6,6 +6,21 @@ whole corpus for a point and reduces it to
 :class:`~repro.metrics.stats.CorpusStats`; :func:`sweep` maps that over a
 parameter axis.  Everything is deterministic in the master seed, matching
 the paper's method of averaging 100 generated benchmarks per point.
+
+Two performance controls ride on every entry point (see
+``docs/performance.md``):
+
+``jobs``
+    Worker-process count for the corpus (``None`` consults the
+    ``REPRO_JOBS`` environment variable, ``0`` means all cores).  The
+    parallel path is *bit-identical* to serial -- per-case seeds are
+    derived exactly as in the serial loop -- and falls back to serial
+    when ``jobs <= 1``, the platform lacks ``fork``, or the ``accept``
+    filter cannot cross process boundaries.
+``cache``
+    On-disk memoization of :func:`run_point` results, keyed by the full
+    point content and package version (``None`` consults ``REPRO_CACHE``;
+    default off).  Filtered points (``accept`` given) are never cached.
 """
 
 from __future__ import annotations
@@ -16,6 +31,9 @@ from typing import Callable, Iterable, Sequence
 from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
 from repro.ir.ops import DEFAULT_TIMING, TimingModel
 from repro.metrics.stats import CorpusStats, aggregate_results
+from repro.perf.cache import load_point_stats, resolve_cache, store_point_stats
+from repro.perf.parallel import resolve_jobs, run_cases_parallel
+from repro.perf.timers import add_to_current, collect_timings, stage
 from repro.synth.corpus import BenchmarkCase, generate_cases
 from repro.synth.generator import GeneratorConfig
 
@@ -42,38 +60,84 @@ class ExperimentPoint:
 def run_corpus(
     point: ExperimentPoint,
     accept: Callable[[BenchmarkCase], bool] | None = None,
+    jobs: int | None = None,
 ) -> list[ScheduleResult]:
     """Compile and schedule every benchmark of a point; return the results.
 
     Each case is scheduled with the point's scheduler config, seeded per
     case so random tie-breaking is reproducible yet varies across the
-    corpus.
+    corpus.  With ``jobs > 1`` the corpus is dispatched to a process
+    pool; the result list is bit-identical to the serial run.
     """
+    jobs = resolve_jobs(jobs)
+    if jobs > 1:
+        parallel = run_cases_parallel(
+            point.generator,
+            point.count,
+            point.master_seed,
+            point.timing,
+            point.scheduler,
+            accept,
+            jobs,
+        )
+        if parallel is not None:
+            return parallel
+
     results: list[ScheduleResult] = []
-    for case in generate_cases(
+    cases = generate_cases(
         point.generator,
         point.count,
         point.master_seed,
         timing=point.timing,
         accept=accept,
-    ):
+    )
+    while True:
+        with stage("generate"):  # pulls generation + compilation work
+            case = next(cases, None)
+        if case is None:
+            break
         cfg = point.scheduler.with_(seed=case.seed & 0xFFFFFFFF)
-        results.append(schedule_dag(case.dag, cfg))
+        with stage("schedule"):
+            results.append(schedule_dag(case.dag, cfg))
     return results
 
 
 def run_point(
     point: ExperimentPoint,
     accept: Callable[[BenchmarkCase], bool] | None = None,
+    jobs: int | None = None,
+    cache: bool | None = None,
 ) -> CorpusStats:
-    """:func:`run_corpus` reduced to corpus statistics."""
-    return aggregate_results(run_corpus(point, accept))
+    """:func:`run_corpus` reduced to corpus statistics.
+
+    The reduction carries the run's per-stage timings
+    (:attr:`CorpusStats.timings`).  With caching enabled, a previously
+    computed point is served from disk (accept-filtered points are
+    always recomputed -- a callable has no stable cache key).
+    """
+    use_cache = accept is None and resolve_cache(cache)
+    if use_cache:
+        cached = load_point_stats(point)
+        if cached is not None:
+            return cached
+    with collect_timings() as timings:
+        stats = aggregate_results(run_corpus(point, accept, jobs=jobs))
+    # Collectors nest innermost-wins, so an enclosing measurement (e.g.
+    # the ``repro-sbm perf`` harness timing a whole sweep) would see none
+    # of this point's stage time -- credit it upward explicitly.
+    add_to_current(timings)
+    stats = replace(stats, timings=timings)
+    if use_cache:
+        store_point_stats(point, stats)
+    return stats
 
 
 def sweep(
     base: ExperimentPoint,
     axis: str,
     values: Iterable[object],
+    jobs: int | None = None,
+    cache: bool | None = None,
 ) -> list[tuple[object, CorpusStats]]:
     """Vary one parameter along ``values`` and run each point.
 
@@ -82,7 +146,9 @@ def sweep(
     """
     results: list[tuple[object, CorpusStats]] = []
     for value in values:
-        results.append((value, run_point(_set_axis(base, axis, value))))
+        results.append(
+            (value, run_point(_set_axis(base, axis, value), jobs=jobs, cache=cache))
+        )
     return results
 
 

@@ -23,6 +23,7 @@ from typing import Protocol
 from repro.machine.durations import DurationSampler, UniformSampler
 from repro.machine.program import BarrierRef, MachineOp, MachineProgram
 from repro.machine.trace import DeadlockError, ExecutionTrace
+from repro.perf.timers import stage
 
 __all__ = ["BarrierController", "run_machine"]
 
@@ -68,6 +69,20 @@ def run_machine(
     in ``ExecutionTrace.overruns`` so the race detector can correlate
     observed order violations with the injected faults.
     """
+    with stage("simulate"):
+        return _run_machine(
+            program, controller, machine_name, sampler, rng, allow_overrun
+        )
+
+
+def _run_machine(
+    program: MachineProgram,
+    controller: BarrierController,
+    machine_name: str,
+    sampler: DurationSampler | None,
+    rng: random.Random | int | None,
+    allow_overrun: bool,
+) -> ExecutionTrace:
     sampler = sampler or UniformSampler()
     if rng is None or isinstance(rng, int):
         rng = random.Random(rng)

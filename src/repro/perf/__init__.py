@@ -1,0 +1,52 @@
+"""Performance layer: parallel corpus execution, result caching, timers.
+
+The paper's evaluation sweeps 3500+ synthetic basic blocks; this package
+makes that affordable at full scale:
+
+* :mod:`repro.perf.timers` -- per-stage wall-clock accumulators
+  (generate / schedule / insert / merge / simulate) that the pipeline
+  reports through :class:`~repro.metrics.stats.CorpusStats`;
+* :mod:`repro.perf.parallel` -- a process-pool execution mode for
+  :func:`~repro.experiments.sweeps.run_corpus` whose output is
+  bit-identical to the serial run (``--jobs`` / ``REPRO_JOBS``);
+* :mod:`repro.perf.cache` -- an on-disk content-addressed cache of
+  corpus statistics keyed by the experiment point and package version;
+* :mod:`repro.perf.report` -- the ``repro-sbm perf`` harness emitting
+  ``BENCH_*.json`` trajectory records.
+
+Attributes are resolved lazily: the scheduler's hot path imports
+``repro.perf.timers`` directly, and an eager re-export here would close
+an import cycle through ``metrics.stats`` back into the scheduler.
+
+See ``docs/performance.md`` for the operator-facing guide.
+"""
+
+from typing import Any
+
+_EXPORTS = {
+    "StageTimings": "repro.perf.timers",
+    "collect_timings": "repro.perf.timers",
+    "stage": "repro.perf.timers",
+    "fork_available": "repro.perf.parallel",
+    "resolve_jobs": "repro.perf.parallel",
+    "results_digest": "repro.perf.parallel",
+    "run_cases_parallel": "repro.perf.parallel",
+    "cache_dir": "repro.perf.cache",
+    "resolve_cache": "repro.perf.cache",
+    "point_cache_key": "repro.perf.cache",
+    "load_point_stats": "repro.perf.cache",
+    "store_point_stats": "repro.perf.cache",
+    "PerfReport": "repro.perf.report",
+    "run_perf_report": "repro.perf.report",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,226 @@
+"""Process-pool execution of corpus points, bit-identical to serial.
+
+The paper's evaluation schedules 100 benchmarks per parameter point and
+3500+ overall; every case is independent, so the corpus driver fans the
+work out over a pool of worker processes.  Three properties are load
+bearing:
+
+**Determinism.**  The serial driver draws one 48-bit case seed per
+*attempt* from ``random.Random(master_seed)`` and derives the scheduler
+seed as ``case_seed & 0xFFFFFFFF`` (see
+:func:`repro.synth.corpus.generate_cases`).  The parallel driver draws
+the exact same attempt-seed sequence in the parent, ships seeds to the
+workers in chunks, and consumes worker results in submission order --
+applying the ``accept`` filter verdicts positionally, exactly as the
+serial loop would.  The accepted prefix is therefore identical to the
+serial output; only *unused* trailing attempts (work the serial loop
+would never have started) may differ.  The determinism regression test
+pins this with :func:`results_digest`.
+
+**Graceful fallback.**  ``jobs=1``, a platform without ``fork``, or an
+unpicklable payload (e.g. a closure ``accept`` filter) silently falls
+back to the serial path; callers never have to care.
+
+**Bounded dispatch.**  Seeds are sent in chunks (amortizing IPC) with a
+bounded number of chunks in flight, so a filtered corpus does not race
+arbitrarily far past the acceptance target.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import random
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
+from repro.io import result_summary
+from repro.ir.ops import TimingModel
+from repro.perf.timers import add_to_current, collect_timings, stage
+from repro.synth.corpus import BenchmarkCase, compile_case
+from repro.synth.generator import GeneratorConfig
+
+__all__ = [
+    "fork_available",
+    "resolve_jobs",
+    "results_digest",
+    "run_cases_parallel",
+]
+
+#: Attempt seeds per worker task; amortizes IPC without hurting balance.
+CHUNK_SIZE = 8
+
+#: Chunks in flight per worker; bounds wasted work past the accept target.
+CHUNKS_IN_FLIGHT = 2
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve an effective worker count.
+
+    ``None`` consults the ``REPRO_JOBS`` environment variable (absent or
+    empty means serial).  ``0`` -- from either source -- means "all
+    cores".  Anything else must be a positive integer.
+    """
+    if jobs is None:
+        text = os.environ.get("REPRO_JOBS", "").strip()
+        if not text:
+            return 1
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {text!r}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX).  The pool uses
+    fork so worker processes inherit already-imported modules; spawn-only
+    platforms fall back to serial execution."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def _run_chunk(
+    payload: tuple[
+        GeneratorConfig,
+        TimingModel,
+        SchedulerConfig,
+        Callable[[BenchmarkCase], bool] | None,
+        tuple[int, ...],
+    ],
+) -> tuple[list[ScheduleResult | None], dict[str, float]]:
+    """Worker: compile/filter/schedule one chunk of attempt seeds.
+
+    Returns one entry per attempt -- ``None`` for rejected attempts, a
+    :class:`ScheduleResult` otherwise -- plus the worker's stage timings.
+    """
+    generator, timing, scheduler, accept, seeds = payload
+    out: list[ScheduleResult | None] = []
+    with collect_timings() as timings:
+        for seed in seeds:
+            with stage("generate"):
+                case = compile_case(generator, seed, timing)
+            if accept is not None and not accept(case):
+                out.append(None)
+                continue
+            config = scheduler.with_(seed=case.seed & 0xFFFFFFFF)
+            with stage("schedule"):
+                out.append(schedule_dag(case.dag, config))
+    return out, timings.as_dict()
+
+
+def run_cases_parallel(
+    generator: GeneratorConfig,
+    count: int,
+    master_seed: int,
+    timing: TimingModel,
+    scheduler: SchedulerConfig,
+    accept: Callable[[BenchmarkCase], bool] | None,
+    jobs: int,
+    max_attempts_factor: int = 50,
+) -> list[ScheduleResult] | None:
+    """Schedule a corpus point on a process pool; ``None`` means "cannot
+    parallelize, use the serial path" (no fork, or unpicklable payload).
+
+    The result list is bit-identical to the serial driver's (see the
+    module docstring for why).  Raises the same ``RuntimeError`` as
+    :func:`repro.synth.corpus.generate_cases` when the ``accept`` filter
+    exhausts its attempt budget.
+    """
+    if jobs <= 1 or count <= 0 or not fork_available():
+        return None
+    try:  # closures / bound methods as ``accept`` cannot cross processes
+        pickle.dumps((generator, timing, scheduler, accept))
+    except Exception:
+        return None
+
+    seed_stream = random.Random(master_seed)
+    limit = max(1, count) * max_attempts_factor
+    attempts = 0
+
+    def next_chunk() -> tuple[int, ...]:
+        nonlocal attempts
+        take = min(CHUNK_SIZE, limit - attempts)
+        attempts += take
+        return tuple(seed_stream.getrandbits(48) for _ in range(take))
+
+    results: list[ScheduleResult] = []
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        pending = deque()
+        for _ in range(jobs * CHUNKS_IN_FLIGHT):
+            seeds = next_chunk()
+            if not seeds:
+                break
+            pending.append(
+                pool.submit(_run_chunk, (generator, timing, scheduler, accept, seeds))
+            )
+        while len(results) < count:
+            if not pending:
+                raise RuntimeError(
+                    f"corpus filter accepted only {len(results)}/{count} cases "
+                    f"after {attempts} attempts"
+                )
+            chunk_results, worker_timings = pending.popleft().result()
+            add_to_current(worker_timings)
+            for item in chunk_results:
+                if item is not None:
+                    results.append(item)
+                    if len(results) == count:
+                        break
+            if len(results) < count:
+                seeds = next_chunk()
+                if seeds:
+                    pending.append(
+                        pool.submit(
+                            _run_chunk, (generator, timing, scheduler, accept, seeds)
+                        )
+                    )
+        for fut in pending:  # drop overdrawn attempts, matching serial stop
+            fut.cancel()
+    return results
+
+
+def results_digest(results: Sequence[ScheduleResult]) -> str:
+    """A stable digest of a result sequence, for determinism regression.
+
+    Covers everything the experiments read off a result -- the summary
+    record (counts, fractions, makespan), the list order, and every edge
+    resolution -- so any behavioural drift between serial and parallel
+    execution (or across refactors that must preserve paper numbers)
+    changes the digest.
+    """
+    records = []
+    for result in results:
+        records.append(
+            {
+                "summary": result_summary(result),
+                "order": [str(node) for node in result.list_order],
+                "resolutions": [
+                    [
+                        str(r.producer),
+                        str(r.consumer),
+                        r.kind.value,
+                        r.barrier.id if r.barrier is not None else None,
+                        r.dominator,
+                        r.secondary,
+                        r.via_optimal,
+                        r.merges,
+                    ]
+                    for r in result.resolutions
+                ],
+            }
+        )
+    blob = json.dumps(records, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,142 @@
+"""The ``repro-sbm perf`` harness: a standard sweep, timed end to end.
+
+Emits a machine-readable ``BENCH_*.json`` record -- per-stage timings,
+wall time, environment, and the swept headline numbers -- so the repo
+has a performance *trajectory*: each data point is comparable with the
+checked-in baseline (``benchmarks/data/BENCH_perf_baseline.json``) and
+the CI perf-smoke job fails when end-to-end wall time regresses past
+2x the baseline.
+
+The workload is deliberately fixed: a ``generator.n_statements`` sweep
+over a mid-size corpus plus one simulation pass, exercising every
+instrumented stage (generate / schedule / insert / merge / simulate).
+The *scheduling results* inside a report are deterministic in the master
+seed; only the timings vary by machine.  Result caching is bypassed --
+a perf run that skipped its own work would measure nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro import __version__
+from repro.core.scheduler import SchedulerConfig
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import simulate_sbm
+from repro.perf.parallel import resolve_jobs, results_digest
+from repro.perf.timers import STAGES, collect_timings
+from repro.synth.generator import GeneratorConfig
+
+__all__ = ["PerfReport", "run_perf_report"]
+
+_FORMAT = "repro.perf-report.v1"
+
+#: The standard sweep axis and values of the perf workload.
+PERF_AXIS = "generator.n_statements"
+PERF_VALUES: tuple[int, ...] = (10, 20, 30)
+
+#: Benchmarks simulated (one run each) to exercise the simulate stage.
+SIMULATED_CASES = 10
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """One perf-trajectory data point, JSON-shaped."""
+
+    data: dict
+
+    @property
+    def wall_s(self) -> float:
+        return self.data["wall_s"]
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.data, indent=1, sort_keys=True) + "\n")
+        return path
+
+    def render(self) -> str:
+        d = self.data
+        stages = "  ".join(f"{s} {d['stages'][s]:.3f}s" for s in STAGES)
+        lines = [
+            f"perf report ({d['format']})  repro {d['version']}  "
+            f"python {d['python']}  jobs={d['jobs']}/{d['cpu_count']} cpus",
+            f"workload: sweep {d['axis']} over {d['values']} x {d['count']} "
+            f"benchmarks + {d['simulated_cases']} simulations",
+            f"wall {d['wall_s']:.3f}s   {stages}",
+            f"results digest {d['results_digest'][:16]}...",
+        ]
+        for row in d["points"]:
+            lines.append(
+                f"  {d['axis']}={row['value']:<4} barrier {row['barrier']:.3f} "
+                f"serialized {row['serialized']:.3f} static {row['static']:.3f} "
+                f"barriers {row['mean_barriers']:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_perf_report(
+    count: int = 25,
+    jobs: int | None = None,
+    master_seed: int = 0,
+    values: Sequence[int] = PERF_VALUES,
+) -> PerfReport:
+    """Run the standard perf workload and reduce it to a report."""
+    from repro.experiments.sweeps import ExperimentPoint, run_corpus, sweep
+
+    jobs = resolve_jobs(jobs)
+    base = ExperimentPoint(
+        generator=GeneratorConfig(n_statements=20, n_variables=8),
+        scheduler=SchedulerConfig(n_pes=8),
+        count=count,
+        master_seed=master_seed,
+    )
+
+    start = time.perf_counter()
+    with collect_timings() as timings:
+        swept = sweep(base, PERF_AXIS, list(values), jobs=jobs, cache=False)
+        sim_results = run_corpus(
+            base.with_(count=min(count, SIMULATED_CASES)), jobs=jobs
+        )
+        for result in sim_results:
+            program = MachineProgram.from_schedule(result.schedule)
+            trace = simulate_sbm(program, rng=master_seed)
+            trace.assert_sound(program.edges)
+    wall = time.perf_counter() - start
+
+    points = [
+        {
+            "value": value,
+            "n_benchmarks": stats.n_benchmarks,
+            "barrier": stats.barrier.mean,
+            "serialized": stats.serialized.mean,
+            "static": stats.static.mean,
+            "mean_barriers": stats.mean_barriers,
+            "mean_makespan_max": stats.mean_makespan_max,
+        }
+        for value, stats in swept
+    ]
+    data = {
+        "format": _FORMAT,
+        "version": __version__,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": jobs,
+        "count": count,
+        "master_seed": master_seed,
+        "axis": PERF_AXIS,
+        "values": list(values),
+        "simulated_cases": len(sim_results),
+        "wall_s": wall,
+        "stages": timings.as_dict(),
+        "results_digest": results_digest(sim_results),
+        "points": points,
+    }
+    return PerfReport(data)

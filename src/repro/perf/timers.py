@@ -1,0 +1,118 @@
+"""Per-stage wall-clock timers for the evaluation pipeline.
+
+The pipeline has five instrumented stages:
+
+``generate``   synthetic-benchmark generation + compilation to a DAG
+``schedule``   the whole list-scheduling pass (includes ``insert``)
+``insert``     barrier insertion, step [6] placements (includes ``merge``)
+``merge``      SBM barrier merging triggered by an insertion
+``simulate``   cycle-accurate machine execution
+
+Timers are *opt-in*: a caller installs a collector with
+:func:`collect_timings`, and every :func:`stage` block encountered while
+it is active accumulates into it.  When no collector is installed a
+:func:`stage` block costs one context-variable lookup, so the hot paths
+can stay instrumented unconditionally.
+
+Stages nest (``merge`` time is part of ``insert``, which is part of
+``schedule``); the fields therefore do not sum to wall time and are
+reported as-is.  The collector is a :class:`contextvars.ContextVar`, so
+concurrent collectors in different threads/tasks do not interfere, and
+worker processes of the parallel corpus driver ship their accumulated
+timings back to the parent for merging (see
+:meth:`StageTimings.merge`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, fields
+from typing import Iterator, Mapping
+
+__all__ = ["STAGES", "StageTimings", "add_to_current", "collect_timings", "stage"]
+
+#: Instrumented stage names, in pipeline order.
+STAGES = ("generate", "schedule", "insert", "merge", "simulate")
+
+
+@dataclass
+class StageTimings:
+    """Accumulated wall-clock seconds per pipeline stage."""
+
+    generate: float = 0.0
+    schedule: float = 0.0
+    insert: float = 0.0
+    merge: float = 0.0
+    simulate: float = 0.0
+
+    def merge_from(self, other: "StageTimings | Mapping[str, float]") -> None:
+        """Accumulate another collector's (or worker's) timings into this one."""
+        if isinstance(other, StageTimings):
+            other = other.as_dict()
+        for name, value in other.items():
+            if name not in STAGES:
+                raise ValueError(f"unknown timing stage {name!r}")
+            setattr(self, name, getattr(self, name) + float(value))
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "StageTimings":
+        timings = cls()
+        timings.merge_from(data)
+        return timings
+
+    def render(self) -> str:
+        return "  ".join(f"{name} {getattr(self, name):.3f}s" for name in STAGES)
+
+
+_collector: ContextVar[StageTimings | None] = ContextVar(
+    "repro_perf_collector", default=None
+)
+
+
+@contextmanager
+def collect_timings() -> Iterator[StageTimings]:
+    """Install a fresh collector for the dynamic extent of the block.
+
+    Collectors nest: only the innermost receives the stage times, so a
+    caller measuring a sub-pipeline is not polluted by (nor pollutes) an
+    outer measurement.
+    """
+    timings = StageTimings()
+    token = _collector.set(timings)
+    try:
+        yield timings
+    finally:
+        _collector.reset(token)
+
+
+def add_to_current(timings: "StageTimings | Mapping[str, float]") -> None:
+    """Merge timings into the active collector, if any.
+
+    This is how the parallel corpus driver credits the parent's collector
+    with the stage times its worker processes measured.
+    """
+    collector = _collector.get()
+    if collector is not None:
+        collector.merge_from(timings)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Accumulate the block's wall time under ``name`` (no-op when no
+    collector is installed)."""
+    collector = _collector.get()
+    if collector is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        setattr(
+            collector, name, getattr(collector, name) + time.perf_counter() - start
+        )

@@ -1,0 +1,185 @@
+"""The lazy best-first k-longest-paths generator (section 4.4.2).
+
+Three guarantees are pinned down here:
+
+* **order parity** -- :func:`iter_longest_max_paths` yields exactly the
+  sequence the old enumerate-then-sort produced, including tie-breaking
+  (property-tested on random dags);
+* **laziness** -- the first path of an exponentially-pathed dag arrives
+  without materializing the path set, so an early-deciding
+  ``_optimal_check`` never trips :class:`PathExplosionError` (acceptance
+  criterion of the perf PR);
+* **the explosion contract** -- :data:`MAX_PATHS` paths are yielded
+  normally and the error fires mid-iteration on path ``MAX_PATHS + 1``,
+  and genuine explosions are *counted* (``SyncCounts.path_explosions``)
+  rather than swallowed.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import islice
+
+import pytest
+
+from repro.barriers.paths import (
+    MAX_PATHS,
+    PathExplosionError,
+    all_paths,
+    iter_longest_max_paths,
+    k_longest_max_paths,
+    path_length,
+)
+from repro.core.barrier_insert import _optimal_check
+
+from tests.barriers.test_barrier_dag import FIG13_EDGES, make_dag
+from tests.barriers.test_path_explosion import ladder
+
+
+def naive_k_longest(dag, u, v):
+    """The old implementation: enumerate every path, then sort."""
+    scored = [
+        (path_length(dag, p, use_max=True), p) for p in all_paths(dag, u, v)
+    ]
+    scored.sort(key=lambda lp: (-lp[0], lp[1]))
+    return scored
+
+
+def random_dag(rng, n_nodes, p_edge):
+    edges = {}
+    for u in range(n_nodes):
+        for v in range(u + 1, n_nodes):
+            if rng.random() < p_edge:
+                lo = rng.randint(0, 6)
+                edges[(u, v)] = (lo, lo + rng.randint(0, 6))
+    return make_dag(edges, n_barriers=n_nodes)
+
+
+class TestOrderParity:
+    def test_fig13(self):
+        dag = make_dag(FIG13_EDGES)
+        assert list(iter_longest_max_paths(dag, 0, 2)) == naive_k_longest(
+            dag, 0, 2
+        )
+
+    def test_trivial_and_unreachable(self):
+        dag = make_dag(FIG13_EDGES)
+        assert list(iter_longest_max_paths(dag, 1, 1)) == [(0, (1,))]
+        assert list(iter_longest_max_paths(dag, 2, 1)) == []
+
+    def test_tie_break_on_path_contents(self):
+        # Two u -> v paths of identical max length: order must follow the
+        # lexicographic path tuple, as the old sort key did.
+        dag = make_dag({(0, 1): (1, 3), (0, 2): (1, 3), (1, 3): (1, 2), (2, 3): (1, 2)})
+        assert [p for _, p in iter_longest_max_paths(dag, 0, 3)] == [
+            (0, 1, 3),
+            (0, 2, 3),
+        ]
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_dags_match_naive(self, seed):
+        rng = random.Random(seed)
+        dag = random_dag(rng, rng.randint(4, 11), rng.uniform(0.2, 0.7))
+        ids = dag.barrier_ids
+        u = rng.choice(ids)
+        v = rng.choice(ids)
+        assert list(iter_longest_max_paths(dag, u, v)) == naive_k_longest(
+            dag, u, v
+        )
+
+    def test_wrapper_matches_iterator(self):
+        dag = make_dag(FIG13_EDGES)
+        assert k_longest_max_paths(dag, 0, 2) == list(
+            iter_longest_max_paths(dag, 0, 2)
+        )
+
+
+class TestLaziness:
+    def test_first_path_of_exponential_dag_is_cheap(self):
+        dag, sink = ladder(15)  # 2^15 = 32768 paths > MAX_PATHS
+        length, path = next(iter_longest_max_paths(dag, 0, sink))
+        assert length == 4 * 15  # every diamond maxes out via its (2,2) arm
+        assert path[0] == 0 and path[-1] == sink
+
+    def test_optimal_check_decides_on_first_path(self):
+        """Acceptance criterion: ~20k+-path dag whose *first* max-path
+        already satisfies the plain timing condition completes without
+        PathExplosionError -- the old materializing implementation (the
+        eager wrapper) provably explodes on the same dag."""
+        dag, sink = ladder(15)
+        assert _optimal_check(
+            dag, 0, sink, sink, delta_max_g=0, delta_min_i=100, base_min=0
+        )
+        with pytest.raises(PathExplosionError):
+            k_longest_max_paths(dag, 0, sink)
+
+
+class TestExplosionContract:
+    def test_lazy_iterator_honors_cap_mid_iteration(self):
+        dag, sink = ladder(15)
+        it = iter_longest_max_paths(dag, 0, sink)
+        prefix = list(islice(it, MAX_PATHS))
+        assert len(prefix) == MAX_PATHS
+        lengths = [length for length, _ in prefix]
+        assert lengths == sorted(lengths, reverse=True)
+        with pytest.raises(PathExplosionError):
+            next(it)
+
+    def test_all_paths_honors_cap_mid_iteration(self):
+        dag, sink = ladder(15)
+        it = all_paths(dag, 0, sink)
+        assert len(list(islice(it, MAX_PATHS))) == MAX_PATHS
+        with pytest.raises(PathExplosionError):
+            next(it)
+
+    def test_explosion_is_counted_not_swallowed(self, monkeypatch):
+        """A capped optimal walk must fall back conservatively *and* set
+        ``EdgeResolution.explosion``, feeding ``SyncCounts.path_explosions``."""
+        from repro.core import barrier_insert
+        from repro.core.barrier_insert import (
+            EdgeResolution,
+            ResolutionKind,
+            classify_edge,
+        )
+        from repro.core.scheduler import _tally
+        from repro.core.schedule import Schedule
+        from repro.ir.dag import InstructionDAG
+        from repro.timing import Interval
+
+        def exploding_iter(bd, u, v):
+            raise PathExplosionError("forced for test")
+            yield  # pragma: no cover
+
+        monkeypatch.setattr(
+            barrier_insert, "iter_longest_max_paths", exploding_iter
+        )
+
+        # Producer g on PE0, consumer i on PE1, no ordering barrier between
+        # them: the timing proof fails (slack < 0), optimal mode consults
+        # the (exploding) path walk, and the edge must land as BARRIER with
+        # the explosion flagged.
+        latencies = {"g": Interval(1, 9), "i": Interval(1, 1)}
+        dag = InstructionDAG.build(latencies, [("g", "i")])
+        sched = Schedule(dag, 2)
+        sched.append_instruction(0, "g")
+        sched.append_instruction(1, "i")
+        verdict = classify_edge(sched, "g", "i", mode="optimal")
+        assert verdict.kind is ResolutionKind.BARRIER
+        assert verdict.explosion is True
+
+        counts = _tally(sched, (verdict, EdgeResolution("g", "i", ResolutionKind.PATH)), repairs=0)
+        assert counts.path_explosions == 1
+
+    def test_conservative_mode_never_explodes(self):
+        from repro.core.barrier_insert import classify_edge
+        from repro.core.schedule import Schedule
+        from repro.ir.dag import InstructionDAG
+        from repro.timing import Interval
+
+        latencies = {"g": Interval(1, 9), "i": Interval(1, 1)}
+        dag = InstructionDAG.build(latencies, [("g", "i")])
+        sched = Schedule(dag, 2)
+        sched.append_instruction(0, "g")
+        sched.append_instruction(1, "i")
+        verdict = classify_edge(sched, "g", "i", mode="conservative")
+        assert verdict.explosion is False

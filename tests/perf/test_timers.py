@@ -1,0 +1,100 @@
+"""The opt-in per-stage timer layer and its pipeline integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig
+from repro.experiments.sweeps import ExperimentPoint, run_point
+from repro.perf.timers import (
+    STAGES,
+    StageTimings,
+    add_to_current,
+    collect_timings,
+    stage,
+)
+from repro.synth.generator import GeneratorConfig
+
+
+class TestStageTimings:
+    def test_dict_round_trip(self):
+        t = StageTimings(generate=1.0, merge=0.25)
+        assert StageTimings.from_dict(t.as_dict()) == t
+
+    def test_merge_from_accumulates(self):
+        t = StageTimings(schedule=1.0)
+        t.merge_from({"schedule": 0.5, "simulate": 2.0})
+        t.merge_from(StageTimings(schedule=0.25))
+        assert t.schedule == pytest.approx(1.75)
+        assert t.simulate == pytest.approx(2.0)
+
+    def test_merge_from_rejects_unknown_stage(self):
+        with pytest.raises(ValueError):
+            StageTimings().merge_from({"compile": 1.0})
+
+    def test_render_mentions_every_stage(self):
+        rendered = StageTimings().render()
+        for name in STAGES:
+            assert name in rendered
+
+
+class TestCollection:
+    def test_stage_is_noop_without_collector(self):
+        with stage("generate"):
+            pass  # must not raise, must not require a collector
+
+    def test_stage_accumulates_into_collector(self):
+        with collect_timings() as t:
+            with stage("generate"):
+                pass
+            with stage("generate"):
+                pass
+        assert t.generate > 0.0
+        assert t.simulate == 0.0
+
+    def test_collectors_nest_innermost_wins(self):
+        with collect_timings() as outer:
+            with collect_timings() as inner:
+                with stage("schedule"):
+                    pass
+        assert inner.schedule > 0.0
+        assert outer.schedule == 0.0
+
+    def test_add_to_current(self):
+        add_to_current({"simulate": 1.0})  # no collector: silently dropped
+        with collect_timings() as t:
+            add_to_current({"simulate": 1.0})
+        assert t.simulate == pytest.approx(1.0)
+
+
+class TestPipelineIntegration:
+    def test_run_point_populates_timings(self):
+        point = ExperimentPoint(
+            generator=GeneratorConfig(n_statements=15, n_variables=6),
+            scheduler=SchedulerConfig(n_pes=4),
+            count=4,
+            master_seed=9,
+        )
+        stats = run_point(point, cache=False)
+        assert stats.timings is not None
+        assert stats.timings.generate > 0.0
+        assert stats.timings.schedule > 0.0
+        # Insertion happens inside scheduling; nesting means the parts
+        # never exceed the whole.
+        assert stats.timings.insert <= stats.timings.schedule
+        assert "timings:" in stats.render()
+
+    def test_run_point_credits_enclosing_collector(self):
+        """An outer measurement (the perf harness timing a whole sweep)
+        must see the point's stage time even though run_point collects
+        with its own inner collector."""
+        point = ExperimentPoint(
+            generator=GeneratorConfig(n_statements=15, n_variables=6),
+            scheduler=SchedulerConfig(n_pes=4),
+            count=4,
+            master_seed=9,
+        )
+        with collect_timings() as outer:
+            stats = run_point(point, cache=False)
+        assert outer.schedule >= stats.timings.schedule > 0.0
+        assert outer.generate >= stats.timings.generate > 0.0
