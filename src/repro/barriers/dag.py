@@ -9,12 +9,18 @@ proceeds past ``v`` until all arrive, the minimum edge time is the
 *maximum over processors* of the per-processor region minimum (and
 likewise for the maximum).
 
-The dag is immutable; the scheduler rebuilds it (cheaply -- schedules have
-few barriers) whenever the schedule mutates, caching by revision.
+The dag is immutable; when the schedule mutates it derives the next
+snapshot *incrementally* with :meth:`BarrierDag.evolved_insert` /
+:meth:`BarrierDag.evolved_replace` (fire-time re-propagation limited to
+the affected downstream cone, topological-order splicing, descendant
+bitset patching), falling back to a scratch rebuild only when no cached
+dag exists.  ``REPRO_CHECK_INCREMENTAL=1`` cross-checks every evolved
+snapshot against a scratch rebuild (see ``repro.core.schedule``).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -133,6 +139,216 @@ class BarrierDag:
             order.remove(self.initial.id)
             order.insert(0, self.initial.id)
         return tuple(order)
+
+    # -- incremental evolution --------------------------------------------------
+
+    def evolved_insert(
+        self,
+        new_barrier: Barrier,
+        edge_edits: Mapping[tuple[int, int], Interval | None],
+    ) -> "BarrierDag":
+        """The dag after inserting ``new_barrier`` into the schedule.
+
+        ``edge_edits`` maps ``(u, v)`` barrier-id pairs to the edge's new
+        *raw* region weight (``barrier_latency`` not yet folded in), or to
+        ``None`` to delete the edge.  Every *added* edge is incident to the
+        new barrier (an insertion splits each stream's ``u -> v`` region
+        into ``u -> b`` and ``b -> v``); deletions are the split-away
+        pairs.  Equivalent to a scratch rebuild, but the work is bounded
+        by the insertion's downstream cone.
+        """
+        new = object.__new__(BarrierDag)
+        new.barrier_latency = self.barrier_latency
+        new.initial = self.initial
+        new._barriers = {**self._barriers, new_barrier.id: new_barrier}
+        new._weight, new._succs, new._preds = self._edited_adjacency(
+            edge_edits, add_nodes=(new_barrier.id,), drop_node=None
+        )
+        # Topological splice: the new node goes right after its last
+        # predecessor when every successor already sits at or past that
+        # slot (edge deletions only relax the old order, and all added
+        # edges are incident to the new node).  Any valid topological
+        # order is semantically equivalent -- consumers rely only on
+        # "predecessors sort before successors".
+        oi = self._order_index
+        pos = 1 + max((oi[p] for p in new._preds[new_barrier.id]), default=0)
+        spliced = all(oi[s] >= pos for s in new._succs[new_barrier.id])
+        if spliced:
+            new._topo = self._topo[:pos] + (new_barrier.id,) + self._topo[pos:]
+        else:
+            new._topo = new._topological_order()
+        new._order_index = {bid: k for k, bid in enumerate(new._topo)}
+        new._fire = self._refire(new, edge_edits, extra=(new_barrier.id,))
+        new._desc_sets = {}
+        if spliced and self._desc_bits is not None:
+            new._desc_bits = self._spliced_desc_bits(new, pos, new_barrier.id)
+        else:
+            new._desc_bits = None
+        return new
+
+    def evolved_replace(
+        self,
+        old_id: int,
+        survivor: Barrier,
+        edge_edits: Mapping[tuple[int, int], Interval | None],
+    ) -> "BarrierDag":
+        """The dag after a merge fused barrier ``old_id`` into ``survivor``.
+
+        ``survivor`` is already a node of this dag; ``edge_edits`` delete
+        every edge incident to ``old_id`` and reroute/reweigh the
+        survivor's edges (raw region weights, as in
+        :meth:`evolved_insert`).
+        """
+        new = object.__new__(BarrierDag)
+        new.barrier_latency = self.barrier_latency
+        new.initial = self.initial
+        barriers = dict(self._barriers)
+        del barriers[old_id]
+        barriers[survivor.id] = survivor
+        new._barriers = barriers
+        new._weight, new._succs, new._preds = self._edited_adjacency(
+            edge_edits, add_nodes=(), drop_node=old_id
+        )
+        # Dropping a node keeps the old order valid unless some rerouted
+        # edge now points backwards in it.
+        pruned = tuple(bid for bid in self._topo if bid != old_id)
+        index = {bid: k for k, bid in enumerate(pruned)}
+        if all(
+            index[u] < index[v]
+            for (u, v), w in edge_edits.items()
+            if w is not None and (u, v) not in self._weight
+        ):
+            new._topo = pruned
+            new._order_index = index
+        else:
+            new._topo = new._topological_order()
+            new._order_index = {bid: k for k, bid in enumerate(new._topo)}
+        new._fire = self._refire(
+            new, edge_edits, extra=(survivor.id,), dropped=(old_id,)
+        )
+        new._desc_sets = {}
+        new._desc_bits = None  # merges reroute reachability; recompute lazily
+        return new
+
+    def _edited_adjacency(
+        self,
+        edge_edits: Mapping[tuple[int, int], Interval | None],
+        add_nodes: tuple[int, ...],
+        drop_node: int | None,
+    ) -> tuple[
+        dict[tuple[int, int], Interval], dict[int, list[int]], dict[int, list[int]]
+    ]:
+        """Copy-on-write weight/adjacency maps with ``edge_edits`` applied
+        (only the adjacency lists of touched nodes are copied)."""
+        weight = dict(self._weight)
+        succs = dict(self._succs)
+        preds = dict(self._preds)
+        owned: set[int] = set(add_nodes)
+        for bid in add_nodes:
+            succs[bid] = []
+            preds[bid] = []
+
+        def own(bid: int) -> None:
+            if bid not in owned:
+                owned.add(bid)
+                succs[bid] = list(succs[bid])
+                preds[bid] = list(preds[bid])
+
+        lat = self.barrier_latency
+        for (u, v), w in edge_edits.items():
+            if w is None:
+                del weight[(u, v)]
+                own(u)
+                own(v)
+                succs[u].remove(v)
+                preds[v].remove(u)
+            else:
+                weight[(u, v)] = w + lat if lat else w
+                if (u, v) not in self._weight:
+                    own(u)
+                    own(v)
+                    succs[u].append(v)
+                    preds[v].append(u)
+        if drop_node is not None:
+            if succs[drop_node] or preds[drop_node]:
+                raise ValueError(
+                    f"barrier {drop_node} still has edges; cannot drop it"
+                )
+            del succs[drop_node]
+            del preds[drop_node]
+        return weight, succs, preds
+
+    def _refire(
+        self,
+        new: "BarrierDag",
+        edge_edits: Mapping[tuple[int, int], Interval | None],
+        extra: tuple[int, ...] = (),
+        dropped: tuple[int, ...] = (),
+    ) -> dict[int, Interval] | None:
+        """Re-propagate memoized fire times through the affected cone.
+
+        Seeds a min-heap (keyed by topological index) with every node
+        whose in-edges changed; pops in topological order, so each node's
+        predecessors are final when it is recomputed and each node is
+        processed at most once.  Unchanged values stop the propagation --
+        the exact "downstream cone" bound.  ``None`` if this dag never
+        materialized fire times (the evolved dag stays lazy too).
+        """
+        if self._fire is None:
+            return None
+        fire = dict(self._fire)
+        for bid in dropped:
+            fire.pop(bid, None)
+        oi = new._order_index
+        pending: set[int] = set()
+        heap: list[tuple[int, int]] = []
+
+        def push(bid: int) -> None:
+            if bid in oi and bid not in pending:
+                pending.add(bid)
+                heapq.heappush(heap, (oi[bid], bid))
+
+        for bid in extra:
+            push(bid)
+        for (_, v) in edge_edits:
+            push(v)
+        while heap:
+            _, v = heapq.heappop(heap)
+            pending.discard(v)
+            acc = ZERO
+            for u in new._preds[v]:
+                acc = acc.join(fire[u] + new._weight[(u, v)])
+            if fire.get(v) != acc:
+                fire[v] = acc
+                for s in new._succs[v]:
+                    push(s)
+        return fire
+
+    def _spliced_desc_bits(
+        self, new: "BarrierDag", pos: int, new_id: int
+    ) -> list[int]:
+        """Patch memoized descendant bitsets for a topological splice at
+        ``pos``: shift bit positions ``>= pos`` up by one, give the new
+        node the union of its successors' closures, and OR that gain into
+        every (transitive) ancestor.  Exact because every added edge is
+        incident to the new node, so no other reachability changes."""
+        low = (1 << pos) - 1
+        bits = [((w >> pos) << (pos + 1)) | (w & low) for w in self._desc_bits]
+        bits.insert(pos, 0)
+        oi = new._order_index
+        acc = 0
+        for s in new._succs[new_id]:
+            si = oi[s]
+            acc |= bits[si] | (1 << si)
+        bits[pos] = acc
+        pred_mask = 0
+        for p in new._preds[new_id]:
+            pred_mask |= 1 << oi[p]
+        gain = acc | (1 << pos)
+        for i, w in enumerate(bits):
+            if i != pos and ((w & pred_mask) or ((1 << i) & pred_mask)):
+                bits[i] = w | gain
+        return bits
 
     # -- reachability -----------------------------------------------------------
 

@@ -11,15 +11,31 @@ last synchronization point shared by the producer's and consumer's
 processors, from which relative timing can be propagated.  That is the
 nearest common ancestor of the two barriers in the dominator tree.
 
-We use the Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast
-Dominance Algorithm"): immediate dominators are computed by intersecting
-predecessor dominators in reverse postorder until a fixpoint.  Barrier
-dags are small, so this is effectively linear in practice.
+Immediate dominators are computed with the Cooper-Harvey-Kennedy
+*intersect* over the predecessors of each node.  Because the barrier dag
+is acyclic and nodes are processed in topological order, every
+predecessor's dominator chain is already final when a node is reached,
+so a **single pass** computes the exact dominator tree -- no fixpoint
+iteration is needed (the classic CHK loop exists for cyclic CFGs).
+
+The same property powers the *incremental* rebuild
+(:meth:`DominatorTree.evolved`) used by the scheduler: a barrier
+insertion or merge can only change the dominators of barriers
+topologically **after** the first affected node (dominator chains of
+earlier nodes never traverse the changed region), so idoms before that
+point are copied from the previous tree and the one-pass recompute is
+restricted to the downstream cone.  For a freshly inserted barrier this
+degenerates to the textbook rule: its idom is the nearest common
+dominator of its predecessors.
+
+Query complexity: ``dominates`` is O(1) via Euler-tour intervals of the
+dominator tree; ``nearest_common_dominator`` is O(log depth) via binary
+lifting (the lifting table is built lazily on the first NCA query).
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.barriers.dag import BarrierDag
 
@@ -29,18 +45,64 @@ __all__ = ["DominatorTree"]
 class DominatorTree:
     """Immediate-dominator tree of a :class:`BarrierDag`."""
 
-    def __init__(self, dag: BarrierDag) -> None:
+    def __init__(self, dag: BarrierDag, _idom: dict[int, int] | None = None) -> None:
         self._dag = dag
-        self._idom: dict[int, int] = _compute_idoms(dag)
-        self._depth: dict[int, int] = {}
+        self._idom: dict[int, int] = _compute_idoms(dag) if _idom is None else _idom
         root = dag.initial.id
-        self._depth[root] = 0
+        self._depth: dict[int, int] = {root: 0}
         # Nodes come out of barrier_ids topologically sorted, and an idom
         # always precedes its node topologically, so one sweep sets depths.
+        children: dict[int, list[int]] = {bid: [] for bid in dag.barrier_ids}
         for bid in dag.barrier_ids:
             if bid == root:
                 continue
-            self._depth[bid] = self._depth[self._idom[bid]] + 1
+            idom = self._idom[bid]
+            self._depth[bid] = self._depth[idom] + 1
+            children[idom].append(bid)
+        # Euler-tour intervals over the dominator tree: x dominates y iff
+        # y's interval nests inside x's.  O(1) per query after this O(B)
+        # iterative DFS (children visited in topological order).
+        tin: dict[int, int] = {}
+        tout: dict[int, int] = {}
+        clock = 0
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, closing = stack.pop()
+            if closing:
+                tout[node] = clock
+                continue
+            tin[node] = clock
+            clock += 1
+            stack.append((node, True))
+            for child in reversed(children[node]):
+                stack.append((child, False))
+        self._tin = tin
+        self._tout = tout
+        #: Binary-lifting ancestor table, built lazily on the first NCA query.
+        self._up: list[dict[int, int]] | None = None
+
+    @classmethod
+    def evolved(
+        cls, dag: BarrierDag, previous: "DominatorTree", affected: Iterable[int]
+    ) -> "DominatorTree":
+        """Incremental rebuild after a structural dag update.
+
+        ``affected`` are the barrier ids (present in ``dag``) whose
+        predecessor sets changed -- the freshly inserted barrier, or a
+        merge survivor plus the targets of its rewired edges.  Dominators
+        of barriers topologically before the first affected node are
+        reused from ``previous``; only the downstream cone is recomputed.
+        """
+        index = dag.order_index
+        start = min((index[bid] for bid in affected if bid in index), default=0)
+        order = dag.barrier_ids
+        seed = {}
+        prev_idom = previous._idom
+        for bid in order[:start]:
+            idom = prev_idom.get(bid)
+            if idom is not None:
+                seed[bid] = idom
+        return cls(dag, _idom=_compute_idoms(dag, seed=seed, start=start))
 
     @property
     def root(self) -> int:
@@ -57,18 +119,37 @@ class DominatorTree:
 
     def dominates(self, x: int, y: int) -> bool:
         """True iff ``x dom y`` (every barrier dominates itself)."""
-        while self._depth[y] > self._depth[x]:
-            y = self._idom[y]
-        return x == y
+        return self._tin[x] <= self._tin[y] and self._tout[y] <= self._tout[x]
+
+    def _lift(self) -> list[dict[int, int]]:
+        """``up[k][v]``: the ``2**k``-th ancestor of ``v`` (clamped at the
+        root).  Built once per tree, on the first NCA query."""
+        if self._up is None:
+            root = self.root
+            level0 = {bid: (root if bid == root else self._idom[bid])
+                      for bid in self._depth}
+            up = [level0]
+            max_depth = max(self._depth.values(), default=0)
+            while (1 << len(up)) <= max_depth:
+                prev = up[-1]
+                up.append({bid: prev[prev[bid]] for bid in prev})
+            self._up = up
+        return self._up
 
     def nearest_common_dominator(self, x: int, y: int) -> int:
         """``CommonDom``: nearest common ancestor in the dominator tree."""
-        while x != y:
-            if self._depth[x] >= self._depth[y]:
-                x = self._idom[x]
-            else:
-                y = self._idom[y]
-        return x
+        if self.dominates(x, y):
+            return x
+        if self.dominates(y, x):
+            return y
+        # Lift x to its deepest ancestor that still does NOT dominate y;
+        # that ancestor's idom is the NCA.  O(log depth).
+        up = self._lift()
+        for level in reversed(up):
+            anc = level[x]
+            if not self.dominates(anc, y):
+                x = anc
+        return self._idom[x]
 
     def as_mapping(self) -> Mapping[int, int | None]:
         """``barrier id -> immediate dominator id`` (root maps to None)."""
@@ -77,14 +158,27 @@ class DominatorTree:
         return out
 
 
-def _compute_idoms(dag: BarrierDag) -> dict[int, int]:
-    """Cooper-Harvey-Kennedy iterative dominator computation."""
-    # barrier_ids is a topological order, which is a reverse postorder of
-    # an acyclic graph for the purposes of the CHK fixpoint iteration.
+def _compute_idoms(
+    dag: BarrierDag, seed: dict[int, int] | None = None, start: int = 0
+) -> dict[int, int]:
+    """One-pass Cooper-Harvey-Kennedy dominators over an acyclic dag.
+
+    ``barrier_ids`` is a topological order, so every predecessor of a
+    node -- and every node on a predecessor's dominator chain -- is
+    processed before the node itself.  One pass in that order therefore
+    computes the exact dominator tree: ``idom(v)`` is the nearest common
+    ancestor of ``preds(v)`` in the (already final) tree above ``v``.
+
+    ``seed``/``start`` implement the incremental rebuild: idoms for
+    nodes before topological index ``start`` are taken from ``seed``
+    verbatim and only ``order[start:]`` is recomputed.
+    """
     order = dag.barrier_ids
-    index = {bid: k for k, bid in enumerate(order)}
+    index = dag.order_index
     root = dag.initial.id
     idom: dict[int, int] = {root: root}
+    if seed:
+        idom.update(seed)
 
     def intersect(a: int, b: int) -> int:
         while a != b:
@@ -94,23 +188,18 @@ def _compute_idoms(dag: BarrierDag) -> dict[int, int]:
                 b = idom[b]
         return a
 
-    changed = True
-    while changed:
-        changed = False
-        for bid in order:
-            if bid == root:
-                continue
-            preds = [p for p in dag.preds(bid) if p in idom]
-            if not preds:
-                raise ValueError(
-                    f"barrier {bid} is unreachable from the initial barrier"
-                )
-            new = preds[0]
-            for p in preds[1:]:
-                new = intersect(new, p)
-            if idom.get(bid) != new:
-                idom[bid] = new
-                changed = True
+    for bid in order[start:]:
+        if bid == root:
+            continue
+        preds = dag.preds(bid)
+        if not preds:
+            raise ValueError(
+                f"barrier {bid} is unreachable from the initial barrier"
+            )
+        new = preds[0]
+        for p in preds[1:]:
+            new = intersect(new, p)
+        idom[bid] = new
 
     idom.pop(root)
     return idom

@@ -68,13 +68,13 @@ def _ready_time_hi(schedule: Schedule, node: NodeId, pe: int) -> int:
     ready = 0
     for g in schedule.dag.real_preds(node):
         if schedule.processor_of(g) != pe:
-            ready = max(ready, schedule.global_finish(g).hi)
+            ready = max(ready, schedule.global_finish_hi(g))
     return ready
 
 
 def _earliest_start_estimate(schedule: Schedule, node: NodeId, pe: int) -> int:
     """Worst-case estimated start of ``node`` on ``pe`` (step [2] metric)."""
-    return max(schedule.completion(pe).hi, _ready_time_hi(schedule, node, pe))
+    return max(schedule.completion_hi(pe), _ready_time_hi(schedule, node, pe))
 
 
 def serialization_candidates(schedule: Schedule, node: NodeId) -> list[int]:
@@ -123,8 +123,8 @@ class ListPolicy:
             return None
         if len(candidates) == 1:
             return candidates[0]
-        best_hi = max(schedule.completion(pe).hi for pe in candidates)
-        top = [pe for pe in candidates if schedule.completion(pe).hi == best_hi]
+        best_hi = max(schedule.completion_hi(pe) for pe in candidates)
+        top = [pe for pe in candidates if schedule.completion_hi(pe) == best_hi]
         return top[0] if len(top) == 1 else rng.choice(top)
 
     # Step [2]: earliest-start placement.

@@ -194,8 +194,8 @@ def timing_quantities(schedule: Schedule, g: NodeId, i: NodeId) -> TimingQuantit
         last_i=last_i.id,
         lp_max=lp_max,
         lp_min=lp_min,
-        delta_max_g=schedule.delta_through(g).hi,
-        delta_min_i=schedule.delta_before(pe_c, pos_i).lo,
+        delta_max_g=schedule.delta_through_hi(g),
+        delta_min_i=schedule.delta_before_lo(pe_c, pos_i),
     )
 
 
@@ -356,10 +356,10 @@ class BarrierInserter:
                 last_g.id, last_i.id
             )
 
-        t_max_g = (bd.longest_path_max(dom, last_g.id) or 0) + schedule.delta_through(g).hi
+        t_max_g = (bd.longest_path_max(dom, last_g.id) or 0) + schedule.delta_through_hi(g)
         t_max_i_minus = (
             (bd.longest_path_max(dom, last_i.id) or 0)
-            + schedule.delta_before(pe_c, pos_i).hi
+            + schedule.delta_before_hi(pe_c, pos_i)
         )
 
         insert_at_p = pos_g + 1

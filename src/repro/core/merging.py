@@ -82,19 +82,37 @@ def merge_all_overlapping(schedule: Schedule) -> int:
     globally -- it is what makes the happens-before-consistent FIFO queue
     free of head-of-line blocking -- so the scheduler runs this sweep when
     an SBM schedule is finalized.
+
+    The sweep is a worklist, not a full O(B^2) re-scan per merge: pair
+    verdicts are cached and only invalidated when they can actually flip.
+    An "H-ordered" verdict is permanent (merging only ever *adds* order:
+    any path through the victim is preserved through the survivor), and a
+    "fire windows disjoint" verdict holds as long as both barriers' fire
+    values are unchanged.  Each round still walks pairs in the same
+    id-sorted order as the naive scan and a cached verdict is skipped
+    exactly when re-testing would reach the same conclusion, so the merge
+    *sequence* -- and therefore the surviving barrier set -- is identical
+    to the full-rescan fixpoint.
     """
     absorbed = 0
+    fire = schedule.fire_times()
+    ordered: set[tuple[int, int]] = set()  # permanent verdicts
+    disjoint: set[tuple[int, int]] = set()  # valid while both windows hold
     while True:
-        fire = schedule.fire_times()
         barriers = schedule.barriers()
         pair: tuple[Barrier, Barrier] | None = None
         for a_idx, a in enumerate(barriers):
             for b in barriers[a_idx + 1:]:
+                key = (a.id, b.id)
+                if key in ordered or key in disjoint:
+                    continue
                 if schedule.hb_barrier_ordered(a.id, b.id):
+                    ordered.add(key)
                     continue
                 if fire[a.id].overlaps(fire[b.id]):
                     pair = (a, b)
                     break
+                disjoint.add(key)
             if pair:
                 break
         if pair is None:
@@ -103,3 +121,15 @@ def merge_all_overlapping(schedule: Schedule) -> int:
         survivor.absorb(victim)
         schedule.replace_barrier(victim, survivor)
         absorbed += 1
+        old_fire = fire
+        fire = schedule.fire_times()
+        dirty = {victim.id, survivor.id}
+        dirty.update(
+            bid for bid, window in fire.items() if old_fire.get(bid) != window
+        )
+        ordered = {
+            (x, y) for (x, y) in ordered if x != victim.id and y != victim.id
+        }
+        disjoint = {
+            (x, y) for (x, y) in disjoint if x not in dirty and y not in dirty
+        }

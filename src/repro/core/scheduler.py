@@ -163,7 +163,7 @@ def schedule_dag(dag: InstructionDAG, config: SchedulerConfig | None = None) -> 
         # figure 7/8 secondary effect).
         producers = sorted(
             dag.real_preds(node),
-            key=lambda g: (-schedule.global_finish(g).hi, str(g)),
+            key=lambda g: (-schedule.global_finish_hi(g), str(g)),
         )
         for g in producers:
             inserter.ensure_edge(g, node)

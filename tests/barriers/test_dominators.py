@@ -1,10 +1,48 @@
 """Tests for the dominator tree over barrier dags."""
 
+import random
+
 import pytest
 
 from repro.barriers.dominators import DominatorTree
+from repro.barriers.model import Barrier
+from repro.timing import Interval
 
 from tests.barriers.test_barrier_dag import make_dag
+
+
+def random_reachable_dag(rng, n_nodes, p_edge=0.3):
+    """A random dag on ids ``0..n_nodes-1`` where every node is reachable
+    from the initial barrier 0 (every non-root has at least one pred)."""
+    edges = {}
+    for v in range(1, n_nodes):
+        for u in range(v):
+            if rng.random() < p_edge:
+                lo = rng.randint(0, 5)
+                edges[(u, v)] = (lo, lo + rng.randint(0, 5))
+        if not any(w[1] == v for w in edges):
+            edges[(rng.randrange(v), v)] = (1, 1)
+    return make_dag(edges, n_barriers=n_nodes)
+
+
+def dominator_sets(dag):
+    """Textbook iterate-to-fixpoint reference: Dom(v) = {v} | AND Dom(preds)."""
+    ids = dag.barrier_ids
+    full = set(ids)
+    dom = {bid: (full if dag.preds(bid) else {bid}) for bid in ids}
+    dom[ids[0]] = {ids[0]}
+    changed = True
+    while changed:
+        changed = False
+        for v in ids:
+            preds = dag.preds(v)
+            if not preds:
+                continue
+            new = set.intersection(*(dom[p] for p in preds)) | {v}
+            if new != dom[v]:
+                dom[v] = new
+                changed = True
+    return dom
 
 
 def diamond():
@@ -94,3 +132,79 @@ class TestValidation:
         dag = make_dag({(0, 1): (1, 1)}, n_barriers=3)
         with pytest.raises(ValueError):
             DominatorTree(dag)
+
+
+class TestRandomizedAgainstReferences:
+    """The O(1) Euler-interval ``dominates`` and the binary-lifting NCA
+    against brute-force references on random dags."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_dominates_matches_fixpoint_sets(self, seed):
+        rng = random.Random(seed)
+        dag = random_reachable_dag(rng, rng.randint(3, 14))
+        tree = DominatorTree(dag)
+        dom = dominator_sets(dag)
+        for x in dag.barrier_ids:
+            for y in dag.barrier_ids:
+                assert tree.dominates(x, y) == (x in dom[y]), (x, y)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_nca_matches_chain_walk(self, seed):
+        rng = random.Random(100 + seed)
+        dag = random_reachable_dag(rng, rng.randint(3, 14))
+        tree = DominatorTree(dag)
+
+        def chain(bid):
+            out = [bid]
+            while tree.idom(out[-1]) is not None:
+                out.append(tree.idom(out[-1]))
+            return out
+
+        for x in dag.barrier_ids:
+            ancestors_x = chain(x)
+            for y in dag.barrier_ids:
+                # deepest node on both idom chains
+                expected = next(a for a in ancestors_x if a in set(chain(y)))
+                assert tree.nearest_common_dominator(x, y) == expected, (x, y)
+
+
+class TestEvolved:
+    """Incremental reconstruction after a dag edit equals a fresh build."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_evolved_insert_matches_fresh(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 12)
+        dag = random_reachable_dag(rng, n)
+        prev = DominatorTree(dag)
+
+        # splice a new barrier into a random existing edge, with a few
+        # extra in-edges -- the exact shape Schedule.insert_barrier makes
+        edge = rng.choice(list(dag.edges()))
+        edits = {
+            (edge.src, edge.dst): None,
+            (edge.src, n): Interval(1, 2),
+            (n, edge.dst): Interval(0, 1),
+        }
+        for extra in rng.sample(range(n), k=min(2, n)):
+            if extra not in (edge.src, edge.dst) and not dag.has_path(
+                edge.dst, extra
+            ):
+                edits[(extra, n)] = Interval(0, 3)
+        new_dag = dag.evolved_insert(Barrier(n, [0]), edits)
+
+        evolved = DominatorTree.evolved(new_dag, prev, (n,))
+        fresh = DominatorTree(new_dag)
+        assert evolved.as_mapping() == fresh.as_mapping()
+        for x in new_dag.barrier_ids:
+            for y in new_dag.barrier_ids:
+                assert evolved.dominates(x, y) == fresh.dominates(x, y)
+                assert evolved.nearest_common_dominator(
+                    x, y
+                ) == fresh.nearest_common_dominator(x, y)
+
+    def test_evolved_with_empty_affected_rebuilds(self):
+        dag = diamond()
+        prev = DominatorTree(dag)
+        again = DominatorTree.evolved(dag, prev, ())
+        assert again.as_mapping() == prev.as_mapping()

@@ -1,5 +1,7 @@
 """Tests for SBM barrier merging (section 4.4.3)."""
 
+import random
+
 import pytest
 
 from repro.timing import Interval
@@ -10,6 +12,8 @@ from repro.core.merging import (
 )
 from repro.core.schedule import Schedule
 from repro.ir.dag import InstructionDAG
+
+from tests.conftest import make_case
 
 
 def independent_pairs_dag():
@@ -138,3 +142,82 @@ class TestMergeAllOverlapping:
         merged = merge_all_overlapping(sched)
         assert merged == 0
         assert sched.n_barriers == 2
+
+
+def naive_merge_all_overlapping(schedule):
+    """The pre-worklist implementation: a full O(B^2) re-scan of every
+    pair after every merge.  Kept here as the reference fixpoint the
+    cached-verdict worklist must reproduce exactly."""
+    absorbed = 0
+    while True:
+        fire = schedule.fire_times()
+        barriers = schedule.barriers()
+        pair = None
+        for a_idx, a in enumerate(barriers):
+            for b in barriers[a_idx + 1:]:
+                if schedule.hb_barrier_ordered(a.id, b.id):
+                    continue
+                if fire[a.id].overlaps(fire[b.id]):
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        if pair is None:
+            return absorbed
+        survivor, victim = pair
+        survivor.absorb(victim)
+        schedule.replace_barrier(victim, survivor)
+        absorbed += 1
+
+
+def build_random_schedule(seed):
+    """A deterministic barrier-heavy schedule: replaying the same seed
+    yields identical streams and identical barrier ids."""
+    rng = random.Random(seed)
+    case = make_case(n_statements=20, n_variables=5, seed=seed)
+    n_pes = 4
+    sched = Schedule(case.dag, n_pes)
+    for node in case.dag.real_nodes:
+        sched.append_instruction(rng.randrange(n_pes), node)
+        if rng.random() < 0.45:
+            pes = [
+                pe for pe in range(n_pes)
+                if len(sched.streams[pe]) > 1 and rng.random() < 0.5
+            ]
+            placements = {
+                pe: rng.randint(1, len(sched.streams[pe])) for pe in pes
+            }
+            if placements and not sched.insertion_creates_hb_cycle(
+                placements
+            ):
+                sched.insert_barrier(placements)
+    return sched
+
+
+class TestWorklistMatchesNaiveRescan:
+    """The worklist sweep must produce the *same merge sequence* -- and
+    therefore the same surviving barriers, participants, and fire times
+    -- as a full pair re-scan after every merge."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_same_fixpoint_on_random_schedules(self, seed):
+        reference = build_random_schedule(seed)
+        candidate = build_random_schedule(seed)
+        ref_ids = sorted(b.id for b in reference.barriers())
+        assert ref_ids == sorted(b.id for b in candidate.barriers())
+
+        ref_absorbed = naive_merge_all_overlapping(reference)
+        new_absorbed = merge_all_overlapping(candidate)
+
+        assert new_absorbed == ref_absorbed
+        ref_by_id = {b.id: b for b in reference.barriers()}
+        new_by_id = {b.id: b for b in candidate.barriers()}
+        assert sorted(ref_by_id) == sorted(new_by_id)
+        for bid, b in ref_by_id.items():
+            assert new_by_id[bid].participants == b.participants
+        assert reference.fire_times() == candidate.fire_times()
+
+    def test_second_sweep_is_a_no_op(self):
+        sched = build_random_schedule(3)
+        merge_all_overlapping(sched)
+        assert merge_all_overlapping(sched) == 0

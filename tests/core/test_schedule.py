@@ -132,12 +132,25 @@ class TestTiming:
         sched.append_instruction(1, "c")
         assert sched.makespan() == Interval(16, 24)
 
-    def test_revision_invalidates_caches(self):
+    def test_two_level_cache_maintenance(self):
+        # Appends are *content* mutations: the instruction lands in the
+        # open region after the stream's last barrier, which no dag edge
+        # covers, so the cached dag stays valid (and identical).  Barrier
+        # insertion is a *structure* mutation: the dag must change.
         sched = Schedule(diamond_dag(), 2)
         bd1 = sched.barrier_dag()
         assert sched.barrier_dag() is bd1  # cached
+        rev = sched.revision
+        struct = sched.structure_revision
         sched.append_instruction(0, "a")
-        assert sched.barrier_dag() is not bd1
+        assert sched.revision == rev + 1
+        assert sched.structure_revision == struct  # content-only change
+        assert sched.barrier_dag() is bd1  # still valid: no edge touched
+        sched.insert_barrier({0: 2, 1: 1})
+        assert sched.structure_revision == struct + 1
+        bd2 = sched.barrier_dag()
+        assert bd2 is not bd1
+        assert len(bd2) == 2
 
 
 class TestHappensBefore:
@@ -188,3 +201,18 @@ class TestHappensBefore:
         assert sched.insertion_creates_hb_cycle({0: 2, 1: 2})
         # After x on PE0 and before i on PE1 is fine.
         assert not sched.insertion_creates_hb_cycle({0: 3, 1: 2})
+
+    def test_insertion_straddling_shared_barrier_is_cyclic(self):
+        dag = InstructionDAG.build(
+            {"a": Interval(1, 1), "b": Interval(1, 1)}, []
+        )
+        sched = Schedule(dag, 2)
+        sched.append_instruction(0, "a")
+        sched.append_instruction(1, "b")
+        sched.insert_barrier({0: 2, 1: 2})
+        # The shared barrier sits at index 2 of both streams.  Placing a
+        # new barrier *before* it on PE0 but *after* it on PE1 would
+        # order the pair both ways -- a two-node cycle the pairwise
+        # reachability scan only sees when pred and succ coincide.
+        assert sched.insertion_creates_hb_cycle({0: 2, 1: 3})
+        assert not sched.insertion_creates_hb_cycle({0: 2, 1: 2})
