@@ -27,6 +27,8 @@ from typing import Iterable, Iterator, Mapping
 import networkx as nx
 
 from repro.barriers.model import Barrier
+from repro.obs.metrics import current_registry
+from repro.obs.spans import span
 from repro.timing import Interval, ZERO
 
 __all__ = ["BarrierEdge", "BarrierDag"]
@@ -157,6 +159,14 @@ class BarrierDag:
         pairs.  Equivalent to a scratch rebuild, but the work is bounded
         by the insertion's downstream cone.
         """
+        with span("dag.evolved_insert", barrier=new_barrier.id):
+            return self._evolved_insert(new_barrier, edge_edits)
+
+    def _evolved_insert(
+        self,
+        new_barrier: Barrier,
+        edge_edits: Mapping[tuple[int, int], Interval | None],
+    ) -> "BarrierDag":
         new = object.__new__(BarrierDag)
         new.barrier_latency = self.barrier_latency
         new.initial = self.initial
@@ -199,6 +209,15 @@ class BarrierDag:
         survivor's edges (raw region weights, as in
         :meth:`evolved_insert`).
         """
+        with span("dag.evolved_replace", old=old_id, survivor=survivor.id):
+            return self._evolved_replace(old_id, survivor, edge_edits)
+
+    def _evolved_replace(
+        self,
+        old_id: int,
+        survivor: Barrier,
+        edge_edits: Mapping[tuple[int, int], Interval | None],
+    ) -> "BarrierDag":
         new = object.__new__(BarrierDag)
         new.barrier_latency = self.barrier_latency
         new.initial = self.initial
@@ -312,8 +331,10 @@ class BarrierDag:
             push(bid)
         for (_, v) in edge_edits:
             push(v)
+        cone = 0
         while heap:
             _, v = heapq.heappop(heap)
+            cone += 1
             pending.discard(v)
             acc = ZERO
             for u in new._preds[v]:
@@ -322,6 +343,9 @@ class BarrierDag:
                 fire[v] = acc
                 for s in new._succs[v]:
                     push(s)
+        reg = current_registry()
+        if reg is not None:
+            reg.observe("views.refire_cone", cone)
         return fire
 
     def _spliced_desc_bits(

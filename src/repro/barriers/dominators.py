@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.barriers.dag import BarrierDag
+from repro.obs.spans import span
 
 __all__ = ["DominatorTree"]
 
@@ -93,16 +94,19 @@ class DominatorTree:
         of barriers topologically before the first affected node are
         reused from ``previous``; only the downstream cone is recomputed.
         """
-        index = dag.order_index
-        start = min((index[bid] for bid in affected if bid in index), default=0)
-        order = dag.barrier_ids
-        seed = {}
-        prev_idom = previous._idom
-        for bid in order[:start]:
-            idom = prev_idom.get(bid)
-            if idom is not None:
-                seed[bid] = idom
-        return cls(dag, _idom=_compute_idoms(dag, seed=seed, start=start))
+        with span("dom.evolved"):
+            index = dag.order_index
+            start = min(
+                (index[bid] for bid in affected if bid in index), default=0
+            )
+            order = dag.barrier_ids
+            seed = {}
+            prev_idom = previous._idom
+            for bid in order[:start]:
+                idom = prev_idom.get(bid)
+                if idom is not None:
+                    seed[bid] = idom
+            return cls(dag, _idom=_compute_idoms(dag, seed=seed, start=start))
 
     @property
     def root(self) -> int:

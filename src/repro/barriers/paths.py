@@ -34,6 +34,7 @@ from heapq import heappop, heappush
 from typing import Iterable, Iterator, Sequence
 
 from repro.barriers.dag import BarrierDag
+from repro.obs.spans import event
 
 __all__ = [
     "MAX_PATHS",
@@ -79,6 +80,7 @@ def all_paths(dag: BarrierDag, u: int, v: int) -> Iterator[tuple[int, ...]]:
         if node == v:
             produced += 1
             if produced > MAX_PATHS:
+                event("paths.explosion", u=u, v=v, produced=MAX_PATHS)
                 raise PathExplosionError(
                     f"more than {MAX_PATHS} paths between barriers {u} and {v}"
                 )
@@ -165,6 +167,7 @@ def iter_longest_max_paths(
         if node == v:
             produced += 1
             if produced > MAX_PATHS:
+                event("paths.explosion", u=u, v=v, produced=MAX_PATHS)
                 raise PathExplosionError(
                     f"more than {MAX_PATHS} paths between barriers {u} and {v}"
                 )

@@ -8,6 +8,10 @@ Subcommands mirror the pipeline stages:
                 embedding, barrier dag, sync fractions, quality report
 ``simulate``    schedule then execute under a duration sampler; print the
                 trace and a Gantt chart
+``explain``     schedule, then report the provenance of every decision:
+                node->PE assignment rules, the producer/consumer edge
+                whose failed timing proof forced each barrier, and every
+                merge accept/reject with its reason
 ``flow``        schedule a structured program (if/while extension) and
                 execute it dynamically with verified timing
 ``faults``      fault-injection campaign: races, blame, ε-hardening
@@ -21,9 +25,17 @@ Examples::
     repro-sbm generate --statements 20 --variables 8 --seed 7
     repro-sbm generate -s 30 | repro-sbm schedule --pes 8
     repro-sbm simulate --pes 4 --runs 3 examples/block.src
+    repro-sbm simulate --trace out.json examples/block.src   # Perfetto
+    repro-sbm explain --pes 8 examples/block.src
     repro-sbm faults --epsilon 0.25 --runs 50 --seed 7
     repro-sbm experiment fig15 --count 30 --jobs 4
     repro-sbm perf --count 25 --jobs 0 --output BENCH_perf.json
+
+Global (pre-subcommand) flags: ``-v/--verbose`` raises diagnostic
+verbosity (repeat for debug), ``-q/--quiet`` shows errors only, and
+``--trace FILE`` on ``schedule``/``simulate``/``explain``/``perf``
+writes a span trace (Chrome trace JSON, or JSONL for a ``.jsonl``
+suffix) of the run.  See docs/observability.md.
 
 Bad inputs (missing files, malformed source, out-of-range parameters)
 exit with status 2 and a one-line diagnostic, never a traceback.
@@ -64,10 +76,14 @@ from repro.machine.durations import BimodalSampler, MaxSampler, MinSampler, Unif
 from repro.machine.program import MachineProgram
 from repro.machine.dbm import simulate_dbm
 from repro.machine.sbm import simulate_sbm
+from repro.obs.logging import configure as _configure_logging, get_logger
+from repro.perf.timers import stage
 from repro.synth.generator import GeneratorConfig, generate_block
 from repro.viz import render_barrier_dag, render_embedding, render_gantt
 
 __all__ = ["main"]
+
+_LOG = get_logger("cli")
 
 _EXPERIMENTS = {
     "table1": lambda args: table1_instruction_mix(),
@@ -125,6 +141,23 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Static scheduling for barrier MIMD architectures "
         "(Zaafrani, Dietz, O'Keefe 1990) -- reproduction toolkit",
     )
+    # Global verbosity flags live on the top-level parser (before the
+    # subcommand).  The quiet flag uses its own dest: several subcommands
+    # define a -q of their own ("fractions only") and must not clobber it.
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more diagnostics on stderr (repeat for debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        dest="log_quiet",
+        action="store_true",
+        help="errors only on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="emit a random synthetic basic block")
@@ -145,6 +178,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--runs", type=int, default=1)
     sim.add_argument("--sampler", choices=sorted(_SAMPLERS), default="uniform")
     sim.add_argument("--sim-seed", type=int, default=0)
+
+    expl = sub.add_parser(
+        "explain",
+        help="schedule a block and report the provenance of every decision",
+    )
+    _add_schedule_args(expl)
+    expl.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as machine-readable JSON instead of text",
+    )
 
     flow = sub.add_parser(
         "flow", help="schedule and run a structured (if/while) program"
@@ -262,6 +306,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="BENCH_perf.json",
         help="report path ('-' prints the JSON to stdout only)",
     )
+    perf.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a span trace of the run (Chrome trace JSON; "
+        "'.jsonl' suffix selects JSONL)",
+    )
     _add_perf_args(perf)
 
     return parser
@@ -286,6 +337,13 @@ def _add_schedule_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-optimize", action="store_true")
     p.add_argument("--quiet", "-q", action="store_true", help="fractions only")
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a span trace of the run (Chrome trace JSON; "
+        "'.jsonl' suffix selects JSONL)",
+    )
 
 
 def _read_source(path: str | None) -> str:
@@ -326,16 +384,21 @@ def _cmd_compile(args) -> int:
 
 
 def _schedule_from_args(args):
-    dag = compile_source(
-        _read_source(args.source), run_optimizer=not args.no_optimize
-    )
+    # Stage wraps so a --trace of schedule/simulate covers the full
+    # pipeline, not just the stages schedule_dag opens internally.
+    with stage("generate"):
+        dag = compile_source(
+            _read_source(args.source), run_optimizer=not args.no_optimize
+        )
     config = SchedulerConfig(
         n_pes=args.pes,
         machine=args.machine,
         insertion=args.insertion,
         seed=args.seed,
     )
-    return dag, schedule_dag(dag, config)
+    with stage("schedule"):
+        result = schedule_dag(dag, config)
+    return dag, result
 
 
 def _cmd_schedule(args) -> int:
@@ -394,6 +457,27 @@ def _cmd_simulate(args) -> int:
             print(trace.describe())
     print(result.describe())
     print(f"static makespan bound {result.makespan}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.obs.explain import explain_result
+    from repro.obs.provenance import collect_provenance
+    from repro.obs.spans import DISABLED
+
+    if DISABLED:
+        _LOG.warning(
+            "REPRO_OBS_DISABLE is set; no decisions will be recorded"
+        )
+    with collect_provenance() as recorder:
+        _, result = _schedule_from_args(args)
+    report = explain_result(result, recorder)
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
     return 0
 
 
@@ -497,7 +581,7 @@ def _cmd_faults(args) -> int:
     if not hardened_report.race_free and not plan.barrier_jitter:
         # Duration-only plans are provably covered by hardening; a race
         # here is a bug in the toolchain, not in the user's input.
-        print("hardening failed to eliminate races -- this is a bug", file=sys.stderr)
+        _LOG.error("hardening failed to eliminate races -- this is a bug")
         return 1
     return 0
 
@@ -582,13 +666,39 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _run_traced(args, run) -> int:
+    """Run a handler, collecting and writing a span trace when the
+    subcommand carries ``--trace FILE``.  The trace is written only on
+    success; a failing run keeps the plain error path."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return run(args)
+    from repro.obs.export import write_trace
+    from repro.obs.spans import DISABLED, collect_trace
+
+    if DISABLED:
+        _LOG.warning("REPRO_OBS_DISABLE is set; the trace will be empty")
+    with collect_trace() as tracer:
+        status = run(args)
+    write_trace(tracer, path)
+    _LOG.info(
+        "wrote trace to %s (%d spans, %d events)",
+        path,
+        len(tracer.spans),
+        len(tracer.events),
+    )
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    _configure_logging(-1 if args.log_quiet else args.verbose)
     handlers = {
         "generate": _cmd_generate,
         "compile": _cmd_compile,
         "schedule": _cmd_schedule,
         "simulate": _cmd_simulate,
+        "explain": _cmd_explain,
         "flow": _cmd_flow,
         "faults": _cmd_faults,
         "dot": _cmd_dot,
@@ -597,7 +707,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _cmd_perf,
     }
     try:
-        return handlers[args.command](args)
+        return _run_traced(args, handlers[args.command])
     except (OSError, ValueError) as exc:
         # Covers missing/unreadable source files, ParseError/CycleError
         # (both ValueError subclasses), and domain validation errors --

@@ -32,6 +32,7 @@ from typing import Protocol, Sequence
 
 from repro.core.schedule import Schedule
 from repro.ir.dag import NodeId
+from repro.obs.provenance import record_assignment
 
 __all__ = [
     "AssignmentPolicy",
@@ -122,10 +123,17 @@ class ListPolicy:
         if not candidates:
             return None
         if len(candidates) == 1:
+            record_assignment(
+                node, candidates[0], "serialization", candidates=candidates
+            )
             return candidates[0]
         best_hi = max(schedule.completion_hi(pe) for pe in candidates)
         top = [pe for pe in candidates if schedule.completion_hi(pe) == best_hi]
-        return top[0] if len(top) == 1 else rng.choice(top)
+        pe = top[0] if len(top) == 1 else rng.choice(top)
+        record_assignment(
+            node, pe, "serialization", candidates=candidates, ties=top
+        )
+        return pe
 
     # Step [2]: earliest-start placement.
     def _step2(self, schedule: Schedule, node: NodeId, rng: random.Random) -> int:
@@ -144,9 +152,15 @@ class ListPolicy:
                 if estimates[pe] <= best + self.serialization_slack
             ]
             if close:
-                return min(close)[1]
+                est, pe = min(close)
+                record_assignment(
+                    node, pe, "slack-serialization", estimate=est, best=best
+                )
+                return pe
         ties = [pe for pe, est in enumerate(estimates) if est == best]
-        return ties[0] if len(ties) == 1 else rng.choice(ties)
+        pe = ties[0] if len(ties) == 1 else rng.choice(ties)
+        record_assignment(node, pe, "earliest-start", estimate=best, ties=ties)
+        return pe
 
 
 @dataclass
@@ -161,7 +175,9 @@ class RoundRobinPolicy:
         upcoming: Sequence[NodeId],
         rng: random.Random,
     ) -> int:
-        return list_index % schedule.n_pes
+        pe = list_index % schedule.n_pes
+        record_assignment(node, pe, "roundrobin", list_index=list_index)
+        return pe
 
 
 @dataclass
@@ -208,7 +224,13 @@ class LookaheadPolicy:
                 and not self._conflicts(schedule, node, pe, upcoming)
             ),
         )
-        return alternatives[0][1] if alternatives else default
+        if alternatives:
+            est, pe = alternatives[0]
+            record_assignment(
+                node, pe, "lookahead-divert", diverted_from=default, estimate=est
+            )
+            return pe
+        return default
 
     def _conflicts(
         self,

@@ -44,6 +44,13 @@ from repro.barriers.paths import (
 from repro.core.merging import merge_new_barrier
 from repro.core.schedule import Schedule
 from repro.ir.dag import NodeId
+from repro.obs.metrics import current_registry, inc, observe
+from repro.obs.provenance import (
+    BarrierDecision,
+    current_recorder,
+    record_barrier,
+)
+from repro.obs.spans import span
 from repro.perf.timers import stage
 
 __all__ = [
@@ -228,6 +235,7 @@ def _timing_check(
             # Fall back to the conservative verdict, but *count* the
             # explosion (EdgeResolution.explosion -> SyncCounts) rather
             # than swallowing it silently.
+            inc("paths.explosions")
             return False, False, q.dom, True
         if resolved:
             return True, True, q.dom, False
@@ -255,17 +263,26 @@ def _optimal_check(
     walk can hit :class:`PathExplosionError`.
     """
     rhs_plain = base_min + delta_min_i
-    for length, path in iter_longest_max_paths(bd, dom, v):
-        lhs = length + delta_max_g
-        if lhs <= rhs_plain:
-            return True  # this and every shorter path is harmless
-        edges = tuple(zip(path, path[1:]))
-        adjusted = longest_min_path_with_forced_max(bd, dom, w, edges)
-        assert adjusted is not None
-        if lhs <= adjusted + delta_min_i:
-            continue  # overlap correlation covers this path; check the next
-        return False
-    return True
+    expanded = 0
+    try:
+        with span("paths.klp"):
+            for length, path in iter_longest_max_paths(bd, dom, v):
+                expanded += 1
+                lhs = length + delta_max_g
+                if lhs <= rhs_plain:
+                    return True  # this and every shorter path is harmless
+                edges = tuple(zip(path, path[1:]))
+                adjusted = longest_min_path_with_forced_max(bd, dom, w, edges)
+                assert adjusted is not None
+                if lhs <= adjusted + delta_min_i:
+                    continue  # overlap covers this path; check the next
+                return False
+            return True
+    finally:
+        reg = current_registry()
+        if reg is not None:
+            reg.inc("paths.expanded", expanded)
+            reg.observe("paths.walk_length", expanded)
 
 
 def classify_edge(
@@ -324,12 +341,36 @@ class BarrierInserter:
     def ensure_edge(self, g: NodeId, i: NodeId) -> EdgeResolution:
         """Resolve edge ``(g, i)``, inserting a barrier if required."""
         verdict = classify_edge(self.schedule, g, i, self.mode)
+        inc(f"scheduler.resolution.{verdict.kind.value}")
         if verdict.kind is not ResolutionKind.BARRIER:
             self.resolutions.append(verdict)
             return verdict
 
+        # When a provenance recorder is watching, capture the failed
+        # timing proof (read-only) before the insertion perturbs it.
+        quantities = (
+            timing_quantities(self.schedule, g, i)
+            if current_recorder() is not None
+            else None
+        )
         with stage("insert"):
             barrier, merges = self._insert(g, i, verdict.dominator)
+        inc("scheduler.barriers_inserted")
+        if quantities is not None:
+            record_barrier(
+                BarrierDecision(
+                    barrier_id=barrier.id,
+                    producer=g,
+                    consumer=i,
+                    dominator=quantities.dom,
+                    t_max_g=quantities.t_max_g,
+                    t_min_i=quantities.t_min_i,
+                    slack=quantities.slack,
+                    participants=tuple(sorted(barrier.participants)),
+                    merges=merges,
+                    explosion=verdict.explosion,
+                )
+            )
         outcome = EdgeResolution(
             g,
             i,

@@ -35,6 +35,9 @@ from __future__ import annotations
 
 from repro.barriers.model import Barrier
 from repro.core.schedule import Schedule
+from repro.obs.metrics import current_registry
+from repro.obs.provenance import current_recorder, record_merge
+from repro.obs.spans import span
 
 __all__ = [
     "merge_new_barrier",
@@ -48,13 +51,28 @@ def find_merge_candidate(schedule: Schedule, barrier: Barrier) -> Barrier | None
     and whose fire-time interval overlaps it, or ``None``."""
     fire = schedule.fire_times()
     window = fire[barrier.id]
+    reg = current_registry()
+    rec = current_recorder()
     for other in schedule.barriers():
         if other is barrier:
             continue
         if schedule.hb_barrier_ordered(barrier.id, other.id):
+            if reg is not None:
+                reg.inc("merge.verdict.recomputed")
+                reg.inc("merge.verdict.ordered")
+            if rec is not None:
+                record_merge("insert", barrier.id, other.id, False, "hb-ordered")
             continue
+        if reg is not None:
+            reg.inc("merge.verdict.recomputed")
         if window.overlaps(fire[other.id]):
             return other
+        if reg is not None:
+            reg.inc("merge.verdict.disjoint")
+        if rec is not None:
+            record_merge(
+                "insert", barrier.id, other.id, False, "windows-disjoint"
+            )
     return None
 
 
@@ -62,10 +80,14 @@ def merge_new_barrier(schedule: Schedule, barrier: Barrier) -> int:
     """Merge every eligible barrier into ``barrier``; return how many were
     absorbed.  ``barrier`` survives and widens."""
     absorbed = 0
+    reg = current_registry()
     while True:
         other = find_merge_candidate(schedule, barrier)
         if other is None:
             return absorbed
+        if reg is not None:
+            reg.inc("merge.verdict.merged")
+        record_merge("insert", barrier.id, other.id, True, "unordered-overlap")
         barrier.absorb(other)
         schedule.replace_barrier(other, barrier)
         absorbed += 1
@@ -98,29 +120,55 @@ def merge_all_overlapping(schedule: Schedule) -> int:
     fire = schedule.fire_times()
     ordered: set[tuple[int, int]] = set()  # permanent verdicts
     disjoint: set[tuple[int, int]] = set()  # valid while both windows hold
+    reg = current_registry()
+    rec = current_recorder()
+    rounds = 0
     while True:
-        barriers = schedule.barriers()
-        pair: tuple[Barrier, Barrier] | None = None
-        for a_idx, a in enumerate(barriers):
-            for b in barriers[a_idx + 1:]:
-                key = (a.id, b.id)
-                if key in ordered or key in disjoint:
-                    continue
-                if schedule.hb_barrier_ordered(a.id, b.id):
-                    ordered.add(key)
-                    continue
-                if fire[a.id].overlaps(fire[b.id]):
-                    pair = (a, b)
+        rounds += 1
+        with span("merge.round", round=rounds):
+            barriers = schedule.barriers()
+            pair: tuple[Barrier, Barrier] | None = None
+            for a_idx, a in enumerate(barriers):
+                for b in barriers[a_idx + 1:]:
+                    key = (a.id, b.id)
+                    if key in ordered or key in disjoint:
+                        if reg is not None:
+                            reg.inc("merge.verdict.cached")
+                        continue
+                    if reg is not None:
+                        reg.inc("merge.verdict.recomputed")
+                    if schedule.hb_barrier_ordered(a.id, b.id):
+                        if reg is not None:
+                            reg.inc("merge.verdict.ordered")
+                        if rec is not None:
+                            record_merge(
+                                "finalize", a.id, b.id, False, "hb-ordered"
+                            )
+                        ordered.add(key)
+                        continue
+                    if fire[a.id].overlaps(fire[b.id]):
+                        pair = (a, b)
+                        break
+                    if reg is not None:
+                        reg.inc("merge.verdict.disjoint")
+                    if rec is not None:
+                        record_merge(
+                            "finalize", a.id, b.id, False, "windows-disjoint"
+                        )
+                    disjoint.add(key)
+                if pair:
                     break
-                disjoint.add(key)
-            if pair:
-                break
-        if pair is None:
-            return absorbed
-        survivor, victim = pair
-        survivor.absorb(victim)
-        schedule.replace_barrier(victim, survivor)
-        absorbed += 1
+            if pair is None:
+                return absorbed
+            survivor, victim = pair
+            if reg is not None:
+                reg.inc("merge.verdict.merged")
+            record_merge(
+                "finalize", survivor.id, victim.id, True, "unordered-overlap"
+            )
+            survivor.absorb(victim)
+            schedule.replace_barrier(victim, survivor)
+            absorbed += 1
         old_fire = fire
         fire = schedule.fire_times()
         dirty = {victim.id, survivor.id}

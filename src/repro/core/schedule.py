@@ -55,6 +55,7 @@ from typing import Iterator, Union
 from repro.barriers.dag import BarrierDag
 from repro.barriers.dominators import DominatorTree
 from repro.barriers.model import Barrier
+from repro.obs.metrics import current_registry
 from repro.timing import Interval, ZERO, interval_max
 from repro.ir.dag import InstructionDAG, NodeId
 
@@ -365,6 +366,11 @@ class Schedule:
         old_dom = self._dom_cache
         self._bump(structure=True)
         if old_bd is not None:
+            reg = current_registry()
+            if reg is not None:
+                reg.inc("views.dag.evolved")
+                if old_dom is not None:
+                    reg.inc("views.dom.evolved")
             new_bd = old_bd.evolved_insert(barrier, edits)
             self._bd_cache = new_bd
             self._dom_cache = (
@@ -443,6 +449,11 @@ class Schedule:
         old_dom = self._dom_cache
         self._bump(structure=True)
         if old_bd is not None:
+            reg = current_registry()
+            if reg is not None:
+                reg.inc("views.dag.evolved")
+                if old_dom is not None:
+                    reg.inc("views.dom.evolved")
             new_bd = old_bd.evolved_replace(old.id, new, edits)
             self._bd_cache = new_bd
             if old_dom is not None:
@@ -729,6 +740,9 @@ class Schedule:
 
     def barrier_dag(self) -> BarrierDag:
         if self._bd_cache is None:
+            reg = current_registry()
+            if reg is not None:
+                reg.inc("views.dag.scratch")
             self._bd_cache = self._scratch_barrier_dag()
         return self._bd_cache
 
@@ -757,6 +771,9 @@ class Schedule:
 
     def dominator_tree(self) -> DominatorTree:
         if self._dom_cache is None:
+            reg = current_registry()
+            if reg is not None:
+                reg.inc("views.dom.scratch")
             self._dom_cache = DominatorTree(self.barrier_dag())
         return self._dom_cache
 
@@ -955,13 +972,35 @@ class Schedule:
 
     def _verify_incremental(self) -> None:
         """Compare every maintained table and live cache against a scratch
-        rebuild; raise AssertionError on the first divergence."""
+        rebuild; raise AssertionError on the first divergence.
+
+        Outcomes are surfaced as obs counters (``views.check.checked``
+        counts view cross-checks performed, ``views.check.mismatches``
+        counts divergences) so a ``REPRO_CHECK_INCREMENTAL=1`` run can
+        report how much it actually verified instead of passing
+        silently.
+        """
+        reg = current_registry()
+        try:
+            checked = self._cross_check_views()
+        except AssertionError:
+            if reg is not None:
+                reg.inc("views.check.mismatches")
+            raise
+        if reg is not None:
+            reg.inc("views.check.checked", checked)
+
+    def _cross_check_views(self) -> int:
+        """The actual cross-checks; returns how many views were compared."""
+        checked = 1
         self._verify_stream_tables()
         scratch_bd: BarrierDag | None = None
         if self._bd_cache is not None:
+            checked += 1
             scratch_bd = self._scratch_barrier_dag()
             self._verify_dag(self._bd_cache, scratch_bd)
         if self._dom_cache is not None:
+            checked += 1
             if scratch_bd is None:
                 scratch_bd = self._scratch_barrier_dag()
             expect = DominatorTree(scratch_bd)._idom
@@ -971,6 +1010,7 @@ class Schedule:
                     f"!= {expect}"
                 )
         if self._fire_cache is not None:
+            checked += 1
             if scratch_bd is None:
                 scratch_bd = self._scratch_barrier_dag()
             if self._fire_cache != scratch_bd.fire_times():
@@ -978,6 +1018,7 @@ class Schedule:
         if self._hb_cache is not None or self._hbdesc_cache is not None:
             scratch_hb = self._scratch_hb_successors()
             if self._hb_cache is not None:
+                checked += 1
                 self._verify_hb(self._hb_cache, scratch_hb)
                 derived = self._derive_hb_preds(self._hb_cache)
                 actual = self._hb_pred_cache or {}
@@ -990,11 +1031,13 @@ class Schedule:
                             f"{have} != {want}"
                         )
             if self._hbdesc_cache is not None:
+                checked += 1
                 expect_desc = self._scratch_hb_barrier_descendants(scratch_hb)
                 if self._hbdesc_cache != expect_desc:
                     raise AssertionError(
                         "patched barrier descendant sets diverged from scratch"
                     )
+        return checked
 
     def _verify_stream_tables(self) -> None:
         registry: dict[int, Barrier] = {}

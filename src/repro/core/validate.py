@@ -28,6 +28,7 @@ from repro.core.barrier_insert import ResolutionKind, choose_safe_placements, cl
 from repro.core.merging import merge_all_overlapping
 from repro.core.schedule import Schedule
 from repro.ir.dag import NodeId
+from repro.perf.timers import stage
 
 __all__ = [
     "ScheduleError",
@@ -128,7 +129,11 @@ def finalize_schedule(
     total_merges = 0
     guard = schedule.dag.implied_synchronizations + len(schedule.barriers()) + 2
     for _ in range(guard):
-        merges = merge_all_overlapping(schedule) if merge else 0
+        if merge:
+            with stage("merge"):
+                merges = merge_all_overlapping(schedule)
+        else:
+            merges = 0
         repairs = repair_schedule(schedule, mode)
         total_merges += merges
         total_repairs += repairs

@@ -23,6 +23,8 @@ from typing import Protocol
 from repro.machine.durations import DurationSampler, UniformSampler
 from repro.machine.program import BarrierRef, MachineOp, MachineProgram
 from repro.machine.trace import DeadlockError, ExecutionTrace
+from repro.obs.metrics import current_registry
+from repro.obs.spans import current_tracer
 from repro.perf.timers import stage
 
 __all__ = ["BarrierController", "run_machine"]
@@ -127,6 +129,11 @@ def _run_machine(
     for pe in range(program.n_pes):
         advance(pe)
 
+    # One lookup each per run, not per release: the loop below is the
+    # simulator's hot path.
+    reg = current_registry()
+    tracer = current_tracer()
+
     while True:
         if all(st.done for st in states):
             break
@@ -144,6 +151,19 @@ def _run_machine(
         if barrier_id != program.initial_barrier_id:
             fire_time += program.barrier_latency
         barrier_fire[barrier_id] = fire_time
+        if reg is not None:
+            reg.inc("engine.barrier_releases")
+            reg.observe("engine.release_waiting", len(waiting))
+        if tracer is not None:
+            tracer.instant(
+                "engine.release",
+                {
+                    "machine": machine_name,
+                    "barrier": barrier_id,
+                    "fire_time": fire_time,
+                    "waiting": len(waiting),
+                },
+            )
         mask = program.masks[barrier_id]
         for pe in mask:
             st = states[pe]

@@ -1,0 +1,77 @@
+"""Observability for the scheduling pipeline: spans, metrics, provenance.
+
+Three independent, contextvar-scoped collectors, all opt-in and
+zero-cost when no subscriber is installed (and all hard-disabled by
+``REPRO_OBS_DISABLE=1``):
+
+* :mod:`repro.obs.spans` -- hierarchical wall-clock span tracing of the
+  five pipeline stages and their hot inner operations; exported as
+  JSONL or Perfetto-loadable Chrome trace JSON
+  (:mod:`repro.obs.export`);
+* :mod:`repro.obs.metrics` -- named counters and histograms, merged
+  across the parallel driver's worker processes;
+* :mod:`repro.obs.provenance` -- machine-readable reasons for every
+  assignment, barrier insertion and merge verdict, surfaced by
+  ``repro-sbm explain`` (:mod:`repro.obs.explain` builds the report;
+  imported directly, not from this package root, because it depends on
+  ``repro.core``).
+
+:mod:`repro.obs.logging` holds the package's logger hierarchy.
+
+Everything exported here is stdlib-only so any pipeline module may
+import it without cycles; see docs/observability.md for the full tour.
+"""
+
+from repro.obs.metrics import (
+    HistogramStat,
+    MetricsRegistry,
+    collect_metrics,
+    current_registry,
+    inc,
+    observe,
+)
+from repro.obs.provenance import (
+    AssignmentDecision,
+    BarrierDecision,
+    MergeDecision,
+    ProvenanceRecorder,
+    collect_provenance,
+    current_recorder,
+    record_assignment,
+    record_barrier,
+    record_merge,
+)
+from repro.obs.spans import (
+    Span,
+    SpanTracer,
+    TraceEvent,
+    collect_trace,
+    current_tracer,
+    event,
+    span,
+)
+
+__all__ = [
+    "HistogramStat",
+    "MetricsRegistry",
+    "collect_metrics",
+    "current_registry",
+    "inc",
+    "observe",
+    "AssignmentDecision",
+    "BarrierDecision",
+    "MergeDecision",
+    "ProvenanceRecorder",
+    "collect_provenance",
+    "current_recorder",
+    "record_assignment",
+    "record_barrier",
+    "record_merge",
+    "Span",
+    "SpanTracer",
+    "TraceEvent",
+    "collect_trace",
+    "current_tracer",
+    "event",
+    "span",
+]

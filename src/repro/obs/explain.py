@@ -1,0 +1,148 @@
+"""Build the ``repro-sbm explain`` report.
+
+Correlates a finished :class:`~repro.core.scheduler.ScheduleResult` with
+the :class:`~repro.obs.provenance.ProvenanceRecorder` that watched it
+being built: every barrier in the final schedule is attributed to the
+concrete fuzzy producer/consumer edge whose failed timing proof forced
+it (including the edges behind barriers that were merged away into it,
+via ``Barrier.merged_from``), every node's processor assignment is
+tagged with the rule that chose it, and the merge verdicts are
+summarized.
+
+Lives outside the :mod:`repro.obs` package root because it imports
+``repro.core`` types; the rest of ``repro.obs`` stays stdlib-only so
+the pipeline can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheduler import ScheduleResult
+from repro.obs.provenance import BarrierDecision, ProvenanceRecorder
+
+__all__ = ["BarrierAttribution", "ExplainReport", "explain_result"]
+
+
+@dataclass(frozen=True)
+class BarrierAttribution:
+    """One final barrier and the insertion decisions that produced it."""
+
+    barrier_id: int
+    participants: tuple[int, ...]
+    #: The surviving barrier's own insertion decision first, then the
+    #: decisions of barriers merged away into it.  Empty only for
+    #: barriers inserted outside the edge resolver (repair sweep).
+    decisions: tuple[BarrierDecision, ...]
+    merged_ids: tuple[int, ...]
+
+    @property
+    def attributed(self) -> bool:
+        return bool(self.decisions)
+
+    def as_dict(self) -> dict:
+        return {
+            "barrier_id": self.barrier_id,
+            "participants": list(self.participants),
+            "merged_ids": list(self.merged_ids),
+            "attributed": self.attributed,
+            "decisions": [d.as_dict() for d in self.decisions],
+        }
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """Everything ``repro-sbm explain`` prints."""
+
+    result: ScheduleResult
+    recorder: ProvenanceRecorder
+    barriers: tuple[BarrierAttribution, ...]
+
+    def as_dict(self) -> dict:
+        rec = self.recorder
+        return {
+            "summary": self.result.describe(),
+            "assignments": [d.as_dict() for d in rec.assignments.values()],
+            "barriers": [b.as_dict() for b in self.barriers],
+            "merges": [d.as_dict() for d in rec.merges],
+        }
+
+    def render(self) -> str:
+        lines = [self.result.describe(), "", "assignments:"]
+        for node in self.result.list_order:
+            d = self.recorder.assignments.get(node)
+            if d is None:  # pragma: no cover - recorder was not active
+                lines.append(f"  {node} -> ?")
+                continue
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(d.detail.items()))
+            suffix = f" ({detail})" if detail else ""
+            lines.append(f"  {d.node} -> PE{d.pe}  {d.rule}{suffix}")
+
+        lines.append("")
+        if not self.barriers:
+            lines.append("barriers: none inserted")
+        else:
+            lines.append("barriers:")
+            for attr in self.barriers:
+                pes = ",".join(str(p) for p in attr.participants)
+                lines.append(f"  b{attr.barrier_id} PEs {{{pes}}}:")
+                if not attr.attributed:
+                    lines.append(
+                        "    inserted by the repair sweep (no edge decision"
+                        " recorded)"
+                    )
+                for j, d in enumerate(attr.decisions):
+                    via = (
+                        f"forced by {d.producer} -> {d.consumer}"
+                        if j == 0
+                        else f"absorbed b{d.barrier_id}: forced by"
+                        f" {d.producer} -> {d.consumer}"
+                    )
+                    note = " [path walk exploded]" if d.explosion else ""
+                    lines.append(
+                        f"    {via}: T_max(g)={d.t_max_g} >"
+                        f" T_min(i-)={d.t_min_i}"
+                        f" (slack {d.slack}, dom b{d.dominator}){note}"
+                    )
+
+        accepted = [m for m in self.recorder.merges if m.accepted]
+        rejected = [m for m in self.recorder.merges if not m.accepted]
+        lines.append("")
+        lines.append(
+            f"merges: {len(accepted)} accepted"
+            f" ({sum(1 for m in accepted if m.trigger == 'insert')} at insert,"
+            f" {sum(1 for m in accepted if m.trigger == 'finalize')} at"
+            f" finalize), {len(rejected)} candidate pairs rejected"
+            f" ({sum(1 for m in rejected if m.reason == 'hb-ordered')}"
+            f" hb-ordered,"
+            f" {sum(1 for m in rejected if m.reason == 'windows-disjoint')}"
+            f" windows-disjoint)"
+        )
+        return "\n".join(lines)
+
+
+def explain_result(
+    result: ScheduleResult, recorder: ProvenanceRecorder
+) -> ExplainReport:
+    """Correlate a schedule with the decisions recorded while building it."""
+    attributions = []
+    for barrier in result.schedule.barriers():
+        if barrier.is_initial:
+            continue
+        decisions = []
+        own = recorder.barrier_decision(barrier.id)
+        if own is not None:
+            decisions.append(own)
+        for vid in barrier.merged_from:
+            victim = recorder.barrier_decision(vid)
+            if victim is not None:
+                decisions.append(victim)
+        attributions.append(
+            BarrierAttribution(
+                barrier_id=barrier.id,
+                participants=tuple(sorted(barrier.participants)),
+                decisions=tuple(decisions),
+                merged_ids=tuple(barrier.merged_from),
+            )
+        )
+    return ExplainReport(result, recorder, tuple(attributions))

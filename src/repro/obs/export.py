@@ -1,0 +1,100 @@
+"""Trace export: JSONL and Chrome Trace Event Format.
+
+Two serializations of a :class:`~repro.obs.spans.SpanTracer`:
+
+* **JSONL** (``.jsonl``): one self-describing record per line (spans
+  first, then instant events, each tagged with ``"kind"``) -- the
+  machine-diffable form for scripts and tests.
+* **Chrome Trace Event Format** (any other suffix): a JSON object with
+  a ``traceEvents`` list of complete (``ph: "X"``) and instant
+  (``ph: "i"``) events, loadable directly in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Span nesting is
+  reconstructed by the viewer from the ``ts``/``dur`` containment per
+  ``pid``/``tid`` lane; worker-process spans keep their real pid and
+  appear as separate lanes.
+
+Timestamps are microseconds, the native unit of the trace-event format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.obs.spans import SpanTracer
+
+__all__ = [
+    "trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]
+
+
+def trace_events(tracer: SpanTracer) -> list[dict]:
+    """The tracer's contents as Chrome trace events, sorted by timestamp."""
+    events: list[dict] = []
+    for s in tracer.spans:
+        args = dict(s.args)
+        args["span_id"] = s.id
+        if s.parent is not None:
+            args["parent_id"] = s.parent
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "ts": s.ts_us,
+                "dur": s.dur_us,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": args,
+            }
+        )
+    for e in tracer.events:
+        events.append(
+            {
+                "name": e.name,
+                "ph": "i",
+                "ts": e.ts_us,
+                "pid": e.pid,
+                "tid": e.tid,
+                "s": "t",  # thread-scoped instant
+                "args": dict(e.args),
+            }
+        )
+    events.sort(key=lambda ev: (ev["ts"], ev["pid"], ev["tid"]))
+    return events
+
+
+def to_chrome_trace(tracer: SpanTracer) -> dict:
+    """The full Chrome-trace JSON object (object form, so viewers accept
+    trailing metadata)."""
+    return {
+        "traceEvents": trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(tracer: SpanTracer, fp: IO[str]) -> None:
+    json.dump(to_chrome_trace(tracer), fp, indent=None, separators=(",", ":"))
+    fp.write("\n")
+
+
+def write_jsonl(tracer: SpanTracer, fp: IO[str]) -> None:
+    """One JSON record per line: spans in completion order, then instant
+    events (each record carries a ``kind`` discriminator)."""
+    for s in tracer.spans:
+        fp.write(json.dumps(s.as_dict(), separators=(",", ":")) + "\n")
+    for e in tracer.events:
+        fp.write(json.dumps(e.as_dict(), separators=(",", ":")) + "\n")
+
+
+def write_trace(tracer: SpanTracer, path: str) -> None:
+    """Write ``path`` in the format its suffix selects: ``.jsonl`` ->
+    JSONL, anything else -> Chrome trace JSON."""
+    with open(path, "w", encoding="utf-8") as fp:
+        if path.endswith(".jsonl"):
+            write_jsonl(tracer, fp)
+        else:
+            write_chrome_trace(tracer, fp)

@@ -1,0 +1,73 @@
+"""The ``repro`` logger hierarchy.
+
+All package diagnostics flow through loggers under the ``repro`` root
+(``repro.cli``, ``repro.perf``, ...), obtained with :func:`get_logger`.
+The CLI maps its verbosity flags onto :func:`configure`:
+
+* ``-q/--quiet``   -> ``ERROR``
+* (default)        -> ``WARNING``
+* ``-v``           -> ``INFO``
+* ``-vv``          -> ``DEBUG``
+
+Library use stays silent by default: until :func:`configure` installs a
+handler, records propagate to the root logger and Python's default
+last-resort handling applies (warnings and above to stderr).  The
+installed handler resolves ``sys.stderr`` *at emit time* rather than
+capturing the stream at configuration time, so stderr redirection --
+including pytest's capture -- keeps working.
+
+The one-line CLI error contract is unaffected: ``repro-sbm: error: ...``
+diagnostics on bad input are printed by the CLI itself, not logged, and
+exit codes do not depend on logging configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure", "level_for_verbosity"]
+
+ROOT = "repro"
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is at emit time."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` root (``get_logger("cli")`` ->
+    ``repro.cli``)."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def level_for_verbosity(verbosity: int) -> int:
+    """Map the CLI's ``-q``/``-v`` count to a logging level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(verbosity: int = 0) -> None:
+    """Install (once) the stderr handler on the ``repro`` root and set
+    its level from ``verbosity`` (-1 quiet, 0 default, 1 ``-v``, 2+
+    ``-vv``).  Idempotent; repeated calls only adjust the level."""
+    root = logging.getLogger(ROOT)
+    if not any(isinstance(h, _DynamicStderrHandler) for h in root.handlers):
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(
+            logging.Formatter("%(name)s: %(levelname)s: %(message)s")
+        )
+        root.addHandler(handler)
+        root.propagate = False
+    root.setLevel(level_for_verbosity(verbosity))

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 from repro import __version__
 from repro.metrics.fractions import SyncFractions
 from repro.metrics.stats import CorpusStats, FractionAggregate
+from repro.obs.metrics import inc
 from repro.perf.timers import StageTimings
 
 if TYPE_CHECKING:  # avoid the circular import with experiments.sweeps
@@ -138,7 +139,15 @@ def stats_from_json(data: dict) -> CorpusStats:
 
 def load_point_stats(point: "ExperimentPoint") -> CorpusStats | None:
     """Return the cached stats for ``point``, or ``None`` on a miss (or on
-    any unreadable/foreign entry -- misses are never errors)."""
+    any unreadable/foreign entry -- misses are never errors).  Outcomes
+    are counted on the active obs registry as ``cache.sweep.hits`` /
+    ``cache.sweep.misses``."""
+    stats = _load_point_stats(point)
+    inc("cache.sweep.hits" if stats is not None else "cache.sweep.misses")
+    return stats
+
+
+def _load_point_stats(point: "ExperimentPoint") -> CorpusStats | None:
     path = cache_dir() / f"{point_cache_key(point)}.json"
     try:
         data = json.loads(path.read_text(encoding="utf-8"))

@@ -35,12 +35,15 @@ import os
 import pickle
 import random
 from collections import deque
+from contextlib import nullcontext
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
 from repro.io import result_summary
 from repro.ir.ops import TimingModel
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import collect_trace, current_tracer
 from repro.perf.timers import add_to_current, collect_timings, stage
 from repro.synth.corpus import BenchmarkCase, compile_case
 from repro.synth.generator import GeneratorConfig
@@ -98,26 +101,35 @@ def _run_chunk(
         SchedulerConfig,
         Callable[[BenchmarkCase], bool] | None,
         tuple[int, ...],
+        bool,
     ],
-) -> tuple[list[ScheduleResult | None], dict[str, float]]:
+) -> tuple[list[ScheduleResult | None], dict[str, float], dict, dict | None]:
     """Worker: compile/filter/schedule one chunk of attempt seeds.
 
     Returns one entry per attempt -- ``None`` for rejected attempts, a
-    :class:`ScheduleResult` otherwise -- plus the worker's stage timings.
+    :class:`ScheduleResult` otherwise -- plus the worker's stage timings,
+    its obs metrics, and (when the parent asked for tracing) its span
+    tracer state for :meth:`~repro.obs.spans.SpanTracer.adopt`.
     """
-    generator, timing, scheduler, accept, seeds = payload
+    generator, timing, scheduler, accept, seeds, trace = payload
     out: list[ScheduleResult | None] = []
-    with collect_timings() as timings:
-        for seed in seeds:
-            with stage("generate"):
-                case = compile_case(generator, seed, timing)
-            if accept is not None and not accept(case):
-                out.append(None)
-                continue
-            config = scheduler.with_(seed=case.seed & 0xFFFFFFFF)
-            with stage("schedule"):
-                out.append(schedule_dag(case.dag, config))
-    return out, timings.as_dict()
+    # A fresh per-chunk tracer: fork copies the parent's contextvars, so
+    # without this the spans would pile up in a dead copy of the parent's
+    # tracer instead of being shipped back.
+    tracing = collect_trace() if trace else nullcontext(None)
+    with tracing as tracer, obs_metrics.collect_metrics() as metrics:
+        with collect_timings() as timings:
+            for seed in seeds:
+                with stage("generate"):
+                    case = compile_case(generator, seed, timing)
+                if accept is not None and not accept(case):
+                    out.append(None)
+                    continue
+                config = scheduler.with_(seed=case.seed & 0xFFFFFFFF)
+                with stage("schedule"):
+                    out.append(schedule_dag(case.dag, config))
+    trace_state = tracer.export_state() if tracer is not None else None
+    return out, timings.as_dict(), metrics.as_dict(), trace_state
 
 
 def run_cases_parallel(
@@ -156,24 +168,39 @@ def run_cases_parallel(
         return tuple(seed_stream.getrandbits(48) for _ in range(take))
 
     results: list[ScheduleResult] = []
+    trace = current_tracer() is not None
     context = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         pending = deque()
+
+        def submit(seeds: tuple[int, ...]) -> None:
+            pending.append(
+                pool.submit(
+                    _run_chunk,
+                    (generator, timing, scheduler, accept, seeds, trace),
+                )
+            )
+
         for _ in range(jobs * CHUNKS_IN_FLIGHT):
             seeds = next_chunk()
             if not seeds:
                 break
-            pending.append(
-                pool.submit(_run_chunk, (generator, timing, scheduler, accept, seeds))
-            )
+            submit(seeds)
         while len(results) < count:
             if not pending:
                 raise RuntimeError(
                     f"corpus filter accepted only {len(results)}/{count} cases "
                     f"after {attempts} attempts"
                 )
-            chunk_results, worker_timings = pending.popleft().result()
+            chunk_results, worker_timings, worker_metrics, trace_state = (
+                pending.popleft().result()
+            )
             add_to_current(worker_timings)
+            obs_metrics.add_to_current(worker_metrics)
+            if trace_state is not None:
+                tracer = current_tracer()
+                if tracer is not None:
+                    tracer.adopt(trace_state)
             for item in chunk_results:
                 if item is not None:
                     results.append(item)
@@ -182,11 +209,7 @@ def run_cases_parallel(
             if len(results) < count:
                 seeds = next_chunk()
                 if seeds:
-                    pending.append(
-                        pool.submit(
-                            _run_chunk, (generator, timing, scheduler, accept, seeds)
-                        )
-                    )
+                    submit(seeds)
         for fut in pending:  # drop overdrawn attempts, matching serial stop
             fut.cancel()
     return results

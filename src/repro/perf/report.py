@@ -29,6 +29,7 @@ from repro import __version__
 from repro.core.scheduler import SchedulerConfig
 from repro.machine.program import MachineProgram
 from repro.machine.sbm import simulate_sbm
+from repro.obs.metrics import collect_metrics
 from repro.perf.parallel import resolve_jobs, results_digest
 from repro.perf.timers import STAGES, collect_timings
 from repro.synth.generator import GeneratorConfig
@@ -71,6 +72,13 @@ class PerfReport:
             f"wall {d['wall_s']:.3f}s   {stages}",
             f"results digest {d['results_digest'][:16]}...",
         ]
+        counters = d.get("metrics", {}).get("counters", {})
+        checked = counters.get("views.check.checked", 0)
+        if checked:
+            lines.append(
+                f"incremental cross-check: {checked} views checked, "
+                f"{counters.get('views.check.mismatches', 0)} mismatches"
+            )
         for row in d["points"]:
             lines.append(
                 f"  {d['axis']}={row['value']:<4} barrier {row['barrier']:.3f} "
@@ -98,7 +106,7 @@ def run_perf_report(
     )
 
     start = time.perf_counter()
-    with collect_timings() as timings:
+    with collect_metrics() as metrics, collect_timings() as timings:
         swept = sweep(base, PERF_AXIS, list(values), jobs=jobs, cache=False)
         sim_results = run_corpus(
             base.with_(count=min(count, SIMULATED_CASES)), jobs=jobs
@@ -136,6 +144,7 @@ def run_perf_report(
         "simulated_cases": len(sim_results),
         "wall_s": wall,
         "stages": timings.as_dict(),
+        "metrics": metrics.as_dict(),
         "results_digest": results_digest(sim_results),
         "points": points,
     }

@@ -31,6 +31,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass, fields
 from typing import Iterator, Mapping
 
+from repro.obs.spans import current_tracer
+
 __all__ = ["STAGES", "StageTimings", "add_to_current", "collect_timings", "stage"]
 
 #: Instrumented stage names, in pipeline order.
@@ -104,15 +106,33 @@ def add_to_current(timings: "StageTimings | Mapping[str, float]") -> None:
 @contextmanager
 def stage(name: str) -> Iterator[None]:
     """Accumulate the block's wall time under ``name`` (no-op when no
-    collector is installed)."""
+    collector is installed).
+
+    ``name`` must be one of :data:`STAGES` -- an unknown name raises
+    immediately rather than silently accumulating onto a dead attribute
+    that ``render()``/``as_dict()`` would never show.
+
+    A stage block is also a span: when a
+    :class:`repro.obs.spans.SpanTracer` is active the block is recorded
+    under the same name, so stage times and trace spans always agree.
+    """
+    if name not in STAGES:
+        raise ValueError(f"unknown timing stage {name!r}")
     collector = _collector.get()
-    if collector is None:
+    tracer = current_tracer()
+    if collector is None and tracer is None:
         yield
         return
+    sid = tracer.open(name) if tracer is not None else None
     start = time.perf_counter()
     try:
         yield
     finally:
-        setattr(
-            collector, name, getattr(collector, name) + time.perf_counter() - start
-        )
+        if collector is not None:
+            setattr(
+                collector,
+                name,
+                getattr(collector, name) + time.perf_counter() - start,
+            )
+        if tracer is not None:
+            tracer.close(sid)

@@ -1,0 +1,132 @@
+"""Decision provenance: recorded rules, barrier attribution, explain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.ir import compile_source
+from repro.obs.explain import explain_result
+from repro.obs.provenance import (
+    BarrierDecision,
+    collect_provenance,
+    current_recorder,
+    record_assignment,
+    record_barrier,
+    record_merge,
+)
+from repro.synth.generator import GeneratorConfig, generate_block
+
+
+@pytest.fixture(scope="module")
+def traced_schedule():
+    source = generate_block(GeneratorConfig(n_statements=20), 11).source()
+    dag = compile_source(source)
+    with collect_provenance() as recorder:
+        result = schedule_dag(dag, SchedulerConfig(n_pes=4))
+    return recorder, result
+
+
+class TestRecorder:
+    def test_noop_without_recorder(self):
+        assert current_recorder() is None
+        record_assignment("n", 0, "earliest-start")
+        record_merge("insert", 1, 2, True, "unordered-overlap")
+        record_barrier(
+            BarrierDecision(1, "g", "i", 0, 4, 1, -3, (0, 1))
+        )  # silently dropped
+
+    def test_every_list_node_has_an_assignment(self, traced_schedule):
+        recorder, result = traced_schedule
+        for node in result.list_order:
+            decision = recorder.assignments[node]
+            assert decision.rule in (
+                "serialization",
+                "earliest-start",
+                "slack-serialization",
+                "roundrobin",
+                "lookahead-divert",
+            )
+            # The recorded PE matches where the node actually landed.
+            assert result.schedule.processor_of(node) == decision.pe
+
+    def test_barrier_decisions_have_negative_slack(self, traced_schedule):
+        recorder, result = traced_schedule
+        assert recorder.barriers, "workload must force at least one barrier"
+        for d in recorder.barriers:
+            assert d.slack == d.t_min_i - d.t_max_g
+            assert d.slack < 0, "a barrier is only forced by a failed proof"
+            assert d.t_max_g > d.t_min_i
+
+    def test_barrier_count_matches_resolutions(self, traced_schedule):
+        recorder, result = traced_schedule
+        forced = [r for r in result.resolutions if r.barrier is not None]
+        assert len(recorder.barriers) == len(forced)
+        assert {d.barrier_id for d in recorder.barriers} == {
+            r.barrier.id for r in forced
+        }
+
+    def test_merge_decisions_recorded_with_reasons(self, traced_schedule):
+        recorder, _ = traced_schedule
+        assert recorder.merges
+        for m in recorder.merges:
+            assert m.trigger in ("insert", "finalize")
+            if m.accepted:
+                assert m.reason == "unordered-overlap"
+            else:
+                assert m.reason in ("hb-ordered", "windows-disjoint")
+
+    def test_last_assignment_wins(self):
+        with collect_provenance() as rec:
+            record_assignment("n", 0, "earliest-start")
+            record_assignment("n", 2, "lookahead-divert")
+        assert rec.assignments["n"].pe == 2
+        assert rec.assignments["n"].rule == "lookahead-divert"
+
+
+class TestExplain:
+    def test_every_final_barrier_attributed(self, traced_schedule):
+        recorder, result = traced_schedule
+        report = explain_result(result, recorder)
+        final = [b for b in result.schedule.barriers() if not b.is_initial]
+        assert len(report.barriers) == len(final)
+        for attr in report.barriers:
+            # Every barrier the edge resolver inserted traces back to a
+            # concrete producer -> consumer edge.
+            assert attr.attributed
+            own = attr.decisions[0]
+            assert own.barrier_id == attr.barrier_id
+            assert own.slack < 0
+
+    def test_merged_victims_attributed_to_survivor(self, traced_schedule):
+        recorder, result = traced_schedule
+        report = explain_result(result, recorder)
+        merged = [b for b in report.barriers if b.merged_ids]
+        for attr in merged:
+            victim_ids = {d.barrier_id for d in attr.decisions[1:]}
+            assert victim_ids <= set(attr.merged_ids)
+
+    def test_render_shape(self, traced_schedule):
+        recorder, result = traced_schedule
+        text = explain_result(result, recorder).render()
+        assert "assignments:" in text
+        assert "barriers:" in text
+        assert "forced by" in text
+        assert "slack" in text
+        assert "merges:" in text
+
+    def test_as_dict_is_json_shaped(self, traced_schedule):
+        import json
+
+        recorder, result = traced_schedule
+        doc = explain_result(result, recorder).as_dict()
+        json.dumps(doc)
+        assert set(doc) == {"summary", "assignments", "barriers", "merges"}
+
+    def test_ablation_policies_record_their_rule(self):
+        source = generate_block(GeneratorConfig(n_statements=14), 3).source()
+        dag = compile_source(source)
+        with collect_provenance() as rec:
+            schedule_dag(dag, SchedulerConfig(n_pes=4, assignment="roundrobin"))
+        rules = {d.rule for d in rec.assignments.values()}
+        assert rules == {"roundrobin"}

@@ -43,6 +43,28 @@ class TestCollection:
         with stage("generate"):
             pass  # must not raise, must not require a collector
 
+    def test_stage_rejects_unknown_name(self):
+        """A typo'd stage name must fail loudly (mirroring
+        ``merge_from``), not silently time nothing."""
+        with pytest.raises(ValueError, match="unknown timing stage"):
+            with stage("compile"):
+                pass
+        # ... collector or not.
+        with collect_timings():
+            with pytest.raises(ValueError, match="unknown timing stage"):
+                with stage("typo"):
+                    pass
+
+    def test_stage_opens_a_span_for_the_tracer(self):
+        from repro.obs.spans import collect_trace
+
+        with collect_trace() as tracer:
+            with stage("generate"):
+                with stage("schedule"):
+                    pass
+        names = {s.name: s for s in tracer.spans}
+        assert names["schedule"].parent == names["generate"].id
+
     def test_stage_accumulates_into_collector(self):
         with collect_timings() as t:
             with stage("generate"):

@@ -262,3 +262,101 @@ class TestRobustnessExperiment:
         out = capsys.readouterr().out
         assert "fault-tolerance curve" in out
         assert "hardened-racy" in out
+
+
+class TestExplain:
+    def test_attributes_barriers_and_assignments(self, capsys, block_file):
+        assert main(["explain", block_file, "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "assignments:" in out
+        assert "-> PE" in out
+        assert "merges:" in out
+        # Every inserted barrier is pinned to the edge that forced it.
+        if "barriers: none inserted" not in out:
+            assert "forced by" in out and "slack" in out
+
+    def test_json_output(self, capsys, block_file):
+        import json
+
+        assert main(["explain", block_file, "--pes", "4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"summary", "assignments", "barriers", "merges"}
+        for barrier in doc["barriers"]:
+            assert barrier["attributed"]
+            for d in barrier["decisions"]:
+                assert d["slack"] < 0
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["explain", "/no/such/file.src"]) == 2
+        assert capsys.readouterr().err.startswith("repro-sbm: error:")
+
+
+class TestTraceFlag:
+    def test_simulate_writes_chrome_trace(self, capsys, tmp_path, block_file):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["simulate", block_file, "-q", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        # All five pipeline stages appear in one simulate trace.
+        assert {"generate", "schedule", "insert", "merge", "simulate"} <= names
+        for e in doc["traceEvents"]:
+            assert e["ph"] in ("X", "i")
+            assert {"name", "ts", "pid", "tid"} <= set(e)
+
+    def test_schedule_writes_jsonl(self, capsys, tmp_path, block_file):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["schedule", block_file, "-q", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert "span" in kinds
+
+    def test_trace_does_not_change_stdout(self, capsys, tmp_path, block_file):
+        assert main(["schedule", block_file, "-q"]) == 0
+        plain = capsys.readouterr().out
+        trace = tmp_path / "t.json"
+        assert main(["schedule", block_file, "-q", "--trace", str(trace)]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_unwritable_trace_path_exits_two(self, capsys, block_file):
+        assert main(
+            ["schedule", block_file, "-q", "--trace", "/no/such/dir/t.json"]
+        ) == 2
+        assert capsys.readouterr().err.startswith("repro-sbm: error:")
+
+
+class TestVerbosityFlags:
+    def test_verbose_logs_trace_write(self, capsys, tmp_path, block_file):
+        trace = tmp_path / "t.json"
+        assert main(
+            ["-v", "schedule", block_file, "-q", "--trace", str(trace)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "repro.cli" in err and "wrote trace" in err
+
+    def test_default_is_quiet_about_info(self, capsys, tmp_path, block_file):
+        trace = tmp_path / "t.json"
+        assert main(["schedule", block_file, "-q", "--trace", str(trace)]) == 0
+        assert "wrote trace" not in capsys.readouterr().err
+
+    def test_global_quiet_suppresses_warnings(self, capsys, block_file):
+        from repro.obs.logging import get_logger
+
+        assert main(["-q", "schedule", block_file, "-q"]) == 0
+        capsys.readouterr()
+        get_logger("cli").warning("should be hidden")
+        assert "should be hidden" not in capsys.readouterr().err
+        # Restore the default level for the rest of the suite.
+        assert main(["schedule", block_file, "-q"]) == 0
+        capsys.readouterr()
+
+    def test_error_contract_unchanged_under_quiet(self, capsys):
+        assert main(["-q", "schedule", "/no/such/file.src"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-sbm: error:")
+        assert len(err.strip().splitlines()) == 1
