@@ -18,7 +18,15 @@ Subcommands mirror the pipeline stages:
 ``experiment``  run one of the paper's experiments (fig14..fig18,
                 table1, ranges, merging, ablations, robustness, ...)
 ``perf``        run the standard perf workload and emit a BENCH_*.json
-                trajectory record (see docs/performance.md)
+                trajectory record (see docs/performance.md); appends an
+                entry to the perf-trajectory series by default
+``diff``        compare two run records (``--record FILE``) and localize
+                the first divergence: assignment -> ordering -> barrier
+                set -> fire times -> metrics, with provenance-backed
+                explanations of the diverging decision
+``watch``       perf-trajectory watchdog: judge the latest ``perf``
+                entry against the prior series; exit 1 on a flagged
+                regression (the CI perf-smoke gate)
 
 Examples::
 
@@ -26,7 +34,12 @@ Examples::
     repro-sbm generate -s 30 | repro-sbm schedule --pes 8
     repro-sbm simulate --pes 4 --runs 3 examples/block.src
     repro-sbm simulate --trace out.json examples/block.src   # Perfetto
-    repro-sbm explain --pes 8 examples/block.src
+    repro-sbm simulate --timeline machine.json examples/block.src
+    repro-sbm explain --pes 8 --runtime examples/block.src
+    repro-sbm schedule --merge on --record a.json examples/block.src
+    repro-sbm schedule --merge off --record b.json examples/block.src
+    repro-sbm diff a.json b.json
+    repro-sbm watch --output watch_report.md
     repro-sbm faults --epsilon 0.25 --runs 50 --seed 7
     repro-sbm experiment fig15 --count 30 --jobs 4
     repro-sbm perf --count 25 --jobs 0 --output BENCH_perf.json
@@ -46,7 +59,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 
 from repro.core.scheduler import SchedulerConfig, schedule_dag
 from repro.experiments import (
@@ -77,6 +90,7 @@ from repro.machine.program import MachineProgram
 from repro.machine.dbm import simulate_dbm
 from repro.machine.sbm import simulate_sbm
 from repro.obs.logging import configure as _configure_logging, get_logger
+from repro.perf.report import DEFAULT_TRAJECTORY
 from repro.perf.timers import stage
 from repro.synth.generator import GeneratorConfig, generate_block
 from repro.viz import render_barrier_dag, render_embedding, render_gantt
@@ -178,6 +192,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--runs", type=int, default=1)
     sim.add_argument("--sampler", choices=sorted(_SAMPLERS), default="uniform")
     sim.add_argument("--sim-seed", type=int, default=0)
+    sim.add_argument(
+        "--timeline",
+        metavar="FILE",
+        default=None,
+        help="write run 0 as a per-PE machine timeline with barrier flow "
+        "events (Perfetto-loadable Chrome trace JSON)",
+    )
 
     expl = sub.add_parser(
         "explain",
@@ -188,6 +209,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the report as machine-readable JSON instead of text",
+    )
+    expl.add_argument(
+        "--runtime",
+        action="store_true",
+        help="also simulate one run and cross-link the executed critical "
+        "path to the decisions that placed its barriers",
     )
 
     flow = sub.add_parser(
@@ -313,7 +340,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a span trace of the run (Chrome trace JSON; "
         "'.jsonl' suffix selects JSONL)",
     )
+    perf.add_argument(
+        "--trajectory",
+        metavar="FILE",
+        default=None,
+        help="trajectory series to append the run to "
+        f"(default: {DEFAULT_TRAJECTORY})",
+    )
+    perf.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not append this run to the trajectory series",
+    )
+    perf.add_argument(
+        "--label",
+        default="",
+        help="label stored in the appended trajectory entry",
+    )
     _add_perf_args(perf)
+
+    dif = sub.add_parser(
+        "diff",
+        help="compare two run records and localize the first divergence",
+    )
+    dif.add_argument("record_a", help="run record written by --record")
+    dif.add_argument("record_b", help="run record written by --record")
+    dif.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the diff as machine-readable JSON instead of text",
+    )
+
+    wat = sub.add_parser(
+        "watch",
+        help="perf-trajectory watchdog: flag regressions across the series",
+    )
+    wat.add_argument(
+        "--trajectory",
+        metavar="FILE",
+        default=str(DEFAULT_TRAJECTORY),
+        help="trajectory series to judge (JSONL, one entry per perf run)",
+    )
+    wat.add_argument(
+        "--output",
+        "-o",
+        metavar="FILE",
+        default=None,
+        help="also write the report as markdown (the CI artifact)",
+    )
+    wat.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="latest wall/stage time may be at most FACTOR x the median "
+        "of prior entries (plus an absolute noise floor)",
+    )
+    wat.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the verdicts as machine-readable JSON instead of text",
+    )
 
     return parser
 
@@ -336,6 +422,13 @@ def _add_schedule_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--insertion", choices=("conservative", "optimal"), default="conservative")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-optimize", action="store_true")
+    p.add_argument(
+        "--merge",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="barrier merging (auto = the machine's default: on for SBM, "
+        "off for DBM)",
+    )
     p.add_argument("--quiet", "-q", action="store_true", help="fractions only")
     p.add_argument(
         "--trace",
@@ -343,6 +436,17 @@ def _add_schedule_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="write a span trace of the run (Chrome trace JSON; "
         "'.jsonl' suffix selects JSONL)",
+    )
+    p.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help="write a versioned run record (JSON) for `repro-sbm diff`",
+    )
+    p.add_argument(
+        "--label",
+        default="",
+        help="label stored in the run record (default: the source path)",
     )
 
 
@@ -395,16 +499,50 @@ def _schedule_from_args(args):
         machine=args.machine,
         insertion=args.insertion,
         seed=args.seed,
+        merge_barriers={"auto": None, "on": True, "off": False}[args.merge],
     )
     with stage("schedule"):
         result = schedule_dag(dag, config)
     return dag, result
 
 
+def _record_label(args) -> str:
+    return args.label or args.source or "stdin"
+
+
+def _provenance_scope(args):
+    """A provenance recorder when ``--record`` asks for one, else None.
+
+    Records carry the scheduler's decision provenance so ``diff`` can
+    name the diverging decision; without ``--record`` the scheduling
+    runs unobserved, exactly as before.
+    """
+    if getattr(args, "record", None):
+        from repro.obs.provenance import collect_provenance
+
+        return collect_provenance()
+    return nullcontext(None)
+
+
+def _write_record(args, result, recorder, trace=None, analysis=None) -> None:
+    from repro.obs.diff import run_record, write_run_record
+
+    record = run_record(
+        result,
+        provenance=recorder,
+        trace=trace,
+        analysis=analysis,
+        label=_record_label(args),
+    )
+    write_run_record(record, args.record)
+    print(f"wrote run record {args.record}")
+
+
 def _cmd_schedule(args) -> int:
     from repro.analysis import analyze_schedule
 
-    _, result = _schedule_from_args(args)
+    with _provenance_scope(args) as recorder:
+        _, result = _schedule_from_args(args)
     if not args.quiet:
         print("== barrier embedding ==")
         print(render_embedding(result.schedule))
@@ -413,6 +551,8 @@ def _cmd_schedule(args) -> int:
         print()
     print(result.describe())
     print(analyze_schedule(result).render())
+    if args.record:
+        _write_record(args, result, recorder)
     return 0
 
 
@@ -442,21 +582,37 @@ def _cmd_flow(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    _, result = _schedule_from_args(args)
+    from repro.obs.runtime import analyze_trace
+
+    with _provenance_scope(args) as recorder:
+        _, result = _schedule_from_args(args)
     program = MachineProgram.from_schedule(result.schedule)
     sim = simulate_sbm if args.machine == "sbm" else simulate_dbm
     sampler = _SAMPLERS[args.sampler]()
+    first: tuple | None = None  # (trace, analysis) of run 0
     for run in range(args.runs):
         trace = sim(program, sampler, rng=args.sim_seed + run)
         trace.assert_sound(program.edges)
+        analysis = analyze_trace(program, trace)
+        if first is None:
+            first = (trace, analysis)
         if not args.quiet:
             print(f"== run {run} ==")
             print(render_gantt(program, trace))
+            print(analysis.render())
             print()
         else:
             print(trace.describe())
     print(result.describe())
     print(f"static makespan bound {result.makespan}")
+    if args.timeline and first is not None:
+        from repro.obs.runtime_export import write_machine_trace
+
+        write_machine_trace(program, first[0], args.timeline, first[1])
+        print(f"wrote machine timeline {args.timeline}")
+    if args.record:
+        trace, analysis = first if first is not None else (None, None)
+        _write_record(args, result, recorder, trace=trace, analysis=analysis)
     return 0
 
 
@@ -472,13 +628,56 @@ def _cmd_explain(args) -> int:
     with collect_provenance() as recorder:
         _, result = _schedule_from_args(args)
     report = explain_result(result, recorder)
+    analysis = None
+    if args.runtime:
+        from repro.obs.runtime import analyze_trace
+
+        program = MachineProgram.from_schedule(result.schedule)
+        sim = simulate_sbm if args.machine == "sbm" else simulate_dbm
+        trace = sim(program, rng=args.seed)
+        trace.assert_sound(program.edges)
+        analysis = analyze_trace(program, trace)
     if args.json:
         import json
 
-        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+        data = report.as_dict()
+        if analysis is not None:
+            data["runtime"] = analysis.as_dict()
+        print(json.dumps(data, indent=1, sort_keys=True))
     else:
         print(report.render())
+        if analysis is not None:
+            print()
+            print(analysis.render())
+            for line in _critical_decisions(analysis, recorder):
+                print(line)
+    if args.record:
+        _write_record(args, result, recorder, analysis=analysis)
     return 0
+
+
+def _critical_decisions(analysis, recorder) -> list[str]:
+    """Cross-link executed-critical-path barriers to their provenance."""
+    lines = []
+    for bid in analysis.critical_barriers():
+        decision = recorder.barrier_decision(bid)
+        if decision is not None:
+            lines.append(
+                f"  critical b{bid}: forced by {decision.producer} -> "
+                f"{decision.consumer} (slack {decision.slack})"
+            )
+            continue
+        absorbed = [
+            m
+            for m in recorder.merges
+            if m.accepted and m.survivor == bid
+        ]
+        if absorbed:
+            merged = ", ".join(f"b{m.other}" for m in absorbed)
+            lines.append(f"  critical b{bid}: merged barrier (absorbed {merged})")
+        else:
+            lines.append(f"  critical b{bid}: no insertion decision (initial)")
+    return lines
 
 
 def _faults_source(args) -> str:
@@ -663,7 +862,49 @@ def _cmd_perf(args) -> int:
         import json
 
         print(json.dumps(report.data, indent=1, sort_keys=True))
+    if not args.no_trajectory:
+        from repro.perf.report import append_trajectory
+
+        path = append_trajectory(
+            report.data,
+            args.trajectory or DEFAULT_TRAJECTORY,
+            label=args.label,
+        )
+        print(f"appended trajectory entry to {path}")
     return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import diff_runs, load_run_record
+
+    diff = diff_runs(
+        load_run_record(args.record_a), load_run_record(args.record_b)
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(diff.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(diff.render())
+    return 0 if diff.identical else 1
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.watch import WatchConfig, load_trajectory, watch_trajectory
+
+    entries = load_trajectory(args.trajectory)
+    report = watch_trajectory(entries, WatchConfig(factor=args.factor))
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.render())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            fp.write(report.render_markdown())
+        print(f"wrote {args.output}")
+    return 0 if report.ok else 1
 
 
 def _run_traced(args, run) -> int:
@@ -705,6 +946,8 @@ def main(argv: list[str] | None = None) -> int:
         "archive": _cmd_archive,
         "experiment": _cmd_experiment,
         "perf": _cmd_perf,
+        "diff": _cmd_diff,
+        "watch": _cmd_watch,
     }
     try:
         return _run_traced(args, handlers[args.command])

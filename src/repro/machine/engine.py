@@ -144,9 +144,22 @@ def _run_machine(
         choice = controller.select(waiting, arrival)
         if choice is None:
             stuck = {pe: f"b{bid}" for pe, bid in waiting.items()}
-            raise DeadlockError(
-                f"{machine_name}: no barrier can fire; waiting: {stuck}"
-            )
+            message = f"{machine_name}: no barrier can fire; waiting: {stuck}"
+            # Name the pending barrier when the controller knows one
+            # (the SBM's queue head) and which of its participants
+            # never arrived -- the only clue to a real hardware hang.
+            pending = getattr(controller, "pending", None)
+            pending_id = pending() if callable(pending) else None
+            if pending_id is not None:
+                mask = program.masks.get(pending_id)
+                absent = sorted(
+                    pe for pe in (mask or ()) if waiting.get(pe) != pending_id
+                )
+                message += (
+                    f"; pending barrier b{pending_id} still needs "
+                    f"PEs {absent}"
+                )
+            raise DeadlockError(message)
         barrier_id, fire_time = choice
         if barrier_id != program.initial_barrier_id:
             fire_time += program.barrier_latency

@@ -40,6 +40,17 @@ class SBMController:
     last_fire: int = 0
     fired: list[int] = field(default_factory=list)
 
+    def pending(self) -> int | None:
+        """The barrier at the queue head (None once the queue drained).
+
+        Surfaced in the engine's deadlock diagnostic: a hung SBM is
+        always stuck on its head, so naming it (plus the participants
+        that never arrived) localizes the hang immediately.
+        """
+        if self.head >= len(self.program.barrier_order):
+            return None
+        return self.program.barrier_order[self.head]
+
     def select(
         self, waiting: dict[int, int], arrival: dict[int, int]
     ) -> tuple[int, int] | None:

@@ -39,10 +39,17 @@ class OrderViolation:
     producer_finish: int
     consumer_start: int
 
+    @property
+    def slack(self) -> int:
+        """``consumer_start - producer_finish``; negative for every
+        violation (how many time units the proof missed by)."""
+        return self.consumer_start - self.producer_finish
+
     def __str__(self) -> str:
         return (
             f"edge {self.producer!r} -> {self.consumer!r}: producer finished "
-            f"at {self.producer_finish} but consumer started at {self.consumer_start}"
+            f"at {self.producer_finish} but consumer started at "
+            f"{self.consumer_start} (slack {self.slack})"
         )
 
 

@@ -1,0 +1,410 @@
+"""Differential observability: run records and run-to-run diffing.
+
+A :class:`RunRecord` is the versioned JSON artifact of one scheduling
+(optionally simulated) run: the resolved configuration, every node's
+processor assignment, the list order, the barrier population with merge
+provenance, the SBM queue order and static fire windows, the
+``results_digest``, and -- when collected -- the decision provenance,
+execution trace summary, runtime analysis and metrics.  Records are
+written by ``repro-sbm schedule/simulate --record FILE`` and are stable
+across processes and commits, so two of them can be compared from
+different configs, algorithm variants (conservative vs optimal, merge
+on/off) or checkouts.
+
+:func:`diff_runs` localizes the **first divergence** between two
+records by walking the pipeline's layers in causal order::
+
+    assignment -> ordering -> barrier set -> fire times / queue -> metrics
+
+The first layer that differs names the earliest point where the two
+runs stopped being the same computation; everything downstream is a
+consequence.  When the diverging layer is the barrier set, the recorded
+provenance is consulted so the report *names the decision* (e.g. the
+merge that fused two barriers in one run but not the other, or the
+forcing producer/consumer edge of a barrier only one run inserted).
+
+Imports machine/core types, so -- like :mod:`repro.obs.explain` -- this
+module lives outside the stdlib-only ``repro.obs`` package root.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import __version__
+from repro.core.scheduler import ScheduleResult
+from repro.io import result_summary
+from repro.machine.program import MachineProgram
+from repro.machine.trace import ExecutionTrace
+from repro.obs.provenance import ProvenanceRecorder
+from repro.obs.runtime import TraceAnalysis
+from repro.perf.parallel import results_digest
+
+__all__ = [
+    "RUN_RECORD_FORMAT",
+    "RunDivergence",
+    "RunDiff",
+    "run_record",
+    "write_run_record",
+    "load_run_record",
+    "diff_runs",
+]
+
+RUN_RECORD_FORMAT = "repro.run-record.v1"
+
+#: Layer order of :func:`diff_runs` -- causal pipeline order.
+DIFF_LAYERS = ("assignment", "ordering", "barriers", "fire", "metrics")
+
+
+def run_record(
+    result: ScheduleResult,
+    *,
+    provenance: ProvenanceRecorder | None = None,
+    trace: ExecutionTrace | None = None,
+    analysis: TraceAnalysis | None = None,
+    metrics=None,
+    label: str = "",
+) -> dict:
+    """Build the versioned record of one run (JSON-shaped dict)."""
+    schedule = result.schedule
+    program = MachineProgram.from_schedule(schedule)
+    fire = schedule.fire_times()
+    barriers = []
+    for barrier in schedule.barriers(include_initial=True):
+        barriers.append(
+            {
+                "id": barrier.id,
+                "initial": barrier.is_initial,
+                "participants": sorted(barrier.participants),
+                "merged_from": sorted(barrier.merged_from),
+                "fire_window": [fire[barrier.id].lo, fire[barrier.id].hi],
+            }
+        )
+    barriers.sort(key=lambda b: b["id"])
+    record = {
+        "format": RUN_RECORD_FORMAT,
+        "version": __version__,
+        "python": platform.python_version(),
+        "created_unix": time.time(),
+        "label": label,
+        "config": dataclasses.asdict(result.config),
+        "merging_enabled": result.config.merging_enabled,
+        "summary": result_summary(result),
+        "results_digest": results_digest([result]),
+        "assignment": {
+            str(node): schedule.processor_of(node)
+            for node in result.list_order
+        },
+        "order": [str(node) for node in result.list_order],
+        "barriers": barriers,
+        "queue": list(program.barrier_order),
+        "provenance": provenance.as_dict() if provenance is not None else None,
+        "trace": None,
+        "analysis": analysis.as_dict() if analysis is not None else None,
+        "metrics": metrics.as_dict() if metrics is not None else None,
+    }
+    if trace is not None:
+        record["trace"] = {
+            "machine": trace.machine,
+            "makespan": trace.makespan,
+            "barrier_fire": {
+                str(bid): t for bid, t in sorted(trace.barrier_fire.items())
+            },
+            "pe_finish": list(trace.pe_finish),
+        }
+    return record
+
+
+def write_run_record(record: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_run_record(path: str | Path) -> dict:
+    """Read and version-check a run record."""
+    data = json.loads(Path(path).read_text())
+    fmt = data.get("format")
+    if fmt != RUN_RECORD_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported run-record format {fmt!r}; "
+            f"expected {RUN_RECORD_FORMAT!r}"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class RunDivergence:
+    """The first layer where two runs stopped agreeing."""
+
+    layer: str  # one of DIFF_LAYERS
+    subject: str  # e.g. "node 12", "b5", "index 3", "engine.barrier_releases"
+    a: object
+    b: object
+    #: Provenance-backed explanations, when the records carried any.
+    notes: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "subject": self.subject,
+            "a": self.a,
+            "b": self.b,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """Everything ``repro-sbm diff`` reports."""
+
+    label_a: str
+    label_b: str
+    config_changes: dict[str, tuple]
+    divergence: RunDivergence | None
+    #: Context lines that are informative but not the first divergence
+    #: (digest comparison, downstream metric deltas, ...).
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def as_dict(self) -> dict:
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "config_changes": {
+                k: [a, b] for k, (a, b) in sorted(self.config_changes.items())
+            },
+            "identical": self.identical,
+            "divergence": (
+                None if self.divergence is None else self.divergence.as_dict()
+            ),
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        lines = [f"diff {self.label_a or 'A'} vs {self.label_b or 'B'}"]
+        if self.config_changes:
+            lines.append("config differences:")
+            for key, (a, b) in sorted(self.config_changes.items()):
+                lines.append(f"  {key}: {a!r} -> {b!r}")
+        else:
+            lines.append("config differences: none")
+        if self.divergence is None:
+            lines.append("runs are equivalent (no divergence in any layer)")
+        else:
+            d = self.divergence
+            lines.append(
+                f"first divergence: layer '{d.layer}' at {d.subject}: "
+                f"A={d.a!r} B={d.b!r}"
+            )
+            for note in d.notes:
+                lines.append(f"  {note}")
+        for note in self.notes:
+            lines.append(note)
+        return "\n".join(lines)
+
+
+def _barrier_notes(record: dict, bid: int, side: str) -> list[str]:
+    """Provenance-backed explanations for one barrier id in one record."""
+    notes: list[str] = []
+    prov = record.get("provenance") or {}
+    for m in prov.get("merges", ()):
+        if m.get("accepted") and bid in (m.get("survivor"), m.get("other")):
+            notes.append(
+                f"{side}: merge ({m.get('trigger')}): b{m.get('other')} "
+                f"absorbed into b{m.get('survivor')} ({m.get('reason')})"
+            )
+    for d in prov.get("barriers", ()):
+        if d.get("barrier_id") == bid:
+            notes.append(
+                f"{side}: b{bid} forced by {d.get('producer')} -> "
+                f"{d.get('consumer')} (slack {d.get('slack')}, "
+                f"dom b{d.get('dominator')})"
+            )
+    for entry in record.get("barriers", ()):
+        if entry["id"] == bid and entry["merged_from"]:
+            merged = ", ".join(f"b{v}" for v in entry["merged_from"])
+            notes.append(f"{side}: b{bid} absorbed {merged}")
+    return notes
+
+
+def _merge_divergence_notes(a: dict, b: dict) -> list[str]:
+    """Name the merge decisions only one of the runs took.
+
+    Merging happens *during* insertion, so a merge taken in only one run
+    can surface as an assignment- or ordering-layer divergence long
+    before the barrier sets are compared; these notes name the decision
+    regardless of which layer diverged first.
+    """
+
+    def accepted(record: dict) -> list[tuple]:
+        prov = record.get("provenance") or {}
+        return [
+            (m.get("survivor"), m.get("other"), m.get("trigger"), m.get("reason"))
+            for m in prov.get("merges", ())
+            if m.get("accepted")
+        ]
+
+    ma, mb = accepted(a), accepted(b)
+    if ma == mb:
+        return []
+    notes = []
+    for side, only in (("A", [m for m in ma if m not in mb]),
+                       ("B", [m for m in mb if m not in ma])):
+        for survivor, other, trigger, reason in only[:3]:
+            notes.append(
+                f"merge only in {side}: b{other} absorbed into "
+                f"b{survivor} ({trigger}: {reason})"
+            )
+        if len(only) > 3:
+            notes.append(f"... and {len(only) - 3} more merges only in {side}")
+    return notes
+
+
+def _diff_assignment(a: dict, b: dict) -> RunDivergence | None:
+    order = a["order"] if len(a["order"]) >= len(b["order"]) else b["order"]
+    asg_a, asg_b = a["assignment"], b["assignment"]
+    for node in order:
+        pa, pb = asg_a.get(node), asg_b.get(node)
+        if pa != pb:
+            return RunDivergence("assignment", f"node {node}", pa, pb)
+    return None
+
+
+def _diff_ordering(a: dict, b: dict) -> RunDivergence | None:
+    oa, ob = a["order"], b["order"]
+    for i, (na, nb) in enumerate(zip(oa, ob)):
+        if na != nb:
+            return RunDivergence("ordering", f"index {i}", na, nb)
+    if len(oa) != len(ob):
+        i = min(len(oa), len(ob))
+        return RunDivergence(
+            "ordering",
+            f"index {i}",
+            oa[i] if i < len(oa) else None,
+            ob[i] if i < len(ob) else None,
+        )
+    return None
+
+
+def _diff_barriers(a: dict, b: dict) -> RunDivergence | None:
+    by_id_a = {e["id"]: e for e in a["barriers"]}
+    by_id_b = {e["id"]: e for e in b["barriers"]}
+    for bid in sorted(set(by_id_a) | set(by_id_b)):
+        ea, eb = by_id_a.get(bid), by_id_b.get(bid)
+        if ea is None or eb is None:
+            present, absent = ("A", "B") if eb is None else ("B", "A")
+            notes = _barrier_notes(a, bid, "A") + _barrier_notes(b, bid, "B")
+            notes.append(f"b{bid} exists only in {present}, not in {absent}")
+            return RunDivergence(
+                "barriers",
+                f"b{bid}",
+                None if ea is None else ea["participants"],
+                None if eb is None else eb["participants"],
+                tuple(notes),
+            )
+        for key in ("participants", "merged_from"):
+            if ea[key] != eb[key]:
+                notes = _barrier_notes(a, bid, "A") + _barrier_notes(b, bid, "B")
+                return RunDivergence(
+                    "barriers", f"b{bid}.{key}", ea[key], eb[key], tuple(notes)
+                )
+    return None
+
+
+def _diff_fire(a: dict, b: dict) -> RunDivergence | None:
+    by_id_a = {e["id"]: e for e in a["barriers"]}
+    by_id_b = {e["id"]: e for e in b["barriers"]}
+    for bid in sorted(by_id_a):
+        if by_id_a[bid]["fire_window"] != by_id_b[bid]["fire_window"]:
+            return RunDivergence(
+                "fire",
+                f"b{bid}.fire_window",
+                by_id_a[bid]["fire_window"],
+                by_id_b[bid]["fire_window"],
+            )
+    if a["queue"] != b["queue"]:
+        for i, (qa, qb) in enumerate(zip(a["queue"], b["queue"])):
+            if qa != qb:
+                return RunDivergence("fire", f"queue[{i}]", f"b{qa}", f"b{qb}")
+    ta, tb = a.get("trace"), b.get("trace")
+    if ta and tb:
+        for bid in sorted(ta["barrier_fire"], key=int):
+            fa = ta["barrier_fire"].get(bid)
+            fb = tb["barrier_fire"].get(bid)
+            if fa != fb:
+                return RunDivergence("fire", f"b{bid}@run", fa, fb)
+        if ta["makespan"] != tb["makespan"]:
+            return RunDivergence(
+                "fire", "makespan@run", ta["makespan"], tb["makespan"]
+            )
+    return None
+
+
+def _diff_metrics(a: dict, b: dict) -> RunDivergence | None:
+    ma = (a.get("metrics") or {}).get("counters", {})
+    mb = (b.get("metrics") or {}).get("counters", {})
+    for name in sorted(set(ma) | set(mb)):
+        if ma.get(name, 0) != mb.get(name, 0):
+            return RunDivergence(
+                "metrics", name, ma.get(name, 0), mb.get(name, 0)
+            )
+    return None
+
+
+def diff_runs(a: dict, b: dict) -> RunDiff:
+    """Localize the first divergence between two run records.
+
+    Layers are compared in causal pipeline order (:data:`DIFF_LAYERS`);
+    the first differing layer is reported with provenance-backed notes,
+    and later layers are not searched (they are downstream effects).
+    """
+    config_changes = {}
+    ca, cb = a.get("config", {}), b.get("config", {})
+    for key in sorted(set(ca) | set(cb)):
+        if ca.get(key) != cb.get(key):
+            config_changes[key] = (ca.get(key), cb.get(key))
+    if a.get("merging_enabled") != b.get("merging_enabled"):
+        config_changes["merging_enabled"] = (
+            a.get("merging_enabled"),
+            b.get("merging_enabled"),
+        )
+
+    checks = {
+        "assignment": _diff_assignment,
+        "ordering": _diff_ordering,
+        "barriers": _diff_barriers,
+        "fire": _diff_fire,
+        "metrics": _diff_metrics,
+    }
+    divergence = None
+    for layer in DIFF_LAYERS:
+        divergence = checks[layer](a, b)
+        if divergence is not None:
+            break
+
+    notes = []
+    if divergence is not None:
+        notes.extend(_merge_divergence_notes(a, b))
+    if a.get("results_digest") == b.get("results_digest"):
+        notes.append(f"results_digest: identical ({a.get('results_digest', '')[:16]}...)")
+    else:
+        notes.append(
+            f"results_digest: A {a.get('results_digest', '')[:16]}... != "
+            f"B {b.get('results_digest', '')[:16]}..."
+        )
+    return RunDiff(
+        label_a=a.get("label", ""),
+        label_b=b.get("label", ""),
+        config_changes=config_changes,
+        divergence=divergence,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,551 @@
+"""Runtime observability: analytics computed *from* an execution trace.
+
+PR 4 made the compiler observable; this module makes the simulated
+machine observable.  An :class:`~repro.machine.trace.ExecutionTrace`
+records raw start/finish/fire instants -- :func:`analyze_trace` turns
+one trace plus its :class:`~repro.machine.program.MachineProgram` into
+a :class:`TraceAnalysis`:
+
+* **per-PE breakdown** -- busy, barrier-wait and idle time per
+  processor, and the executed utilization (busy / makespan) that the
+  Gantt chart and ``repro-sbm simulate`` surface;
+* **per-barrier runtime stats** -- each participant's arrival, its
+  wait (``fire - arrival``) and the *release skew* (spread between the
+  first and last arrival the release had to cover);
+* **superstep imbalance** -- between consecutive barrier releases the
+  machine runs a BSP-style superstep; per-superstep busy-time spread
+  quantifies the load imbalance each release pays for;
+* **executed critical path** -- the chain of instructions and barrier
+  releases that realizes the makespan, recovered by walking causes
+  backwards (an op starts when its predecessor segment ends; a barrier
+  fires either when its last participant arrives -- ``dependence`` --
+  or, on the SBM, when the previous queue head lets it through --
+  ``queue``).  Barrier steps cross-link to PR 4's provenance so
+  ``repro-sbm explain --runtime`` can answer "which forced barrier is
+  on the critical path".
+
+Analysis is **observation only**: it reads a finished trace and never
+touches the engine, the RNG, or any scheduling decision, so the
+``results_digest`` contract of :mod:`repro.obs` holds with analysis on,
+off, and under ``--jobs`` (pinned in ``tests/obs/test_digest_parity``).
+When a :class:`~repro.obs.metrics.MetricsRegistry` is active,
+:func:`analyze_trace` feeds the ``engine.*`` metric family tabled in
+docs/observability.md.
+
+Like :mod:`repro.obs.explain`, this module imports machine-layer types
+and therefore lives outside the stdlib-only :mod:`repro.obs` package
+root; import it directly (``from repro.obs.runtime import
+analyze_trace``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.trace import ExecutionTrace
+from repro.obs.metrics import current_registry
+
+__all__ = [
+    "Segment",
+    "PEBreakdown",
+    "BarrierRuntime",
+    "SuperstepStat",
+    "CriticalStep",
+    "TraceAnalysis",
+    "analyze_trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One contiguous slice of a processor's timeline."""
+
+    pe: int
+    kind: str  # "op" | "wait"
+    start: int
+    end: int
+    node: object | None = None
+    barrier: int | None = None
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class PEBreakdown:
+    """Where one processor's time went, over the whole makespan."""
+
+    pe: int
+    busy: int
+    barrier_wait: int
+    #: Time between the PE retiring its stream and machine completion.
+    tail_idle: int
+    finish: int
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.barrier_wait + self.tail_idle
+
+    def utilization(self, makespan: int) -> float:
+        return self.busy / makespan if makespan else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "pe": self.pe,
+            "busy": self.busy,
+            "barrier_wait": self.barrier_wait,
+            "tail_idle": self.tail_idle,
+            "finish": self.finish,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class BarrierRuntime:
+    """One barrier release as the hardware experienced it."""
+
+    barrier_id: int
+    fire: int
+    is_initial: bool
+    #: Participant -> time it raised its WAIT line.
+    arrivals: dict[int, int]
+    #: Participant -> ``fire - arrival``.
+    waits: dict[int, int]
+
+    @property
+    def width(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def skew(self) -> int:
+        """Spread between the first and last arrival (0 for width 1)."""
+        if not self.arrivals:
+            return 0
+        times = self.arrivals.values()
+        return max(times) - min(times)
+
+    @property
+    def max_wait(self) -> int:
+        return max(self.waits.values(), default=0)
+
+    @property
+    def total_wait(self) -> int:
+        return sum(self.waits.values())
+
+    @property
+    def last_arriver(self) -> int | None:
+        """The participant that released the barrier (ties: lowest PE)."""
+        if not self.arrivals:
+            return None
+        last = max(self.arrivals.values())
+        return min(pe for pe, t in self.arrivals.items() if t == last)
+
+    def as_dict(self) -> dict:
+        return {
+            "barrier_id": self.barrier_id,
+            "fire": self.fire,
+            "is_initial": self.is_initial,
+            "arrivals": {str(pe): t for pe, t in sorted(self.arrivals.items())},
+            "waits": {str(pe): w for pe, w in sorted(self.waits.items())},
+            "skew": self.skew,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class SuperstepStat:
+    """One inter-release interval, BSP style."""
+
+    index: int
+    start: int
+    end: int
+    #: Busy time per processor clipped to [start, end).
+    busy: tuple[int, ...]
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start
+
+    @property
+    def imbalance(self) -> int:
+        """Busy-time spread across processors within the superstep."""
+        return (max(self.busy) - min(self.busy)) if self.busy else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "busy": list(self.busy),
+            "imbalance": self.imbalance,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CriticalStep:
+    """One link of the executed critical path, in forward time order."""
+
+    kind: str  # "op" | "barrier"
+    at: int  # completion instant: op finish, or barrier fire
+    pe: int | None = None
+    node: object | None = None
+    barrier: int | None = None
+    #: How the step's start was determined: ``dependence`` (predecessor
+    #: segment on the same PE / last-arriving participant), ``queue``
+    #: (SBM head-of-line serialization), or ``origin`` (time 0).
+    cause: str = "dependence"
+
+    def describe(self) -> str:
+        if self.kind == "barrier":
+            tag = f"b{self.barrier}@{self.at}"
+            return tag if self.cause != "queue" else f"{tag}[queue]"
+        return f"{self.node}(PE{self.pe})@{self.at}"
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "pe": self.pe,
+            "node": None if self.node is None else str(self.node),
+            "barrier": self.barrier,
+            "cause": self.cause,
+        }
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """Everything :func:`analyze_trace` derives from one execution."""
+
+    machine: str
+    makespan: int
+    pes: tuple[PEBreakdown, ...]
+    barriers: tuple[BarrierRuntime, ...]  # fire-time order, initial included
+    supersteps: tuple[SuperstepStat, ...]
+    critical_path: tuple[CriticalStep, ...]
+    segments: tuple[Segment, ...] = field(repr=False, default=())
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.pes or not self.makespan:
+            return 0.0
+        return sum(p.busy for p in self.pes) / (len(self.pes) * self.makespan)
+
+    @property
+    def total_barrier_wait(self) -> int:
+        return sum(b.total_wait for b in self.barriers)
+
+    @property
+    def max_release_skew(self) -> int:
+        return max((b.skew for b in self.barriers), default=0)
+
+    @property
+    def mean_superstep_imbalance(self) -> float:
+        if not self.supersteps:
+            return 0.0
+        return sum(s.imbalance for s in self.supersteps) / len(self.supersteps)
+
+    def critical_barriers(self) -> tuple[int, ...]:
+        """Barrier ids on the executed critical path, in path order."""
+        return tuple(
+            s.barrier for s in self.critical_path if s.kind == "barrier"
+        )
+
+    def breakdown_of(self, pe: int) -> PEBreakdown:
+        return self.pes[pe]
+
+    def barrier_runtime(self, barrier_id: int) -> BarrierRuntime | None:
+        for b in self.barriers:
+            if b.barrier_id == barrier_id:
+                return b
+        return None
+
+    # -- serialization -----------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "machine": self.machine,
+            "makespan": self.makespan,
+            "mean_utilization": self.mean_utilization,
+            "total_barrier_wait": self.total_barrier_wait,
+            "max_release_skew": self.max_release_skew,
+            "pes": [p.as_dict() for p in self.pes],
+            "barriers": [b.as_dict() for b in self.barriers],
+            "supersteps": [s.as_dict() for s in self.supersteps],
+            "critical_path": [s.as_dict() for s in self.critical_path],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"runtime analysis ({self.machine}): makespan {self.makespan}, "
+            f"mean utilization {self.mean_utilization:.0%}"
+        ]
+        for p in self.pes:
+            lines.append(
+                f"  PE{p.pe}: busy {p.busy} "
+                f"({p.utilization(self.makespan):.0%}), "
+                f"barrier-wait {p.barrier_wait}, tail idle {p.tail_idle}"
+            )
+        released = [b for b in self.barriers if not b.is_initial]
+        if released:
+            waits = [w for b in released for w in b.waits.values()]
+            mean_wait = sum(waits) / len(waits) if waits else 0.0
+            lines.append(
+                f"  barriers: {len(released)} releases, wait mean "
+                f"{mean_wait:.1f} max {max(waits, default=0)}, skew max "
+                f"{self.max_release_skew}"
+            )
+        if self.supersteps:
+            worst = max(self.supersteps, key=lambda s: s.imbalance)
+            lines.append(
+                f"  supersteps: {len(self.supersteps)}, imbalance mean "
+                f"{self.mean_superstep_imbalance:.1f} worst {worst.imbalance}"
+                f" @ t{worst.start}..{worst.end}"
+            )
+        if self.critical_path:
+            shown = " -> ".join(s.describe() for s in self.critical_path[:8])
+            more = len(self.critical_path) - 8
+            if more > 0:
+                shown += f" -> ... (+{more})"
+            n_bar = len(self.critical_barriers())
+            lines.append(
+                f"  executed critical path ({len(self.critical_path)} steps, "
+                f"{n_bar} barrier releases): {shown}"
+            )
+        return "\n".join(lines)
+
+
+def _walk_segments(
+    program: MachineProgram, trace: ExecutionTrace
+) -> list[list[Segment]]:
+    """Reconstruct each processor's timeline from the stream + trace."""
+    per_pe: list[list[Segment]] = []
+    for pe, stream in enumerate(program.streams):
+        clock = 0
+        segments: list[Segment] = []
+        for item in stream:
+            if isinstance(item, BarrierRef):
+                fire = trace.barrier_fire.get(item.barrier_id)
+                if fire is None:
+                    raise ValueError(
+                        f"trace records no fire time for b{item.barrier_id}; "
+                        "cannot analyze a partial trace"
+                    )
+                segments.append(
+                    Segment(pe, "wait", clock, fire, barrier=item.barrier_id)
+                )
+                clock = fire
+            else:
+                assert isinstance(item, MachineOp)
+                start = trace.start[item.node]
+                finish = trace.finish[item.node]
+                segments.append(Segment(pe, "op", start, finish, node=item.node))
+                clock = finish
+        per_pe.append(segments)
+    return per_pe
+
+
+def _barrier_runtimes(
+    program: MachineProgram,
+    trace: ExecutionTrace,
+    per_pe: list[list[Segment]],
+) -> list[BarrierRuntime]:
+    arrivals: dict[int, dict[int, int]] = {bid: {} for bid in trace.barrier_fire}
+    for segments in per_pe:
+        for s in segments:
+            if s.kind == "wait":
+                arrivals[s.barrier].setdefault(s.pe, s.start)
+    out = []
+    for bid, fire in sorted(trace.barrier_fire.items(), key=lambda kv: (kv[1], kv[0])):
+        arr = arrivals.get(bid, {})
+        out.append(
+            BarrierRuntime(
+                barrier_id=bid,
+                fire=fire,
+                is_initial=bid == program.initial_barrier_id,
+                arrivals=arr,
+                waits={pe: fire - t for pe, t in arr.items()},
+            )
+        )
+    return out
+
+
+def _supersteps(
+    trace: ExecutionTrace, per_pe: list[list[Segment]], makespan: int
+) -> list[SuperstepStat]:
+    instants = sorted(set(trace.barrier_fire.values()))
+    bounds = []
+    for i, t in enumerate(instants):
+        end = instants[i + 1] if i + 1 < len(instants) else makespan
+        if end > t:
+            bounds.append((t, end))
+    steps = []
+    for index, (start, end) in enumerate(bounds):
+        busy = []
+        for segments in per_pe:
+            total = 0
+            for s in segments:
+                if s.kind != "op":
+                    continue
+                total += max(0, min(s.end, end) - max(s.start, start))
+            busy.append(total)
+        steps.append(SuperstepStat(index, start, end, tuple(busy)))
+    return steps
+
+
+def _critical_path(
+    program: MachineProgram,
+    trace: ExecutionTrace,
+    per_pe: list[list[Segment]],
+    barriers: list[BarrierRuntime],
+) -> list[CriticalStep]:
+    """Walk the realized makespan's causes backwards (module docstring).
+
+    The walk is *stream-positional*: an op's cause is the previous item
+    in its own stream (the op or barrier release it started from); a
+    barrier released by an arrival (``dependence``) chains to whatever
+    its last-arriving participant did just before the wait; a barrier
+    released by the SBM queue (``queue``) chains to the previous queue
+    head whose select-time it inherited.  Positions (not end-times) are
+    chained so zero-length waits -- a PE arriving at the exact fire
+    instant -- still put the release on the path.
+    """
+    makespan = trace.makespan
+    if makespan == 0 or not any(per_pe):
+        return []
+    runtime: dict[int, BarrierRuntime] = {b.barrier_id: b for b in barriers}
+    #: SBM head serialization: map a select-time (fire minus release
+    #: latency for non-initial barriers) back to the barrier that set it.
+    select_time: dict[int, int] = {}
+    for b in barriers:
+        base = b.fire if b.is_initial else b.fire - program.barrier_latency
+        select_time.setdefault(base, b.barrier_id)
+    #: (pe, barrier) -> index of that PE's wait segment in its stream.
+    wait_pos: dict[tuple[int, int], int] = {}
+    for pe, segments in enumerate(per_pe):
+        for i, s in enumerate(segments):
+            if s.kind == "wait":
+                wait_pos[(pe, s.barrier)] = i
+
+    end_pe = min(
+        pe for pe, t in enumerate(trace.pe_finish) if t == makespan
+    )
+    steps: list[CriticalStep] = []
+    seen: set[tuple[str, object]] = set()
+    #: (pe, segment index) cursor; None terminates the walk at t=0.
+    cursor: tuple[int, int] | None = (
+        (end_pe, len(per_pe[end_pe]) - 1) if per_pe[end_pe] else None
+    )
+    guard = sum(len(s) for s in per_pe) + len(barriers) + 2
+
+    while cursor is not None and guard > 0:
+        guard -= 1
+        pe, i = cursor
+        s = per_pe[pe][i]
+        if s.kind == "op":
+            key = ("op", s.node)
+            if key in seen:  # pragma: no cover - malformed trace guard
+                break
+            seen.add(key)
+            steps.append(CriticalStep("op", s.end, pe=s.pe, node=s.node))
+            cursor = (pe, i - 1) if i > 0 else None
+        else:
+            bid = s.barrier
+            key = ("barrier", bid)
+            if key in seen:  # pragma: no cover - malformed trace guard
+                break
+            seen.add(key)
+            b = runtime[bid]
+            base = b.fire if b.is_initial else b.fire - program.barrier_latency
+            last = b.last_arriver
+            if last is not None and b.arrivals[last] == base:
+                steps.append(
+                    CriticalStep("barrier", b.fire, barrier=bid, cause="dependence")
+                )
+                j = wait_pos.get((last, bid))
+                cursor = (last, j - 1) if j is not None and j > 0 else None
+            else:
+                # The release waited on the queue, not on an arrival:
+                # chain to the barrier whose select-time it inherited.
+                steps.append(
+                    CriticalStep("barrier", b.fire, barrier=bid, cause="queue")
+                )
+                prev = select_time.get(base)
+                if prev is None or prev == bid:
+                    cursor = None
+                else:
+                    plast = runtime[prev].last_arriver
+                    j = (
+                        wait_pos.get((plast, prev))
+                        if plast is not None
+                        else None
+                    )
+                    cursor = (plast, j) if j is not None else None
+    steps.reverse()
+    return steps
+
+
+def _record_metrics(analysis: TraceAnalysis) -> None:
+    """Feed the ``engine.*`` metric family (no-op without a registry)."""
+    reg = current_registry()
+    if reg is None:
+        return
+    reg.inc("engine.analyses")
+    reg.inc("engine.supersteps", len(analysis.supersteps))
+    for p in analysis.pes:
+        reg.observe("engine.pe_utilization", p.utilization(analysis.makespan))
+        reg.observe("engine.pe_barrier_wait", p.barrier_wait)
+    for b in analysis.barriers:
+        if b.is_initial:
+            continue
+        reg.observe("engine.release_skew", b.skew)
+        for wait in b.waits.values():
+            reg.observe("engine.barrier_wait", wait)
+    for s in analysis.supersteps:
+        reg.observe("engine.superstep_imbalance", s.imbalance)
+    reg.observe("engine.critical_path_len", len(analysis.critical_path))
+    reg.observe(
+        "engine.critical_path_barriers", len(analysis.critical_barriers())
+    )
+
+
+def analyze_trace(
+    program: MachineProgram, trace: ExecutionTrace
+) -> TraceAnalysis:
+    """Compute the full runtime analysis of one execution.
+
+    Observation only: reads the finished trace, writes ``engine.*``
+    metrics into the active registry (if any), and never perturbs the
+    pipeline -- results are bit-identical with analysis on or off.
+    """
+    makespan = trace.makespan
+    per_pe = _walk_segments(program, trace)
+    pes = []
+    for pe, segments in enumerate(per_pe):
+        busy = sum(s.span for s in segments if s.kind == "op")
+        wait = sum(s.span for s in segments if s.kind == "wait")
+        finish = trace.pe_finish[pe]
+        pes.append(
+            PEBreakdown(
+                pe=pe,
+                busy=busy,
+                barrier_wait=wait,
+                tail_idle=makespan - finish,
+                finish=finish,
+            )
+        )
+    barriers = _barrier_runtimes(program, trace, per_pe)
+    supersteps = _supersteps(trace, per_pe, makespan)
+    critical = _critical_path(program, trace, per_pe, barriers)
+    analysis = TraceAnalysis(
+        machine=trace.machine,
+        makespan=makespan,
+        pes=tuple(pes),
+        barriers=tuple(barriers),
+        supersteps=tuple(supersteps),
+        critical_path=tuple(critical),
+        segments=tuple(s for segments in per_pe for s in segments),
+    )
+    _record_metrics(analysis)
+    return analysis

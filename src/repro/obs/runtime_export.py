@@ -1,0 +1,172 @@
+"""Machine-timeline export: per-PE Perfetto tracks + barrier flow events.
+
+:mod:`repro.obs.export` serializes the *compiler's* span tree; this
+module serializes one *simulated execution* in the same Chrome Trace
+Event Format, so both sides of the system land in the same Perfetto
+view:
+
+* one synthetic process (``pid``) named ``machine:<sbm|dbm>``, with one
+  thread lane per processor (``tid = PE index``, named ``PE<n>``);
+* every instruction execution as a complete (``ph: "X"``) slice on its
+  PE's lane, carrying the node id and sampled duration in ``args``;
+* every barrier wait as a ``wait(bN)`` slice from the PE's arrival to
+  the release;
+* every barrier release as a **flow** (``ph: "s"`` / ``ph: "f"``) from
+  the *last-arriving* participant -- the processor that actually
+  released the barrier -- to each released participant, so Perfetto
+  draws the release arrows across lanes.
+
+One simulated time unit is rendered as one microsecond (the trace
+format's native unit); timelines are exact, only the unit label is
+borrowed.  A machine timeline can be written standalone
+(:func:`write_machine_trace`) or merged into a compiler span trace by
+concatenating the event lists -- pids never collide because the
+machine pid is derived from the real pid space's complement.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.machine.program import MachineProgram
+from repro.machine.trace import ExecutionTrace
+from repro.obs.runtime import TraceAnalysis, analyze_trace
+
+__all__ = [
+    "MACHINE_PID",
+    "machine_trace_events",
+    "to_machine_chrome_trace",
+    "write_machine_trace",
+]
+
+#: Synthetic pid for the machine timeline; real pids are positive, so 0
+#: keeps the machine lanes grouped and sorted first in viewers.
+MACHINE_PID = 0
+
+
+def machine_trace_events(
+    program: MachineProgram,
+    trace: ExecutionTrace,
+    analysis: TraceAnalysis | None = None,
+) -> list[dict]:
+    """One execution as Chrome trace events (sorted by timestamp).
+
+    ``analysis`` may be passed to reuse an existing
+    :class:`~repro.obs.runtime.TraceAnalysis`; otherwise one is computed
+    (observation only, like everything in ``repro.obs``).
+    """
+    if analysis is None:
+        analysis = analyze_trace(program, trace)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": MACHINE_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": f"machine:{trace.machine}"},
+        }
+    ]
+    for pe in range(program.n_pes):
+        util = analysis.breakdown_of(pe).utilization(analysis.makespan)
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": MACHINE_PID,
+                "tid": pe,
+                "ts": 0,
+                "args": {"name": f"PE{pe} ({util:.0%} busy)"},
+            }
+        )
+    for seg in analysis.segments:
+        if seg.kind == "op":
+            events.append(
+                {
+                    "name": str(seg.node),
+                    "cat": "op",
+                    "ph": "X",
+                    "ts": seg.start,
+                    "dur": seg.span,
+                    "pid": MACHINE_PID,
+                    "tid": seg.pe,
+                    "args": {
+                        "node": str(seg.node),
+                        "duration": seg.span,
+                    },
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": f"wait(b{seg.barrier})",
+                    "cat": "wait",
+                    "ph": "X",
+                    "ts": seg.start,
+                    "dur": seg.span,
+                    "pid": MACHINE_PID,
+                    "tid": seg.pe,
+                    "args": {"barrier": seg.barrier, "wait": seg.span},
+                }
+            )
+    critical = set(analysis.critical_barriers())
+    for b in analysis.barriers:
+        origin = b.last_arriver
+        if origin is None:
+            continue
+        for pe in sorted(b.arrivals):
+            flow_id = b.barrier_id * program.n_pes + pe + 1
+            common = {
+                "name": f"b{b.barrier_id}",
+                "cat": "barrier",
+                "id": flow_id,
+                "pid": MACHINE_PID,
+                "args": {
+                    "barrier": b.barrier_id,
+                    "skew": b.skew,
+                    "critical": b.barrier_id in critical,
+                },
+            }
+            events.append(
+                {**common, "ph": "s", "ts": b.arrivals[origin], "tid": origin}
+            )
+            events.append(
+                {**common, "ph": "f", "bp": "e", "ts": b.fire, "tid": pe}
+            )
+    events.sort(key=lambda ev: (ev["ts"], ev["tid"], ev["ph"]))
+    return events
+
+
+def to_machine_chrome_trace(
+    program: MachineProgram,
+    trace: ExecutionTrace,
+    analysis: TraceAnalysis | None = None,
+) -> dict:
+    """The full Chrome-trace JSON object for one execution."""
+    return {
+        "traceEvents": machine_trace_events(program, trace, analysis),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "machine": trace.machine,
+            "makespan": trace.makespan,
+            "unit": "1 simulated time unit = 1us",
+        },
+    }
+
+
+def write_machine_trace(
+    program: MachineProgram,
+    trace: ExecutionTrace,
+    path_or_fp: str | IO[str],
+    analysis: TraceAnalysis | None = None,
+) -> None:
+    """Write the machine timeline as Perfetto-loadable Chrome trace JSON."""
+    payload = to_machine_chrome_trace(program, trace, analysis)
+    if isinstance(path_or_fp, str):
+        with open(path_or_fp, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=None, separators=(",", ":"))
+            fp.write("\n")
+    else:
+        json.dump(payload, path_or_fp, indent=None, separators=(",", ":"))
+        path_or_fp.write("\n")

@@ -1,0 +1,323 @@
+"""Perf-trajectory watchdog: flag regressions across BENCH series.
+
+``repro-sbm perf`` appends one entry per run to a trajectory file
+(``benchmarks/data/BENCH_trajectory.jsonl``, one JSON object per line;
+see :func:`repro.perf.report.trajectory_entry`).  This module reads the
+series and compares the **latest** entry against the statistics of the
+prior ones:
+
+* **wall-clock series** (``wall_s``, per-stage times) are flagged when
+  the latest value exceeds ``factor x median(prior)`` plus an absolute
+  noise floor -- the same 2x-with-floor discipline the CI perf gates
+  already use, but applied to the whole series instead of one pinned
+  baseline, so a slow drift across many commits is caught even when no
+  single step trips a 2x gate;
+* **deterministic series** (sync fractions, mean makespans) are exact
+  functions of the workload.  When the latest entry ran the same
+  workload as a prior one (same ``count`` / ``master_seed``) and their
+  ``results_digest`` matches, those numbers must match bit for bit --
+  any difference is a determinism violation and is flagged hard.  When
+  the digest changed, the values legitimately moved with the behaviour
+  change; the watchdog reports the drift as a note instead of a
+  failure.  Entries from a different workload size are never compared
+  (the digest only covers the simulated subset, which saturates at
+  ``SIMULATED_CASES``, so two digest-equal runs can still sweep
+  different corpus sizes).
+
+:func:`watch_trajectory` returns a :class:`WatchReport` whose
+:meth:`~WatchReport.render_markdown` is the artifact CI uploads;
+``repro-sbm watch`` exits non-zero when anything was flagged.
+Everything here is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+
+__all__ = [
+    "WatchConfig",
+    "SeriesVerdict",
+    "WatchReport",
+    "load_trajectory",
+    "watch_trajectory",
+]
+
+#: Wall-time series: (name, extractor, absolute noise floor in seconds).
+_WALL_FLOOR = 1.5
+_STAGE_FLOOR = 0.5
+_STAGE_NAMES = ("generate", "schedule", "insert", "merge", "simulate")
+
+
+@dataclass(frozen=True)
+class WatchConfig:
+    """Thresholds of the watchdog (defaults mirror the CI perf gates)."""
+
+    #: Latest wall/stage time may be at most ``factor x median(prior)``.
+    factor: float = 2.0
+    #: Absolute floors so sub-second workloads cannot flag on noise.
+    wall_floor_s: float = _WALL_FLOOR
+    stage_floor_s: float = _STAGE_FLOOR
+    #: Minimum prior entries before time series are judged at all.
+    min_history: int = 1
+
+
+@dataclass(frozen=True)
+class SeriesVerdict:
+    """One watched series: baseline statistics vs the latest value."""
+
+    name: str
+    kind: str  # "time" | "deterministic"
+    n_prior: int
+    baseline: float | None  # median of prior entries (time series)
+    latest: float | None
+    limit: float | None  # flag threshold (time series)
+    flagged: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "n_prior": self.n_prior,
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "limit": self.limit,
+            "flagged": self.flagged,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class WatchReport:
+    """The watchdog's verdicts over one trajectory series."""
+
+    entries: int
+    verdicts: tuple[SeriesVerdict, ...]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def flagged(self) -> tuple[SeriesVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.flagged)
+
+    @property
+    def ok(self) -> bool:
+        return not self.flagged
+
+    def as_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "ok": self.ok,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        status = "OK" if self.ok else f"{len(self.flagged)} series FLAGGED"
+        lines = [f"perf-trajectory watchdog: {self.entries} entries, {status}"]
+        for v in self.verdicts:
+            mark = "FLAG" if v.flagged else "ok"
+            base = "-" if v.baseline is None else f"{v.baseline:.3f}"
+            latest = "-" if v.latest is None else f"{v.latest:.3f}"
+            lines.append(
+                f"  [{mark}] {v.name}: latest {latest} baseline {base}"
+                + (f" ({v.detail})" if v.detail else "")
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """The CI artifact: a self-contained markdown report."""
+        status = (
+            "**OK** — no regression flagged"
+            if self.ok
+            else f"**REGRESSION** — {len(self.flagged)} series flagged"
+        )
+        lines = [
+            "# Perf-trajectory watchdog",
+            "",
+            f"{self.entries} trajectory entries analyzed. {status}.",
+            "",
+            "| series | kind | prior | baseline | latest | limit | status |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for v in self.verdicts:
+            fmt = lambda x: "—" if x is None else f"{x:.3f}"
+            lines.append(
+                f"| `{v.name}` | {v.kind} | {v.n_prior} | {fmt(v.baseline)} "
+                f"| {fmt(v.latest)} | {fmt(v.limit)} | "
+                f"{'⚠️ flagged' if v.flagged else 'ok'} |"
+            )
+        if self.notes:
+            lines.append("")
+            lines.append("## Notes")
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        for v in self.flagged:
+            if v.detail:
+                lines.append("")
+                lines.append(f"- **{v.name}**: {v.detail}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def load_trajectory(path: str | Path) -> list[dict]:
+    """Read a trajectory series (one JSON object per non-empty line)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: bad trajectory line: {exc}")
+    return entries
+
+
+def _time_series(entries: list[dict]) -> dict[str, list[float | None]]:
+    series: dict[str, list[float | None]] = {"wall_s": []}
+    for name in _STAGE_NAMES:
+        series[f"stages.{name}"] = []
+    for e in entries:
+        series["wall_s"].append(e.get("wall_s"))
+        stages = e.get("stages", {})
+        for name in _STAGE_NAMES:
+            series[f"stages.{name}"].append(stages.get(name))
+    return series
+
+
+def _point_series(entries: list[dict]) -> dict[str, list[float | None]]:
+    """Deterministic headline numbers, one series per (axis value, field)."""
+    series: dict[str, list[float | None]] = {}
+    fields = ("barrier", "serialized", "static", "mean_makespan_max")
+    for e in entries:
+        for point in e.get("points", ()):
+            for f in fields:
+                name = f"points[{point.get('value')}].{f}"
+                series.setdefault(name, [])
+    for e in entries:
+        by_value = {p.get("value"): p for p in e.get("points", ())}
+        for name, values in series.items():
+            value = int(name[name.index("[") + 1 : name.index("]")])
+            point = by_value.get(value)
+            values.append(None if point is None else point.get(name.rsplit(".", 1)[1]))
+    return series
+
+
+def watch_trajectory(
+    entries: list[dict], config: WatchConfig | None = None
+) -> WatchReport:
+    """Judge the latest trajectory entry against the prior series."""
+    config = config or WatchConfig()
+    if len(entries) < 2:
+        return WatchReport(
+            entries=len(entries),
+            verdicts=(),
+            notes=(
+                "fewer than 2 trajectory entries; nothing to compare "
+                "(run `repro-sbm perf` to append one)",
+            ),
+        )
+    prior, latest = entries[:-1], entries[-1]
+    verdicts: list[SeriesVerdict] = []
+    notes: list[str] = []
+
+    # -- wall-clock series -------------------------------------------------
+    for name, values in _time_series(entries).items():
+        hist = [v for v in values[:-1] if v is not None]
+        last = values[-1]
+        if last is None or len(hist) < config.min_history:
+            continue
+        base = median(hist)
+        floor = config.wall_floor_s if name == "wall_s" else config.stage_floor_s
+        limit = max(config.factor * base, base + floor)
+        verdicts.append(
+            SeriesVerdict(
+                name=name,
+                kind="time",
+                n_prior=len(hist),
+                baseline=base,
+                latest=last,
+                limit=limit,
+                flagged=last > limit,
+                detail=(
+                    f"latest {last:.3f}s exceeds {limit:.3f}s "
+                    f"({config.factor:.1f}x median of {len(hist)} prior runs)"
+                    if last > limit
+                    else ""
+                ),
+            )
+        )
+
+    # -- deterministic series ----------------------------------------------
+    latest_digest = latest.get("results_digest")
+    latest_workload = (latest.get("count"), latest.get("master_seed"))
+
+    def comparable(e: dict) -> bool:
+        # The digest only covers the simulated subset (saturating at
+        # SIMULATED_CASES), so equal digests from different corpus
+        # sizes are NOT the same workload -- count/seed must match too.
+        return (
+            e.get("results_digest") == latest_digest
+            and (e.get("count"), e.get("master_seed")) == latest_workload
+        )
+
+    same_digest_prior = [e for e in prior if comparable(e)]
+    digests = {e.get("results_digest") for e in entries}
+    if len(digests) > 1:
+        notes.append(
+            f"{len(digests)} distinct results_digest values across the "
+            "series (behaviour changed between entries; deterministic "
+            "series are only compared within a digest)"
+        )
+    skipped_workloads = sum(
+        1
+        for e in prior
+        if e.get("results_digest") == latest_digest and not comparable(e)
+    )
+    if skipped_workloads:
+        notes.append(
+            f"{skipped_workloads} digest-equal prior entr"
+            f"{'y' if skipped_workloads == 1 else 'ies'} ran a different "
+            "workload (count/master_seed); deterministic series were not "
+            "compared against them"
+        )
+    for name, values in _point_series(entries).items():
+        last = values[-1]
+        if last is None:
+            continue
+        reference = None
+        for e, v in zip(prior, values[:-1]):
+            if v is not None and comparable(e):
+                reference = v
+        if reference is None:
+            continue  # no comparable prior entry (digest/workload changed)
+        drifted = abs(last - reference) > 1e-9
+        verdicts.append(
+            SeriesVerdict(
+                name=name,
+                kind="deterministic",
+                n_prior=len(same_digest_prior),
+                baseline=reference,
+                latest=last,
+                limit=None,
+                flagged=drifted,
+                detail=(
+                    "value differs from a prior entry with the SAME "
+                    "results_digest: determinism violation"
+                    if drifted
+                    else ""
+                ),
+            )
+        )
+    return WatchReport(
+        entries=len(entries), verdicts=tuple(verdicts), notes=tuple(notes)
+    )

@@ -30,13 +30,27 @@ from repro.core.scheduler import SchedulerConfig
 from repro.machine.program import MachineProgram
 from repro.machine.sbm import simulate_sbm
 from repro.obs.metrics import collect_metrics
+from repro.obs.runtime import analyze_trace
 from repro.perf.parallel import resolve_jobs, results_digest
 from repro.perf.timers import STAGES, collect_timings
 from repro.synth.generator import GeneratorConfig
 
-__all__ = ["PerfReport", "run_perf_report"]
+__all__ = [
+    "PerfReport",
+    "run_perf_report",
+    "trajectory_entry",
+    "append_trajectory",
+    "DEFAULT_TRAJECTORY",
+    "TRAJECTORY_FORMAT",
+]
 
 _FORMAT = "repro.perf-report.v1"
+
+TRAJECTORY_FORMAT = "repro.perf-trajectory.v1"
+
+#: Where ``repro-sbm perf`` appends its trajectory series by default
+#: (relative to the working directory, i.e. the repo root in CI).
+DEFAULT_TRAJECTORY = Path("benchmarks") / "data" / "BENCH_trajectory.jsonl"
 
 #: The standard sweep axis and values of the perf workload.
 PERF_AXIS = "generator.n_statements"
@@ -88,6 +102,53 @@ class PerfReport:
         return "\n".join(lines)
 
 
+def trajectory_entry(data: dict, label: str = "") -> dict:
+    """Reduce one perf-report record to a trajectory-series line.
+
+    The trajectory keeps only what the watchdog
+    (:mod:`repro.obs.watch`) compares across runs: identity, timings
+    per stage, the headline sweep numbers, and the ``results_digest``
+    that separates behaviour changes from perf changes.  Works on a
+    live report's ``.data`` and on any committed ``BENCH_*.json``.
+    """
+    return {
+        "format": TRAJECTORY_FORMAT,
+        "label": label,
+        "created_unix": data.get("created_unix", time.time()),
+        "version": data.get("version"),
+        "python": data.get("python"),
+        "platform": data.get("platform"),
+        "jobs": data.get("jobs"),
+        "count": data.get("count"),
+        "master_seed": data.get("master_seed"),
+        "wall_s": data.get("wall_s"),
+        "stages": dict(data.get("stages", {})),
+        "results_digest": data.get("results_digest"),
+        "points": [
+            {
+                "value": p.get("value"),
+                "barrier": p.get("barrier"),
+                "serialized": p.get("serialized"),
+                "static": p.get("static"),
+                "mean_makespan_max": p.get("mean_makespan_max"),
+            }
+            for p in data.get("points", [])
+        ],
+    }
+
+
+def append_trajectory(
+    data: dict, path: str | Path = DEFAULT_TRAJECTORY, label: str = ""
+) -> Path:
+    """Append one trajectory line (creating the file and its parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = trajectory_entry(data, label=label)
+    with path.open("a", encoding="utf-8") as fp:
+        fp.write(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+    return path
+
+
 def run_perf_report(
     count: int = 25,
     jobs: int | None = None,
@@ -115,6 +176,10 @@ def run_perf_report(
             program = MachineProgram.from_schedule(result.schedule)
             trace = simulate_sbm(program, rng=master_seed)
             trace.assert_sound(program.edges)
+            # Observation only: feeds the engine.* metric family
+            # (PE utilization, barrier wait, release skew, superstep
+            # imbalance) into the report's metrics block.
+            analyze_trace(program, trace)
     wall = time.perf_counter() - start
 
     points = [

@@ -32,19 +32,23 @@ def render_gantt(
     ]
     for pe, stream in enumerate(program.streams):
         row = ["."] * cols
+        busy = 0
         for item in stream:
             if isinstance(item, MachineOp):
                 start = trace.start[item.node]
                 finish = trace.finish[item.node]
+                busy += finish - start
                 glyph = _glyph(item)
                 for c in range(col(start), max(col(start) + 1, col(finish))):
                     row[c] = glyph
+        # Barrier markers after ops so the fire columns survive downscaling.
         for item in stream:
             if isinstance(item, BarrierRef):
                 t = trace.barrier_fire.get(item.barrier_id)
                 if t is not None:
                     row[col(t)] = "|"
-        lines.append(f"PE{pe:<3}{''.join(row)}")
+        util = busy / span
+        lines.append(f"PE{pe:<3}{''.join(row)}  {util:4.0%} busy")
     fires = " ".join(
         f"b{bid}@{t}" for bid, t in sorted(trace.barrier_fire.items(), key=lambda kv: kv[1])
     )

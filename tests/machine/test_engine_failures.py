@@ -16,7 +16,7 @@ from repro.machine.durations import MaxSampler
 from repro.machine.engine import run_machine
 from repro.machine.program import BarrierRef, MachineOp, MachineProgram
 from repro.machine.sbm import SBMController, simulate_sbm
-from repro.machine.trace import DeadlockError
+from repro.machine.trace import DeadlockError, OrderViolation
 
 
 def hand_program(streams, masks, order, edges=()):
@@ -62,6 +62,22 @@ class TestSBMQueueOrderDeadlock:
         assert "0: 'b1'" in message
         assert "1: 'b2'" in message
 
+    def test_diagnostic_names_pending_barrier_and_missing_pes(self):
+        # The SBM's queue head is b1 (b0 fired); PE1 is stuck at b2 and
+        # never arrives at b1 -- the diagnostic must say exactly that.
+        with pytest.raises(DeadlockError) as exc:
+            simulate_sbm(self._mismatched_program(), MaxSampler())
+        message = str(exc.value)
+        assert "pending barrier b1" in message
+        assert "still needs PEs [1]" in message
+
+    def test_pending_accessor(self):
+        program = self._mismatched_program()
+        controller = SBMController(program)
+        assert controller.pending() == 0
+        controller.head = len(program.barrier_order)
+        assert controller.pending() is None
+
 
 class _RogueController:
     """Fires the initial barrier, then fires b1 regardless of arrivals."""
@@ -95,6 +111,30 @@ class TestNonWaitingParticipant:
         assert "barrier b1 fired" in message
         assert "PE 1" in message
         assert "not waiting" in message
+
+
+class TestOrderViolationSlack:
+    def test_slack_is_negative_start_minus_finish(self):
+        v = OrderViolation("g", "i", producer_finish=7, consumer_start=4)
+        assert v.slack == -3
+
+    def test_message_includes_slack(self):
+        v = OrderViolation("g", "i", producer_finish=7, consumer_start=4)
+        assert "(slack -3)" in str(v)
+
+    def test_assert_sound_message_carries_per_violation_slack(self):
+        b0 = BarrierRef(0)
+        g = MachineOp("g", Interval(5, 5), "g")
+        i = MachineOp("i", Interval(1, 1), "i")
+        masks = {0: BarrierMask.from_pes([0, 1], 2)}
+        # g on PE0 finishes at 5; i on PE1 starts at 0: the g->i edge is
+        # violated with slack -5 and assert_sound must say so.
+        program = hand_program(
+            [[b0, g], [b0, i]], masks, [0], edges=[("g", "i")]
+        )
+        trace = simulate_sbm(program, MaxSampler())
+        with pytest.raises(AssertionError, match=r"slack -5"):
+            trace.assert_sound(program.edges)
 
 
 class _LiteralSampler:

@@ -1,0 +1,168 @@
+"""Differential observability: run records and first-divergence diffs.
+
+The acceptance scenario of the subsystem is pinned here: two runs of the
+same block differing only in ``--merge`` must diff to a localized first
+divergence whose report names the merge decision from provenance."""
+
+import json
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import simulate_sbm
+from repro.obs.diff import (
+    DIFF_LAYERS,
+    RUN_RECORD_FORMAT,
+    diff_runs,
+    load_run_record,
+    run_record,
+    write_run_record,
+)
+from repro.obs.provenance import collect_provenance
+from repro.obs.runtime import analyze_trace
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+def scheduled_record(seed=9, stmts=25, label="", **config):
+    case = compile_case(GeneratorConfig(n_statements=stmts, n_variables=8), seed)
+    with collect_provenance() as recorder:
+        result = schedule_dag(
+            case.dag, SchedulerConfig(n_pes=4, seed=seed, **config)
+        )
+    program = MachineProgram.from_schedule(result.schedule)
+    trace = simulate_sbm(program, rng=seed)
+    analysis = analyze_trace(program, trace)
+    return run_record(
+        result,
+        provenance=recorder,
+        trace=trace,
+        analysis=analysis,
+        label=label,
+    )
+
+
+class TestRunRecord:
+    def test_versioned_and_json_serializable(self):
+        record = scheduled_record(label="a")
+        assert record["format"] == RUN_RECORD_FORMAT
+        assert record["label"] == "a"
+        json.dumps(record)  # fully JSON-shaped
+
+    def test_carries_every_layer(self):
+        record = scheduled_record()
+        assert record["assignment"] and record["order"]
+        assert record["barriers"] and record["queue"]
+        assert record["results_digest"]
+        assert record["trace"]["makespan"] > 0
+        assert record["analysis"]["pes"]
+        assert record["provenance"]["merges"] is not None
+
+    def test_write_load_round_trip(self, tmp_path):
+        record = scheduled_record()
+        path = write_run_record(record, tmp_path / "run.json")
+        assert load_run_record(path) == json.loads(json.dumps(record))
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something.else"}))
+        with pytest.raises(ValueError, match="unsupported run-record format"):
+            load_run_record(path)
+
+
+class TestDiffEquivalence:
+    def test_identical_runs_have_no_divergence(self):
+        a = scheduled_record(label="a")
+        b = scheduled_record(label="b")
+        diff = diff_runs(a, b)
+        assert diff.identical
+        assert "equivalent" in diff.render()
+        assert any("identical" in n for n in diff.notes)
+
+    def test_as_dict_is_json_shaped(self):
+        diff = diff_runs(scheduled_record(), scheduled_record())
+        data = json.loads(json.dumps(diff.as_dict()))
+        assert data["identical"] is True
+
+
+class TestMergeOnOffAcceptance:
+    """ISSUE acceptance: diff two runs differing only in --merge."""
+
+    @pytest.fixture(scope="class")
+    def diff(self):
+        on = scheduled_record(label="merge-on", merge_barriers=True)
+        off = scheduled_record(label="merge-off", merge_barriers=False)
+        return diff_runs(on, off)
+
+    def test_divergence_localized(self, diff):
+        assert not diff.identical
+        assert diff.divergence.layer in DIFF_LAYERS
+
+    def test_config_change_reported(self, diff):
+        assert "merge_barriers" in diff.config_changes
+        assert diff.config_changes["merging_enabled"] == (True, False)
+
+    def test_merge_decision_named_from_provenance(self, diff):
+        text = diff.render()
+        # The report names the decision: some barrier was absorbed into
+        # a survivor in exactly one of the two runs.
+        assert "absorbed into" in text
+        assert "merge only in" in text
+
+    def test_digest_difference_noted(self, diff):
+        assert any("results_digest" in n for n in diff.notes)
+
+
+class TestLayerOrdering:
+    def test_first_divergence_wins(self):
+        """A doctored record differing in assignment *and* barriers must
+        report the assignment layer -- the earliest causal difference."""
+        a = scheduled_record()
+        b = json.loads(json.dumps(a))
+        first_node = b["order"][0]
+        b["assignment"][first_node] = (b["assignment"][first_node] + 1) % 4
+        b["barriers"] = b["barriers"][:-1]
+        diff = diff_runs(a, b)
+        assert diff.divergence.layer == "assignment"
+        assert f"node {first_node}" in diff.divergence.subject
+
+    def test_barrier_only_divergence(self):
+        a = scheduled_record()
+        b = json.loads(json.dumps(a))
+        dropped = b["barriers"][-1]["id"]
+        b["barriers"] = b["barriers"][:-1]
+        diff = diff_runs(a, b)
+        assert diff.divergence.layer == "barriers"
+        assert diff.divergence.subject == f"b{dropped}"
+        assert any("exists only in A" in n for n in diff.divergence.notes)
+
+    def test_fire_time_divergence(self):
+        a = scheduled_record()
+        b = json.loads(json.dumps(a))
+        b["barriers"][-1]["fire_window"][1] += 1
+        diff = diff_runs(a, b)
+        assert diff.divergence.layer == "fire"
+        assert "fire_window" in diff.divergence.subject
+
+    def test_simulated_fire_divergence(self):
+        a = scheduled_record()
+        b = json.loads(json.dumps(a))
+        bid = next(iter(b["trace"]["barrier_fire"]))
+        b["trace"]["barrier_fire"][bid] += 1
+        diff = diff_runs(a, b)
+        assert diff.divergence.layer == "fire"
+        assert "@run" in diff.divergence.subject
+
+    def test_insertion_mode_divergence_is_explained(self):
+        cons = scheduled_record(label="cons", insertion="conservative")
+        opt = scheduled_record(label="opt", insertion="optimal")
+        diff = diff_runs(cons, opt)
+        assert diff.config_changes.get("insertion") == (
+            "conservative",
+            "optimal",
+        )
+        # Conservative vs optimal may or may not change this block; if
+        # it does, the divergence must be localized to a single layer.
+        if not diff.identical:
+            assert diff.divergence.layer in DIFF_LAYERS

@@ -11,8 +11,11 @@ import pytest
 
 from repro.core.scheduler import SchedulerConfig
 from repro.experiments.sweeps import ExperimentPoint, run_corpus
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import simulate_sbm
 from repro.obs import metrics as obs_metrics
 from repro.obs.provenance import collect_provenance
+from repro.obs.runtime import analyze_trace
 from repro.obs.spans import collect_trace
 from repro.perf.parallel import fork_available, results_digest
 from repro.synth.generator import GeneratorConfig
@@ -59,6 +62,43 @@ class TestDigestParity:
         pids = {s.pid for s in tracer.spans}
         assert len(pids) >= 2, "worker spans must be adopted by the parent"
         assert m.counter("scheduler.barriers_inserted") > 0
+
+    def test_trace_analysis_preserves_digest(self, baseline_digest):
+        """Runtime trace analysis is observation-only: analyzing every
+        simulated trace (with the metrics registry live, so the engine.*
+        family is actually recorded) must not move the digest."""
+        with obs_metrics.collect_metrics() as m:
+            results = run_corpus(POINT, jobs=1)
+            for result in results[:10]:
+                program = MachineProgram.from_schedule(result.schedule)
+                trace = simulate_sbm(program, rng=0)
+                analyze_trace(program, trace)
+            digest = results_digest(results)
+        assert digest == baseline_digest
+        # ... and the analysis actually recorded the engine.* family.
+        assert m.counter("engine.analyses") == 10
+        for name in (
+            "engine.pe_utilization",
+            "engine.barrier_wait",
+            "engine.release_skew",
+            "engine.superstep_imbalance",
+            "engine.critical_path_len",
+        ):
+            assert m.histograms[name].count > 0, name
+
+    def test_trace_digest_invariant_under_analysis(self):
+        """The *trace itself* is identical whether or not it is analyzed
+        (analysis never touches the engine or the RNG)."""
+        result = run_corpus(POINT.with_(count=1), jobs=1)[0]
+        program = MachineProgram.from_schedule(result.schedule)
+        bare = simulate_sbm(program, rng=7)
+        with obs_metrics.collect_metrics():
+            analyzed = simulate_sbm(program, rng=7)
+            analyze_trace(program, analyzed)
+        assert bare.start == analyzed.start
+        assert bare.finish == analyzed.finish
+        assert bare.barrier_fire == analyzed.barrier_fire
+        assert bare.pe_finish == analyzed.pe_finish
 
     @needs_fork
     def test_worker_metrics_cover_serial_metrics(self):

@@ -1,0 +1,208 @@
+"""Runtime trace analytics: per-PE breakdowns, barrier waits, release
+skew, supersteps, and the executed critical path.
+
+Hand-built programs keep every expected number derivable on paper; a
+compiled corpus case then checks the invariants that must hold for any
+sound schedule (time accounted exactly, critical path ends at the
+makespan, metrics recorded)."""
+
+import pytest
+
+from repro.timing import Interval
+from repro.barriers.mask import BarrierMask
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.machine.durations import MaxSampler
+from repro.machine.program import BarrierRef, MachineOp, MachineProgram
+from repro.machine.sbm import simulate_sbm
+from repro.obs.metrics import collect_metrics
+from repro.obs.runtime import analyze_trace
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+def hand_program(streams, masks, order, edges=()):
+    return MachineProgram(
+        n_pes=len(streams),
+        streams=tuple(tuple(s) for s in streams),
+        masks=masks,
+        barrier_order=tuple(order),
+        initial_barrier_id=0,
+        edges=tuple(edges),
+    )
+
+
+def two_pe_program():
+    """PE0 runs a 4-tick op, PE1 a 1-tick op, then both meet at b1.
+
+    With MaxSampler: PE1 arrives at b1 at t=1, PE0 at t=4; b1 fires at
+    t=4 (skew 3, PE1 waits 3).  Both then run a 2-tick op: makespan 6.
+    """
+    b0, b1 = BarrierRef(0), BarrierRef(1)
+    long = MachineOp("long", Interval(4, 4), "long")
+    short = MachineOp("short", Interval(1, 1), "short")
+    tail_a = MachineOp("tail_a", Interval(2, 2), "tail_a")
+    tail_b = MachineOp("tail_b", Interval(2, 2), "tail_b")
+    masks = {
+        0: BarrierMask.from_pes([0, 1], 2),
+        1: BarrierMask.from_pes([0, 1], 2),
+    }
+    return hand_program(
+        [[b0, long, b1, tail_a], [b0, short, b1, tail_b]], masks, [0, 1]
+    )
+
+
+class TestHandBuiltAnalysis:
+    @pytest.fixture()
+    def analysis(self):
+        program = two_pe_program()
+        trace = simulate_sbm(program, MaxSampler())
+        return analyze_trace(program, trace)
+
+    def test_makespan_and_utilization(self, analysis):
+        assert analysis.makespan == 6
+        assert analysis.breakdown_of(0).busy == 6
+        assert analysis.breakdown_of(1).busy == 3
+        assert analysis.breakdown_of(0).utilization(6) == 1.0
+        assert analysis.breakdown_of(1).utilization(6) == 0.5
+        assert analysis.mean_utilization == pytest.approx(0.75)
+
+    def test_barrier_wait_and_skew(self, analysis):
+        b1 = analysis.barrier_runtime(1)
+        assert b1.fire == 4
+        assert b1.arrivals == {0: 4, 1: 1}
+        assert b1.waits == {0: 0, 1: 3}
+        assert b1.skew == 3
+        assert b1.max_wait == 3
+        assert b1.last_arriver == 0
+        assert analysis.max_release_skew == 3
+        assert analysis.breakdown_of(1).barrier_wait == 3
+        assert analysis.breakdown_of(0).barrier_wait == 0
+
+    def test_time_accounted_exactly(self, analysis):
+        for pe in analysis.pes:
+            assert pe.busy + pe.barrier_wait + pe.tail_idle == analysis.makespan
+
+    def test_supersteps(self, analysis):
+        # Fires at t=0 (b0) and t=4 (b1): supersteps [0,4) and [4,6).
+        assert [(s.start, s.end) for s in analysis.supersteps] == [(0, 4), (4, 6)]
+        first, second = analysis.supersteps
+        assert first.busy == (4, 1) and first.imbalance == 3
+        assert second.busy == (2, 2) and second.imbalance == 0
+        assert analysis.mean_superstep_imbalance == pytest.approx(1.5)
+
+    def test_critical_path(self, analysis):
+        # The realized makespan is carried by b0 -> long(PE0) -> b1 ->
+        # tail; b1 appears even though PE0 waited zero time at it.
+        descr = [s.describe() for s in analysis.critical_path]
+        assert descr[0] == "b0@0"
+        assert descr[1] == "long(PE0)@4"
+        assert descr[2] == "b1@4"
+        assert descr[3] in ("tail_a(PE0)@6", "tail_b(PE1)@6")
+        assert analysis.critical_barriers() == (0, 1)
+        assert analysis.critical_path[-1].at == analysis.makespan
+        # b1 fired the instant its last participant arrived: dependence.
+        assert analysis.critical_path[2].cause == "dependence"
+
+    def test_render_mentions_headline_numbers(self, analysis):
+        text = analysis.render()
+        assert "makespan 6" in text
+        assert "PE0" in text and "PE1" in text
+        assert "critical path" in text
+
+    def test_as_dict_round_trips_through_json(self, analysis):
+        import json
+
+        data = json.loads(json.dumps(analysis.as_dict()))
+        assert data["makespan"] == 6
+        assert len(data["pes"]) == 2
+        assert data["critical_path"][2]["barrier"] == 1
+
+
+class TestQueueSerializationAttribution:
+    def test_sbm_head_of_line_wait_is_attributed_to_queue(self):
+        """b2 involves only PE1 (ready at t=1) but sits behind b1 in the
+        FIFO queue; b1 cannot fire before PE0 arrives at t=4, so b2's
+        release at t=4 is a *queue* effect, not a dependence."""
+        b0, b1, b2 = BarrierRef(0), BarrierRef(1), BarrierRef(2)
+        long = MachineOp("long", Interval(4, 4), "long")
+        short = MachineOp("short", Interval(1, 1), "short")
+        tail = MachineOp("tail", Interval(1, 1), "tail")
+        masks = {
+            0: BarrierMask.from_pes([0, 1], 2),
+            1: BarrierMask.from_pes([0], 2),
+            2: BarrierMask.from_pes([1], 2),
+        }
+        program = hand_program(
+            [[b0, long, b1], [b0, short, b2, tail]], masks, [0, 1, 2]
+        )
+        trace = simulate_sbm(program, MaxSampler())
+        assert trace.barrier_fire[2] == 4  # held back by the queue
+        analysis = analyze_trace(program, trace)
+        causes = {
+            s.barrier: s.cause
+            for s in analysis.critical_path
+            if s.kind == "barrier"
+        }
+        assert causes.get(2) == "queue"
+        # ... and the chain continues through b1 to the long op.
+        assert any(
+            s.kind == "op" and str(s.node) == "long"
+            for s in analysis.critical_path
+        )
+
+
+class TestCompiledCaseInvariants:
+    @pytest.fixture(scope="class")
+    def analyzed(self):
+        case = compile_case(GeneratorConfig(n_statements=30, n_variables=8), 5)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=4, seed=5))
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, rng=5)
+        trace.assert_sound(program.edges)
+        return program, trace, analyze_trace(program, trace)
+
+    def test_every_pe_time_accounted(self, analyzed):
+        _, _, analysis = analyzed
+        for pe in analysis.pes:
+            assert pe.busy + pe.barrier_wait + pe.tail_idle == analysis.makespan
+            assert 0.0 <= pe.utilization(analysis.makespan) <= 1.0
+
+    def test_all_barriers_have_runtimes(self, analyzed):
+        _, trace, analysis = analyzed
+        assert {b.barrier_id for b in analysis.barriers} == set(
+            trace.barrier_fire
+        )
+        for b in analysis.barriers:
+            assert all(w >= 0 for w in b.waits.values())
+            assert b.skew >= 0
+
+    def test_critical_path_ends_at_makespan(self, analyzed):
+        _, _, analysis = analyzed
+        assert analysis.critical_path
+        assert analysis.critical_path[-1].at == analysis.makespan
+        # Steps never move backwards in time.
+        ats = [s.at for s in analysis.critical_path]
+        assert ats == sorted(ats)
+
+    def test_supersteps_tile_the_makespan(self, analyzed):
+        _, _, analysis = analyzed
+        steps = analysis.supersteps
+        assert steps[0].start == 0
+        assert steps[-1].end == analysis.makespan
+        for prev, cur in zip(steps, steps[1:]):
+            assert prev.end == cur.start
+
+    def test_metrics_recorded_when_registry_active(self, analyzed):
+        program, trace, _ = analyzed
+        with collect_metrics() as m:
+            analyze_trace(program, trace)
+        assert m.counter("engine.analyses") == 1
+        assert m.histograms["engine.pe_utilization"].count == program.n_pes
+
+    def test_partial_trace_rejected(self, analyzed):
+        program, trace, _ = analyzed
+        from dataclasses import replace
+
+        broken = replace(trace, barrier_fire={})
+        with pytest.raises(ValueError, match="no fire time"):
+            analyze_trace(program, broken)

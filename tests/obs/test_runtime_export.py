@@ -1,0 +1,157 @@
+"""Machine-timeline export: Perfetto-loadable Chrome trace JSON with
+per-PE tracks and barrier flow events.
+
+The assertions pin the Chrome Trace Event Format schema the export
+relies on (Perfetto's chrome-trace importer): complete slices carry
+``ph/ts/dur/pid/tid``, metadata events name the process and one thread
+per PE, and every flow start (``ph: "s"``) has a matching finish
+(``ph: "f"``, ``bp: "e"``) with the same numeric ``id``."""
+
+import json
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.machine.program import MachineOp, MachineProgram
+from repro.machine.sbm import simulate_sbm
+from repro.obs.runtime import analyze_trace
+from repro.obs.runtime_export import (
+    MACHINE_PID,
+    machine_trace_events,
+    to_machine_chrome_trace,
+    write_machine_trace,
+)
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def simulated():
+    case = compile_case(GeneratorConfig(n_statements=25, n_variables=8), 11)
+    result = schedule_dag(case.dag, SchedulerConfig(n_pes=4, seed=11))
+    program = MachineProgram.from_schedule(result.schedule)
+    trace = simulate_sbm(program, rng=11)
+    trace.assert_sound(program.edges)
+    return program, trace
+
+
+@pytest.fixture(scope="module")
+def events(simulated):
+    return machine_trace_events(*simulated)
+
+
+class TestEventSchema:
+    def test_all_events_on_the_machine_pid(self, events):
+        assert events
+        assert {e["pid"] for e in events} == {MACHINE_PID}
+
+    def test_process_and_thread_metadata(self, simulated, events):
+        program, _ = simulated
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"]: e for e in meta if e["name"] == "process_name"}
+        assert names["process_name"]["args"]["name"] == "machine:sbm"
+        threads = [e for e in meta if e["name"] == "thread_name"]
+        assert {e["tid"] for e in threads} == set(range(program.n_pes))
+        # Thread names surface the per-PE utilization.
+        assert all("busy" in e["args"]["name"] for e in threads)
+
+    def test_one_slice_per_instruction(self, simulated, events):
+        program, trace = simulated
+        ops = [e for e in events if e["ph"] == "X" and e["cat"] == "op"]
+        n_instructions = sum(
+            1
+            for stream in program.streams
+            for item in stream
+            if isinstance(item, MachineOp)
+        )
+        assert len(ops) == n_instructions
+        by_name = {e["name"]: e for e in ops}
+        for node, start in trace.start.items():
+            ev = by_name[str(node)]
+            assert ev["ts"] == start
+            assert ev["dur"] == trace.finish[node] - start
+
+    def test_wait_slices_cover_barrier_waits(self, simulated, events):
+        _, trace = simulated
+        waits = [e for e in events if e["ph"] == "X" and e["cat"] == "wait"]
+        for e in waits:
+            bid = e["args"]["barrier"]
+            assert e["ts"] + e["dur"] == trace.barrier_fire[bid]
+
+    def test_complete_slices_carry_required_keys(self, events):
+        for e in events:
+            if e["ph"] == "X":
+                assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+
+
+class TestFlowEvents:
+    def test_every_flow_start_has_a_matching_finish(self, events):
+        starts = {e["id"] for e in events if e["ph"] == "s"}
+        finishes = {e["id"] for e in events if e["ph"] == "f"}
+        assert starts and starts == finishes
+
+    def test_flow_finish_binds_enclosing_slice(self, events):
+        for e in events:
+            if e["ph"] == "f":
+                assert e["bp"] == "e"
+
+    def test_one_flow_per_barrier_participant(self, simulated, events):
+        program, trace = simulated
+        analysis = analyze_trace(program, trace)
+        expected = sum(b.width for b in analysis.barriers)
+        assert len([e for e in events if e["ph"] == "s"]) == expected
+
+    def test_flow_ids_unique_per_pair(self, events):
+        start_ids = [e["id"] for e in events if e["ph"] == "s"]
+        assert len(start_ids) == len(set(start_ids))
+        assert all(isinstance(i, int) and i > 0 for i in start_ids)
+
+    def test_flows_start_at_origin_arrival_and_end_at_fire(
+        self, simulated, events
+    ):
+        program, trace = simulated
+        analysis = analyze_trace(program, trace)
+        by_barrier = {b.barrier_id: b for b in analysis.barriers}
+        for e in events:
+            b = by_barrier[e["args"]["barrier"]] if e["ph"] in "sf" else None
+            if e["ph"] == "s":
+                assert e["tid"] == b.last_arriver
+                assert e["ts"] == b.arrivals[b.last_arriver]
+            elif e["ph"] == "f":
+                assert e["ts"] == b.fire
+
+    def test_critical_flag_matches_analysis(self, simulated, events):
+        program, trace = simulated
+        critical = set(analyze_trace(program, trace).critical_barriers())
+        for e in events:
+            if e["ph"] == "s":
+                assert e["args"]["critical"] == (
+                    e["args"]["barrier"] in critical
+                )
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, simulated):
+        payload = to_machine_chrome_trace(*simulated)
+        data = json.loads(json.dumps(payload))
+        assert isinstance(data["traceEvents"], list)
+        assert data["otherData"]["machine"] == "sbm"
+        assert data["otherData"]["makespan"] == simulated[1].makespan
+
+    def test_write_machine_trace_file(self, simulated, tmp_path):
+        path = tmp_path / "machine.json"
+        write_machine_trace(*simulated, str(path))
+        data = json.loads(path.read_text())
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"X", "M", "s", "f"} <= phases
+
+    def test_events_sorted_by_timestamp(self, events):
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_reuses_provided_analysis(self, simulated):
+        program, trace = simulated
+        analysis = analyze_trace(program, trace)
+        a = machine_trace_events(program, trace, analysis)
+        b = machine_trace_events(program, trace)
+        assert a == b

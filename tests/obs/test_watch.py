@@ -1,0 +1,182 @@
+"""Perf-trajectory watchdog: regression flagging over BENCH series.
+
+Entries are built synthetically -- the watchdog consumes plain dicts in
+the trajectory-entry shape, so tests can pin the statistics without
+running the perf workload."""
+
+import json
+
+import pytest
+
+from repro.obs.watch import (
+    WatchConfig,
+    load_trajectory,
+    watch_trajectory,
+)
+from repro.perf.report import TRAJECTORY_FORMAT, append_trajectory, trajectory_entry
+
+
+def entry(wall=10.0, digest="d0", barrier=0.25, **stages):
+    base_stages = {
+        "generate": 1.0,
+        "schedule": 2.0,
+        "insert": 1.0,
+        "merge": 0.5,
+        "simulate": 0.5,
+    }
+    base_stages.update(stages)
+    return {
+        "format": TRAJECTORY_FORMAT,
+        "wall_s": wall,
+        "stages": base_stages,
+        "results_digest": digest,
+        "points": [
+            {
+                "value": 20,
+                "barrier": barrier,
+                "serialized": 0.5,
+                "static": 0.25,
+                "mean_makespan_max": 30.0,
+            }
+        ],
+    }
+
+
+class TestTimeSeries:
+    def test_steady_series_is_ok(self):
+        report = watch_trajectory([entry(), entry(), entry()])
+        assert report.ok
+        assert report.entries == 3
+
+    def test_wall_regression_flagged(self):
+        # 10, 10, then 25: median(prior)=10, limit=max(20, 11.5)=20.
+        report = watch_trajectory([entry(), entry(), entry(wall=25.0)])
+        flagged = {v.name for v in report.flagged}
+        assert "wall_s" in flagged
+
+    def test_stage_regression_flagged_with_stage_floor(self):
+        report = watch_trajectory(
+            [entry(), entry(), entry(schedule=5.0)]
+        )
+        assert {v.name for v in report.flagged} == {"stages.schedule"}
+
+    def test_noise_below_absolute_floor_not_flagged(self):
+        # 3x a tiny stage time is still under the 0.5s absolute floor.
+        report = watch_trajectory(
+            [entry(merge=0.01), entry(merge=0.01), entry(merge=0.03)]
+        )
+        assert report.ok
+
+    def test_factor_configurable(self):
+        entries = [entry(), entry(), entry(wall=18.0)]
+        assert watch_trajectory(entries, WatchConfig(factor=2.0)).ok
+        loose = watch_trajectory(entries, WatchConfig(factor=1.1))
+        assert not loose.ok
+
+    def test_single_entry_yields_note_only(self):
+        report = watch_trajectory([entry()])
+        assert report.ok and not report.verdicts
+        assert any("fewer than 2" in n for n in report.notes)
+
+
+class TestDeterministicSeries:
+    def test_same_digest_same_values_ok(self):
+        report = watch_trajectory([entry(digest="x"), entry(digest="x")])
+        assert report.ok
+        det = [v for v in report.verdicts if v.kind == "deterministic"]
+        assert det  # the headline numbers were actually compared
+
+    def test_same_digest_different_value_is_determinism_violation(self):
+        report = watch_trajectory(
+            [entry(digest="x", barrier=0.25), entry(digest="x", barrier=0.26)]
+        )
+        flagged = [v for v in report.flagged if v.kind == "deterministic"]
+        assert flagged
+        assert "determinism violation" in flagged[0].detail
+
+    def test_same_digest_different_workload_not_compared(self):
+        # The digest only covers the simulated subset (it saturates at
+        # SIMULATED_CASES), so a --count 10 run can share a digest with
+        # a --count 100 run while sweeping a different corpus.  Those
+        # entries must not be treated as a determinism check.
+        small = dict(entry(digest="x", barrier=0.25), count=10, master_seed=0)
+        big = dict(entry(digest="x", barrier=0.40), count=100, master_seed=0)
+        report = watch_trajectory([small, big])
+        assert report.ok
+        assert not [v for v in report.verdicts if v.kind == "deterministic"]
+        assert any("different" in n and "workload" in n for n in report.notes)
+
+    def test_same_digest_same_workload_still_compared(self):
+        a = dict(entry(digest="x", barrier=0.25), count=25, master_seed=0)
+        b = dict(entry(digest="x", barrier=0.26), count=25, master_seed=0)
+        report = watch_trajectory([a, b])
+        flagged = [v for v in report.flagged if v.kind == "deterministic"]
+        assert flagged and "determinism violation" in flagged[0].detail
+
+    def test_digest_change_downgrades_to_note(self):
+        report = watch_trajectory(
+            [entry(digest="x", barrier=0.25), entry(digest="y", barrier=0.40)]
+        )
+        det_flagged = [v for v in report.flagged if v.kind == "deterministic"]
+        assert not det_flagged
+        assert any("distinct results_digest" in n for n in report.notes)
+
+
+class TestRendering:
+    def test_markdown_report_shape(self):
+        report = watch_trajectory([entry(), entry(), entry(wall=50.0)])
+        md = report.render_markdown()
+        assert md.startswith("# Perf-trajectory watchdog")
+        assert "REGRESSION" in md
+        assert "| `wall_s` |" in md
+
+    def test_text_report_marks_flags(self):
+        report = watch_trajectory([entry(), entry(), entry(wall=50.0)])
+        text = report.render()
+        assert "[FLAG] wall_s" in text
+
+    def test_as_dict_json_shaped(self):
+        report = watch_trajectory([entry(), entry()])
+        data = json.loads(json.dumps(report.as_dict()))
+        assert data["ok"] is True
+
+
+class TestTrajectoryIO:
+    def test_missing_file_is_empty_series(self, tmp_path):
+        assert load_trajectory(tmp_path / "none.jsonl") == []
+
+    def test_bad_line_names_the_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=r"t\.jsonl:2"):
+            load_trajectory(path)
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "series" / "t.jsonl"
+        data = {
+            "wall_s": 1.5,
+            "stages": {"schedule": 0.5},
+            "results_digest": "abc",
+            "points": [{"value": 10, "barrier": 0.2}],
+            "created_unix": 123.0,
+        }
+        append_trajectory(data, path, label="one")
+        append_trajectory(data, path, label="two")
+        entries = load_trajectory(path)
+        assert [e["label"] for e in entries] == ["one", "two"]
+        assert all(e["format"] == TRAJECTORY_FORMAT for e in entries)
+        assert entries[0]["wall_s"] == 1.5
+
+    def test_trajectory_entry_trims_to_watched_fields(self):
+        data = {
+            "wall_s": 2.0,
+            "stages": {"schedule": 1.0},
+            "results_digest": "abc",
+            "points": [{"value": 10, "barrier": 0.2, "n_benchmarks": 99}],
+            "metrics": {"huge": "blob"},
+            "created_unix": 5.0,
+        }
+        trimmed = trajectory_entry(data)
+        assert "metrics" not in trimmed
+        assert trimmed["points"][0].get("n_benchmarks") is None
+        assert trimmed["results_digest"] == "abc"

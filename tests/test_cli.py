@@ -360,3 +360,203 @@ class TestVerbosityFlags:
         err = capsys.readouterr().err
         assert err.startswith("repro-sbm: error:")
         assert len(err.strip().splitlines()) == 1
+
+
+@pytest.fixture
+def big_block_file(tmp_path, capsys):
+    """A generated 25-statement block -- large enough that SBM merging
+    actually fires (the small hand block produces no merge candidates)."""
+    main(["generate", "-s", "25", "--seed", "7"])
+    path = tmp_path / "big.src"
+    path.write_text(capsys.readouterr().out)
+    return str(path)
+
+
+class TestSimulateRuntimeAnalytics:
+    def test_summary_printed(self, capsys, block_file):
+        assert main(["simulate", block_file, "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime analysis" in out
+        assert "mean utilization" in out
+        assert "executed critical path" in out
+
+    def test_gantt_rows_show_utilization(self, capsys, block_file):
+        main(["simulate", block_file, "--pes", "4"])
+        out = capsys.readouterr().out
+        assert "% busy" in out
+
+    def test_timeline_written(self, capsys, tmp_path, block_file):
+        import json
+
+        timeline = tmp_path / "machine.json"
+        assert main(
+            ["simulate", block_file, "-q", "--timeline", str(timeline)]
+        ) == 0
+        doc = json.loads(timeline.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "M", "s", "f"} <= phases
+        assert doc["otherData"]["machine"] == "sbm"
+
+
+class TestRecordAndDiff:
+    def _record(self, capsys, source, path, merge):
+        assert main(
+            ["schedule", source, "--pes", "4", "-q",
+             "--merge", merge, "--record", str(path), "--label", merge]
+        ) == 0
+        capsys.readouterr()
+
+    def test_identical_records_diff_clean(self, capsys, tmp_path, block_file):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._record(capsys, block_file, a, "auto")
+        self._record(capsys, block_file, b, "auto")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_merge_on_off_diff_names_decision(
+        self, capsys, tmp_path, big_block_file
+    ):
+        """The acceptance scenario: two runs differing only in --merge
+        diff to a localized divergence naming the merge decision."""
+        a, b = tmp_path / "on.json", tmp_path / "off.json"
+        self._record(capsys, big_block_file, a, "on")
+        self._record(capsys, big_block_file, b, "off")
+        assert main(["diff", str(a), str(b)]) == 1  # diverged
+        out = capsys.readouterr().out
+        assert "first divergence: layer" in out
+        assert "merging_enabled: True -> False" in out
+        assert "absorbed into" in out  # the named merge decision
+
+    def test_diff_json_mode(self, capsys, tmp_path, block_file):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._record(capsys, block_file, a, "auto")
+        self._record(capsys, block_file, b, "auto")
+        assert main(["diff", str(a), str(b), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["identical"] is True
+
+    def test_diff_missing_file_exits_two(self, capsys, tmp_path):
+        assert main(["diff", "/no/a.json", "/no/b.json"]) == 2
+        assert "repro-sbm: error:" in capsys.readouterr().err
+
+    def test_diff_bad_format_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "nope"}')
+        assert main(["diff", str(bad), str(bad)]) == 2
+        assert "unsupported run-record format" in capsys.readouterr().err
+
+    def test_simulate_record_carries_trace(
+        self, capsys, tmp_path, block_file
+    ):
+        import json
+
+        path = tmp_path / "run.json"
+        assert main(
+            ["simulate", block_file, "-q", "--record", str(path)]
+        ) == 0
+        record = json.loads(path.read_text())
+        assert record["trace"]["makespan"] > 0
+        assert record["analysis"]["pes"]
+
+
+class TestExplainRuntime:
+    def test_runtime_section_cross_links_provenance(
+        self, capsys, big_block_file
+    ):
+        assert main(
+            ["explain", big_block_file, "--pes", "4", "--runtime"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "runtime analysis" in out
+        assert "critical b" in out  # each critical barrier is explained
+
+    def test_runtime_json_mode(self, capsys, block_file):
+        import json
+
+        assert main(["explain", block_file, "--runtime", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["runtime"]["makespan"] > 0
+        assert "critical_path" in data["runtime"]
+
+
+class TestWatchCommand:
+    def _series(self, tmp_path, *walls):
+        import json
+
+        path = tmp_path / "traj.jsonl"
+        entries = []
+        for w in walls:
+            entries.append(json.dumps({
+                "wall_s": w,
+                "stages": {"schedule": w / 2},
+                "results_digest": "d",
+                "points": [],
+            }))
+        path.write_text("\n".join(entries) + "\n")
+        return str(path)
+
+    def test_ok_series_exits_zero(self, capsys, tmp_path):
+        path = self._series(tmp_path, 10.0, 10.0, 10.0)
+        assert main(["watch", "--trajectory", path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_one_and_writes_report(self, capsys, tmp_path):
+        path = self._series(tmp_path, 10.0, 10.0, 40.0)
+        report = tmp_path / "report.md"
+        assert main(
+            ["watch", "--trajectory", path, "--output", str(report)]
+        ) == 1
+        assert "FLAGGED" in capsys.readouterr().out
+        assert "REGRESSION" in report.read_text()
+
+    def test_empty_series_is_ok(self, capsys, tmp_path):
+        assert main(
+            ["watch", "--trajectory", str(tmp_path / "none.jsonl")]
+        ) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_json_mode(self, capsys, tmp_path):
+        import json
+
+        path = self._series(tmp_path, 10.0, 10.0)
+        assert main(["watch", "--trajectory", path, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_factor_flag(self, capsys, tmp_path):
+        path = self._series(tmp_path, 10.0, 10.0, 18.0)
+        assert main(["watch", "--trajectory", path]) == 0
+        capsys.readouterr()
+        assert main(["watch", "--trajectory", path, "--factor", "1.1"]) == 1
+
+    def test_bad_line_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "traj.jsonl"
+        path.write_text("not json\n")
+        assert main(["watch", "--trajectory", str(path)]) == 2
+        assert "bad trajectory line" in capsys.readouterr().err
+
+
+class TestPerfTrajectory:
+    def test_perf_appends_trajectory_entry(self, capsys, tmp_path):
+        import json
+
+        traj = tmp_path / "traj.jsonl"
+        assert main(
+            ["perf", "--count", "2", "--output", "-",
+             "--trajectory", str(traj), "--label", "t"]
+        ) == 0
+        assert "appended trajectory entry" in capsys.readouterr().out
+        entries = [json.loads(l) for l in traj.read_text().splitlines()]
+        assert len(entries) == 1
+        assert entries[0]["label"] == "t"
+        assert entries[0]["wall_s"] > 0
+
+    def test_no_trajectory_opt_out(self, capsys, tmp_path):
+        traj = tmp_path / "traj.jsonl"
+        assert main(
+            ["perf", "--count", "2", "--output", "-",
+             "--trajectory", str(traj), "--no-trajectory"]
+        ) == 0
+        assert "appended" not in capsys.readouterr().out
+        assert not traj.exists()

@@ -63,10 +63,54 @@ class TestGantt:
         text = render_gantt(program, trace, width=40)
         for line in text.splitlines():
             if line.startswith("PE"):
-                assert len(line) <= 46
+                # 5-char prefix + <=40 columns + utilization suffix.
+                assert len(line) <= 46 + len("  100% busy")
 
     def test_describe(self):
         result = scheduled()
         program = MachineProgram.from_schedule(result.schedule)
         trace = simulate_sbm(program, MaxSampler())
         assert "makespan" in trace.describe()
+
+    def test_rows_annotated_with_utilization(self):
+        result = scheduled()
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, MaxSampler())
+        text = render_gantt(program, trace)
+        rows = [l for l in text.splitlines() if l.startswith("PE")]
+        assert rows
+        for pe, line in enumerate(rows):
+            assert line.endswith("% busy")
+            # The printed percentage is the PE's true busy / makespan.
+            shown = int(line.rsplit("%", 1)[0].rsplit(None, 1)[-1])
+            busy = sum(
+                trace.finish[item.node] - trace.start[item.node]
+                for item in program.streams[pe]
+                if not hasattr(item, "barrier_id")
+            )
+            assert shown == round(100 * busy / trace.makespan)
+
+    def test_golden_downscaled_render(self):
+        """Golden render of a deterministic downscaled (scale > 1) trace:
+        barrier fire columns must survive the downscaling (drawn after
+        ops) and rows carry the utilization suffix."""
+        result = scheduled(seed=73, stmts=60, pes=2)
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, MaxSampler())
+        text = render_gantt(program, trace, width=40)
+        lines = text.splitlines()
+        scale = -(-max(trace.makespan, 1) // 40)
+        assert scale > 1  # the scenario actually exercises downscaling
+        assert f"({scale} units/column)" in lines[0]
+        rows = [l for l in lines if l.startswith("PE")]
+        for pe, line in enumerate(rows):
+            # Every barrier the PE participates in keeps a visible
+            # fire-instant column even when many time units share it.
+            fired_cols = {
+                min(trace.barrier_fire[item.barrier_id] // scale, 39)
+                for item in program.streams[pe]
+                if hasattr(item, "barrier_id")
+            }
+            body = line[5:].rsplit("  ", 1)[0]
+            assert {c for c, ch in enumerate(body) if ch == "|"} == fired_cols
+            assert line.endswith("% busy")
