@@ -1,0 +1,55 @@
+"""E20 -- hybrid extension: static vs ε-hardened vs hybrid study.
+
+Not a figure from the paper: it closes the robustness arc opened by E19.
+Where E19 priced the two extremes -- trust every timing proof (static)
+or re-prove everything against the inflated model (ε-hardening) -- this
+study measures the middle road of :mod:`repro.hybrid`: keep the static
+skeleton, demote only the fragile timing edges to runtime data guards,
+and pay for synchronization only on the runs where a fault actually
+lands.
+
+Expected shape: at eps = 0 all three strategies tie at 100% survival
+and zero overhead (the parity contract).  As ε grows, static survival
+falls while hybrid stays at (or near) 100% via recovered guard waits;
+hybrid's observed makespan overhead stays below ε-hardening's at the
+highest fault level because guards charge only faulted runs while
+hardening's extra barriers bill every run.
+"""
+
+from repro.experiments import hybrid_experiment
+
+from benchmarks.conftest import BENCH_COUNT, run_once
+
+
+def test_bench_hybrid(benchmark, show):
+    result = run_once(
+        benchmark,
+        lambda: hybrid_experiment(count=max(4, BENCH_COUNT // 4), runs=12),
+    )
+    show(
+        "E20 / extension: static vs hardened vs hybrid (8 vars, 30 stmts)",
+        result.render(),
+    )
+
+    baseline = result.points[0]
+    assert baseline.epsilon == 0.0 and baseline.n_stragglers == 0
+    assert baseline.survival_static == 1.0, "eps=0 must reproduce soundness"
+    assert baseline.survival_hybrid == 1.0
+    assert baseline.overhead_hybrid == 0.0, "guards must be free without faults"
+
+    for point in result.points:
+        # Hybrid must never fall below pure-static survival, and races it
+        # prevents show up as recovered guard waits, not deadlocks.
+        assert point.survival_hybrid >= point.survival_static
+        assert point.deadlocks == 0
+        assert point.survival_hardened == 1.0
+
+    faulted = [p for p in result.points if p.epsilon > 0]
+    assert any(
+        p.survival_hybrid > p.survival_static for p in faulted
+    ), "the sweep never exercised a fragile proof -- corpus too easy"
+
+    worst = result.points[-1]
+    assert worst.overhead_hybrid <= worst.overhead_hardened, (
+        "hybrid must undercut hardening's price at the highest fault level"
+    )

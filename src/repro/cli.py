@@ -66,6 +66,7 @@ from repro.experiments import (
     ablation_lookahead,
     barrier_cost_experiment,
     flow_overhead_experiment,
+    hybrid_experiment,
     kernel_suite_experiment,
     robustness_experiment,
     sync_elimination_experiment,
@@ -119,6 +120,9 @@ _EXPERIMENTS = {
     "kernels": lambda args: kernel_suite_experiment(synthetic_count=args.count),
     "syncelim": lambda args: sync_elimination_experiment(count=args.count),
     "robustness": lambda args: robustness_experiment(count=max(4, args.count // 4)),
+    "hybrid": lambda args: hybrid_experiment(
+        count=max(4, args.count // 4), jobs=None
+    ),
 }
 
 _SAMPLERS = {
@@ -282,11 +286,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jitter", type=_nonnegative_int, default=0, help="max barrier-release jitter"
     )
     flt.add_argument(
+        "--spike-window",
+        action="append",
+        default=[],
+        metavar="LO:HI",
+        help="restrict interrupt spikes to the machine-time window "
+        "[LO, HI); repeatable, windows must not overlap",
+    )
+    flt.add_argument(
         "--no-harden", action="store_true", help="skip the ε-hardening pass"
     )
     flt.add_argument(
         "--no-directed", action="store_true", help="random runs only, no witnesses"
     )
+    flt.add_argument(
+        "--mode",
+        choices=("static", "hybrid"),
+        default="static",
+        help="hybrid also campaigns the schedule with fragile timing "
+        "edges demoted to runtime data guards",
+    )
+    flt.add_argument(
+        "--hybrid-epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="fragility budget for --mode hybrid (default: the fault "
+        "plan's own worst-case stretch)",
+    )
+    _add_perf_args(flt)
 
     dot = sub.add_parser(
         "dot", help="emit Graphviz DOT for a block's DAG and barrier dag"
@@ -423,6 +451,22 @@ def _add_schedule_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-optimize", action="store_true")
     p.add_argument(
+        "--mode",
+        choices=("static", "hybrid"),
+        default="static",
+        help="hybrid demotes fragile timing edges (slack margin below "
+        "--hybrid-epsilon) to runtime data guards instead of trusting "
+        "the static proof",
+    )
+    p.add_argument(
+        "--hybrid-epsilon",
+        type=float,
+        default=0.25,
+        metavar="EPS",
+        help="fragility budget for --mode hybrid: timing edges whose "
+        "relative slack margin is below EPS are guarded",
+    )
+    p.add_argument(
         "--merge",
         choices=("auto", "on", "off"),
         default="auto",
@@ -500,6 +544,8 @@ def _schedule_from_args(args):
         insertion=args.insertion,
         seed=args.seed,
         merge_barriers={"auto": None, "on": True, "off": False}[args.merge],
+        mode=args.mode,
+        hybrid_epsilon=args.hybrid_epsilon if args.mode == "hybrid" else 0.0,
     )
     with stage("schedule"):
         result = schedule_dag(dag, config)
@@ -551,6 +597,10 @@ def _cmd_schedule(args) -> int:
         print()
     print(result.describe())
     print(analyze_schedule(result).render())
+    if result.hybrid is not None:
+        print()
+        print("== hybrid demotion plan ==")
+        print(result.hybrid.render())
     if args.record:
         _write_record(args, result, recorder)
     return 0
@@ -586,7 +636,8 @@ def _cmd_simulate(args) -> int:
 
     with _provenance_scope(args) as recorder:
         _, result = _schedule_from_args(args)
-    program = MachineProgram.from_schedule(result.schedule)
+    guards = result.hybrid.guards if result.hybrid is not None else None
+    program = MachineProgram.from_schedule(result.schedule, guards=guards)
     sim = simulate_sbm if args.machine == "sbm" else simulate_dbm
     sampler = _SAMPLERS[args.sampler]()
     first: tuple | None = None  # (trace, analysis) of run 0
@@ -605,6 +656,14 @@ def _cmd_simulate(args) -> int:
             print(trace.describe())
     print(result.describe())
     print(f"static makespan bound {result.makespan}")
+    if result.hybrid is not None:
+        print(result.hybrid.describe())
+        if first is not None:
+            t = first[0]
+            print(
+                f"run 0 data-guard waits: {len(t.guard_waits)}"
+                f" ({t.guard_saves} recovered)"
+            )
     if args.timeline and first is not None:
         from repro.obs.runtime_export import write_machine_trace
 
@@ -710,6 +769,20 @@ def _parse_stragglers(spec: str, n_pes: int) -> frozenset[int]:
     return frozenset(pes)
 
 
+def _parse_spike_windows(specs: list[str]) -> tuple[tuple[int, int], ...]:
+    windows = []
+    for spec in specs:
+        lo, sep, hi = spec.partition(":")
+        lo, hi = lo.strip(), hi.strip()
+        if not sep or not lo.isdigit() or not hi.isdigit():
+            raise ValueError(
+                f"bad --spike-window {spec!r}; expected LO:HI "
+                "(non-negative integers, LO < HI)"
+            )
+        windows.append((int(lo), int(hi)))
+    return tuple(windows)
+
+
 def _cmd_faults(args) -> int:
     from repro.faults import (
         FaultPlan,
@@ -731,6 +804,7 @@ def _cmd_faults(args) -> int:
         p_overrun=args.p_overrun,
         spike_prob=args.spike_prob,
         spike_magnitude=args.spike,
+        spike_windows=_parse_spike_windows(args.spike_window),
         straggler_pes=_parse_stragglers(args.stragglers, args.pes),
         straggler_factor=args.straggler_factor,
         barrier_jitter=args.jitter,
@@ -750,8 +824,36 @@ def _cmd_faults(args) -> int:
         seed=args.seed,
         directed=not args.no_directed,
         mode=args.insertion,
+        jobs=args.jobs,
     )
     print(report.render())
+
+    if args.mode == "hybrid":
+        from repro.hybrid import hybridize_schedule
+
+        budget = (
+            args.hybrid_epsilon
+            if args.hybrid_epsilon is not None
+            else plan.worst_stretch
+        )
+        hyb = hybridize_schedule(result.schedule, budget, args.insertion)
+        print()
+        print("== hybrid demotion plan ==")
+        print(hyb.render())
+        print()
+        print("== fault campaign (hybrid) ==")
+        hybrid_report = run_campaign(
+            result.schedule,
+            args.machine,
+            plan,
+            runs=args.runs,
+            seed=args.seed,
+            directed=not args.no_directed,
+            mode=args.insertion,
+            hybrid=hyb,
+            jobs=args.jobs,
+        )
+        print(hybrid_report.render())
 
     if args.no_harden or plan.is_null:
         return 0
@@ -775,6 +877,7 @@ def _cmd_faults(args) -> int:
         seed=args.seed,
         directed=not args.no_directed,
         mode=args.insertion,
+        jobs=args.jobs,
     )
     print(hardened_report.render())
     if not hardened_report.race_free and not plan.barrier_jitter:

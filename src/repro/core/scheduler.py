@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
+
+if TYPE_CHECKING:  # upper layer; imported lazily in schedule_dag
+    from repro.hybrid.plan import HybridPlan
 
 from repro.core.assignment import make_policy
 from repro.core.barrier_insert import BarrierInserter, EdgeResolution, ResolutionKind
@@ -48,6 +51,14 @@ class SchedulerConfig:
     insertion: Literal["conservative", "optimal"] = "conservative"
     ordering: Literal["maxmin", "minmax"] = "maxmin"
     assignment: Literal["list", "roundrobin"] = "list"
+    #: ``"static"`` is the paper's compiler.  ``"hybrid"`` additionally
+    #: classifies every timing-proved edge against the ``hybrid_epsilon``
+    #: budget and demotes the fragile ones to dynamic data guards
+    #: (:mod:`repro.hybrid`).  The schedule itself is identical either
+    #: way -- hybrid mode only attaches a guard plan to the result.
+    mode: Literal["static", "hybrid"] = "static"
+    #: Uniform overrun (ε) a hybrid compile must survive; 0 demotes nothing.
+    hybrid_epsilon: float = 0.0
     lookahead: int = 0
     #: Extension (0 = paper's exact step [2]): prefer a producer processor
     #: whose estimated start is within this many time units of the best.
@@ -66,6 +77,10 @@ class SchedulerConfig:
             raise ValueError("n_pes must be >= 1")
         if self.machine not in ("sbm", "dbm"):
             raise ValueError(f"unknown machine kind {self.machine!r}")
+        if self.mode not in ("static", "hybrid"):
+            raise ValueError(f"unknown scheduling mode {self.mode!r}")
+        if self.hybrid_epsilon < 0:
+            raise ValueError("hybrid_epsilon must be >= 0")
         if self.lookahead < 0:
             raise ValueError("lookahead must be >= 0")
         if self.barrier_latency < 0:
@@ -114,6 +129,10 @@ class ScheduleResult:
     counts: SyncCounts
     resolutions: tuple[EdgeResolution, ...]
     list_order: tuple[NodeId, ...]
+    #: Guard plan of a ``mode="hybrid"`` compile (``None`` for static).
+    #: The schedule above is identical in both modes; the plan only says
+    #: which timing edges the runtime must additionally guard.
+    hybrid: "HybridPlan | None" = None
 
     @property
     def makespan(self) -> Interval:
@@ -177,7 +196,20 @@ def schedule_dag(dag: InstructionDAG, config: SchedulerConfig | None = None) -> 
 
     resolutions = tuple(inserter.resolutions)
     counts = _tally(schedule, resolutions, repairs, final_merges)
-    return ScheduleResult(schedule, config, counts, resolutions, tuple(order))
+
+    hybrid = None
+    if config.mode == "hybrid":
+        # Upper-layer import kept local so the core scheduler has no
+        # static dependency on the hybrid/faults machinery.
+        from repro.hybrid.plan import hybridize_schedule
+
+        hybrid = hybridize_schedule(
+            schedule, config.hybrid_epsilon, config.insertion
+        )
+
+    return ScheduleResult(
+        schedule, config, counts, resolutions, tuple(order), hybrid
+    )
 
 
 def _tally(

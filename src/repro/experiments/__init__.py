@@ -29,6 +29,7 @@ E16    Extension: control-flow scheduling overhead         :func:`flow_overhead_
 E17    Extension: real kernels vs synthetic                :func:`kernel_suite_experiment`
 E18    Extension: conventional-MIMD sync removal           :func:`sync_elimination_experiment`
 E19    Extension: fault-tolerance curve (robustness)       :func:`robustness_experiment`
+E20    Extension: static vs hardened vs hybrid study       :func:`hybrid_experiment`
 =====  ==================================================  ==========================
 """
 
@@ -43,6 +44,11 @@ from repro.experiments.figures import (
 from repro.experiments.archive import archive_corpus, load_archive, stats_from_archive
 from repro.experiments.flow_exp import flow_overhead_experiment
 from repro.experiments.kernels_exp import kernel_suite_experiment
+from repro.experiments.hybrid_exp import (
+    HybridPoint,
+    HybridResult,
+    hybrid_experiment,
+)
 from repro.experiments.robustness_exp import (
     RobustnessResult,
     robustness_experiment,
@@ -89,4 +95,7 @@ __all__ = [
     "sync_elimination_experiment",
     "RobustnessResult",
     "robustness_experiment",
+    "HybridPoint",
+    "HybridResult",
+    "hybrid_experiment",
 ]

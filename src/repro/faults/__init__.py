@@ -28,7 +28,12 @@ from repro.faults.model import (
     inflate_dag,
 )
 from repro.faults.margin import EdgeMargin, MarginReport, robustness_margin
-from repro.faults.campaign import EdgeBlame, CampaignReport, run_campaign
+from repro.faults.campaign import (
+    EdgeBlame,
+    CampaignReport,
+    campaign_digest,
+    run_campaign,
+)
 from repro.faults.harden import HardeningReport, harden_schedule, straggler_nodes
 
 __all__ = [
@@ -41,6 +46,7 @@ __all__ = [
     "robustness_margin",
     "EdgeBlame",
     "CampaignReport",
+    "campaign_digest",
     "run_campaign",
     "HardeningReport",
     "harden_schedule",

@@ -33,8 +33,15 @@ compiler bug, and says so.
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import json
+import multiprocessing
+import pickle
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.barriers.model import Barrier
 from repro.barriers.paths import PathExplosionError, k_longest_max_paths
@@ -46,16 +53,24 @@ from repro.faults.model import FaultPlan, FaultySampler, FaultyController
 from repro.ir.dag import NodeId
 from repro.machine.dbm import DBMController
 from repro.machine.durations import UniformSampler
-from repro.machine.engine import run_machine
+from repro.machine.engine import GuardPolicy, run_machine
 from repro.machine.program import MachineProgram
 from repro.machine.sbm import SBMController
-from repro.machine.trace import DeadlockError
+from repro.machine.trace import DeadlockError, GuardStall
+from repro.perf.parallel import fork_available, resolve_jobs
 from repro.timing import Interval
 
-__all__ = ["EdgeBlame", "CampaignReport", "run_campaign"]
+if TYPE_CHECKING:  # upper layer; only the guard table is consumed
+    from repro.hybrid.plan import HybridPlan
+
+__all__ = ["EdgeBlame", "CampaignReport", "run_campaign", "campaign_digest"]
 
 #: Cap on how many weak edges get directed witnesses (2 runs each).
 MAX_WITNESS_EDGES = 16
+
+#: Deadlock/stall messages kept verbatim on the report (they carry the
+#: blamed edge and the fault-plan summary; a few are plenty).
+MAX_FAILURE_NOTES = 5
 
 
 @dataclass(frozen=True)
@@ -126,6 +141,18 @@ class CampaignReport:
     total_violations: int
     total_overruns: int
     blames: tuple[EdgeBlame, ...] = ()
+    #: Guard watchdog timeouts (hybrid programs only): races *detected
+    #: and reported* instead of spinning forever or racing silently.
+    n_stalls: int = 0
+    #: Guard waits that actually fired across all runs (hybrid programs
+    #: only): races the runtime *recovered* by waiting for data.
+    n_guard_saves: int = 0
+    #: Mean observed makespan over completed (non-deadlocked,
+    #: non-stalled) runs; 0.0 when none completed.
+    mean_makespan: float = 0.0
+    #: First few deadlock/stall messages, verbatim (self-describing:
+    #: they name the blamed edge and the active fault plan).
+    failure_notes: tuple[str, ...] = ()
 
     @property
     def n_runs(self) -> int:
@@ -134,6 +161,17 @@ class CampaignReport:
     @property
     def race_free(self) -> bool:
         return not self.blames and self.n_deadlocks == 0
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of runs that finished with every edge ordered
+        correctly -- no violation, no deadlock, no guard stall.
+        Recovered guard waits count as survival: that is the hybrid
+        runtime doing its job."""
+        if self.n_runs == 0:
+            return 1.0
+        failed = self.n_racy_runs + self.n_deadlocks + self.n_stalls
+        return (self.n_runs - failed) / self.n_runs
 
     def render(self) -> str:
         lines = [
@@ -151,8 +189,19 @@ class CampaignReport:
             )
             for blame in self.blames:
                 lines.append(f"    {blame.describe()}")
+        if self.n_guard_saves or self.n_stalls:
+            lines.append(
+                f"  GUARDS: {self.n_guard_saves} recovered wait(s), "
+                f"{self.n_stalls} watchdog stall(s)"
+            )
         if self.n_deadlocks:
             lines.append(f"  DEADLOCKS: {self.n_deadlocks} run(s) hung")
+        for note in self.failure_notes:
+            lines.append(f"    {note}")
+        lines.append(
+            f"  survival {self.survival_rate:.0%}, "
+            f"mean makespan {self.mean_makespan:.1f}"
+        )
         return "\n".join(lines)
 
 
@@ -221,6 +270,100 @@ def _chain_witness(schedule: Schedule, g: NodeId, i: NodeId) -> frozenset[NodeId
     return frozenset(slow)
 
 
+@dataclass(frozen=True)
+class _RunSpec:
+    """One fully-determined execution: sampler, rng seed, run class."""
+
+    sampler: object  # DurationSampler
+    seed: int
+    is_random: bool
+
+
+@dataclass(frozen=True)
+class _RunOutcome:
+    """The picklable residue of one execution a worker ships back."""
+
+    kind: str  # "ok" | "deadlock" | "stall"
+    #: ``(producer, consumer, excess)`` per observed order violation.
+    violations: tuple[tuple[NodeId, NodeId, int], ...]
+    n_overruns: int
+    makespan: int
+    guard_saves: int
+    is_random: bool
+    note: str = ""
+
+
+def _execute_spec(
+    ctx: tuple[MachineProgram, str, FaultPlan, GuardPolicy | None],
+    spec: _RunSpec,
+) -> _RunOutcome:
+    """Execute one spec (worker-side; must stay importable for pickling)."""
+    program, machine, plan, guard_policy = ctx
+    rng = random.Random(spec.seed)
+    context = "" if plan.is_null else plan.describe()
+    if program.guards:
+        from repro.hybrid.controller import HybridController
+
+        controller = HybridController.for_program(
+            program, machine, guard_policy, fault_context=context
+        )
+    else:
+        controller = _make_controller(program, machine)
+    if plan.barrier_jitter:
+        controller = FaultyController(controller, plan, rng)
+    try:
+        trace = run_machine(
+            program,
+            controller,
+            machine,
+            spec.sampler,
+            rng,
+            allow_overrun=True,
+            guard_policy=guard_policy,
+        )
+    except DeadlockError as exc:
+        return _RunOutcome("deadlock", (), 0, 0, 0, spec.is_random, str(exc))
+    except GuardStall as exc:
+        return _RunOutcome("stall", (), 0, 0, 0, spec.is_random, str(exc))
+    violations = tuple(
+        (v.producer, v.consumer, v.producer_finish - v.consumer_start)
+        for v in trace.verify(program.edges, context)
+    )
+    return _RunOutcome(
+        "ok",
+        violations,
+        len(trace.overruns),
+        trace.makespan,
+        trace.guard_saves,
+        spec.is_random,
+    )
+
+
+def _execute_all(
+    ctx: tuple[MachineProgram, str, FaultPlan, GuardPolicy | None],
+    specs: list[_RunSpec],
+    jobs: int,
+) -> list[_RunOutcome]:
+    """Run every spec, on a fork pool when asked and possible.
+
+    Outcomes come back in spec order regardless of worker scheduling,
+    and every per-run rng is derived from the spec's own seed, so the
+    parallel path is bit-identical to the serial one (pinned by the
+    digest-parity regression test, mirroring ``repro.perf.parallel``).
+    """
+    runner = functools.partial(_execute_spec, ctx)
+    if jobs > 1 and len(specs) > 1 and fork_available():
+        try:
+            pickle.dumps(ctx)
+        except Exception:
+            return [runner(spec) for spec in specs]
+        mp = multiprocessing.get_context("fork")
+        chunk = max(1, len(specs) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=mp) as pool:
+            return list(pool.map(runner, specs, chunksize=chunk))
+    return [runner(spec) for spec in specs]
+
+
 def run_campaign(
     schedule: Schedule,
     machine: str = "sbm",
@@ -229,55 +372,38 @@ def run_campaign(
     seed: int = 0,
     directed: bool = True,
     mode: str = "conservative",
+    hybrid: "HybridPlan | None" = None,
+    guard_policy: GuardPolicy | None = None,
+    jobs: int | None = 1,
 ) -> CampaignReport:
     """Execute a seeded fault campaign against a finished schedule.
 
     ``mode`` names the insertion mode the schedule was built with (it
     drives the blame classification and the directed-witness targeting).
-    Deterministic for a given ``(schedule, plan, runs, seed)``.
+    Deterministic for a given ``(schedule, plan, runs, seed)`` --
+    including under ``jobs > 1``, which fans the independent runs out
+    over a fork pool (``None`` consults ``REPRO_JOBS``, ``0`` means all
+    cores) and merges outcomes in submission order.
+
+    Passing a :class:`~repro.hybrid.plan.HybridPlan` as ``hybrid``
+    executes the *hybrid* program instead: the same streams and barriers
+    plus the plan's dynamic guard table, run under a
+    :class:`~repro.hybrid.controller.HybridController` with the
+    ``guard_policy`` watchdog.  Guard recoveries and stalls are tallied
+    on the report.
     """
     plan = plan or FaultPlan()
-    program = MachineProgram.from_schedule(schedule)
+    guards = hybrid.guards if hybrid is not None else None
+    program = MachineProgram.from_schedule(schedule, guards=guards)
+    if machine not in ("sbm", "dbm"):
+        raise ValueError(f"unknown machine {machine!r} (expected 'sbm' or 'dbm')")
     slow = straggler_nodes(schedule, plan)
     random_sampler = FaultySampler(plan, UniformSampler(), slow)
 
-    tallies: dict[tuple[NodeId, NodeId], _EdgeTally] = {}
-    n_racy = 0
-    n_deadlocks = 0
-    total_violations = 0
-    total_overruns = 0
-
-    def one_run(sampler, rng, is_random: bool) -> None:
-        nonlocal n_racy, n_deadlocks, total_violations, total_overruns
-        controller = _make_controller(program, machine)
-        if plan.barrier_jitter:
-            controller = FaultyController(controller, plan, rng)
-        try:
-            trace = run_machine(
-                program, controller, machine, sampler, rng, allow_overrun=True
-            )
-        except DeadlockError:
-            n_deadlocks += 1
-            return
-        total_overruns += len(trace.overruns)
-        violations = trace.verify(program.edges)
-        if not violations:
-            return
-        n_racy += 1
-        total_violations += len(violations)
-        for v in violations:
-            tally = tallies.setdefault((v.producer, v.consumer), _EdgeTally())
-            tally.n_violated += 1
-            tally.worst_excess = max(
-                tally.worst_excess, v.producer_finish - v.consumer_start
-            )
-            tally.from_random = tally.from_random or is_random
-
-    for k in range(runs):
-        rng = random.Random(seed * 1_000_003 + k)
-        one_run(random_sampler, rng, is_random=True)
-
-    n_directed = 0
+    specs: list[_RunSpec] = [
+        _RunSpec(random_sampler, seed * 1_000_003 + k, is_random=True)
+        for k in range(runs)
+    ]
     if directed:
         margin = robustness_margin(schedule, mode)
         for k, edge in enumerate(margin.edges[:MAX_WITNESS_EDGES]):
@@ -287,11 +413,50 @@ def run_campaign(
                 _chain_witness(schedule, edge.producer, edge.consumer),
             )
             for w, slow_set in enumerate(witnesses):
-                rng = random.Random(seed * 1_000_003 + runs + 3 * k + w)
-                one_run(
-                    _DirectedSampler(plan, slow_set, slow), rng, is_random=False
+                specs.append(
+                    _RunSpec(
+                        _DirectedSampler(plan, slow_set, slow),
+                        seed * 1_000_003 + runs + 3 * k + w,
+                        is_random=False,
+                    )
                 )
-                n_directed += 1
+    n_directed = sum(1 for s in specs if not s.is_random)
+
+    ctx = (program, machine, plan, guard_policy)
+    outcomes = _execute_all(ctx, specs, resolve_jobs(jobs))
+
+    tallies: dict[tuple[NodeId, NodeId], _EdgeTally] = {}
+    n_racy = 0
+    n_deadlocks = 0
+    n_stalls = 0
+    n_guard_saves = 0
+    total_violations = 0
+    total_overruns = 0
+    makespans: list[int] = []
+    notes: list[str] = []
+    for outcome in outcomes:
+        if outcome.kind == "deadlock":
+            n_deadlocks += 1
+            if len(notes) < MAX_FAILURE_NOTES:
+                notes.append(outcome.note)
+            continue
+        if outcome.kind == "stall":
+            n_stalls += 1
+            if len(notes) < MAX_FAILURE_NOTES:
+                notes.append(outcome.note)
+            continue
+        total_overruns += outcome.n_overruns
+        n_guard_saves += outcome.guard_saves
+        makespans.append(outcome.makespan)
+        if not outcome.violations:
+            continue
+        n_racy += 1
+        total_violations += len(outcome.violations)
+        for g, i, excess in outcome.violations:
+            tally = tallies.setdefault((g, i), _EdgeTally())
+            tally.n_violated += 1
+            tally.worst_excess = max(tally.worst_excess, excess)
+            tally.from_random = tally.from_random or outcome.is_random
 
     blames = []
     for (g, i), tally in tallies.items():
@@ -325,4 +490,47 @@ def run_campaign(
         total_violations=total_violations,
         total_overruns=total_overruns,
         blames=tuple(blames),
+        n_stalls=n_stalls,
+        n_guard_saves=n_guard_saves,
+        mean_makespan=sum(makespans) / len(makespans) if makespans else 0.0,
+        failure_notes=tuple(notes),
     )
+
+
+def campaign_digest(report: CampaignReport) -> str:
+    """A stable digest of everything a campaign observed.
+
+    Covers the run counts, every blame line, the guard tallies, and the
+    mean makespan -- so any behavioural drift between the serial and
+    parallel campaign paths (or across refactors that must preserve
+    blame reports) changes the digest.  The determinism regression test
+    pins serial vs ``jobs=N`` equality with it.
+    """
+    record = {
+        "machine": report.machine,
+        "plan": report.plan.describe(),
+        "n_random": report.n_random,
+        "n_directed": report.n_directed,
+        "n_racy_runs": report.n_racy_runs,
+        "n_deadlocks": report.n_deadlocks,
+        "n_stalls": report.n_stalls,
+        "n_guard_saves": report.n_guard_saves,
+        "total_violations": report.total_violations,
+        "total_overruns": report.total_overruns,
+        "mean_makespan": report.mean_makespan,
+        "failure_notes": list(report.failure_notes),
+        "blames": [
+            [
+                str(b.producer),
+                str(b.consumer),
+                b.kind,
+                b.static_slack,
+                b.n_runs_violated,
+                b.worst_excess,
+                b.directed_only,
+            ]
+            for b in report.blames
+        ],
+    }
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

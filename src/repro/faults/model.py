@@ -14,10 +14,15 @@ excursion modes as an *envelope* around the static timing model:
     ``hi`` may take up to ``hi + floor(hi * epsilon)`` units
     (cache-miss / contention model).  Each instruction overruns
     independently with probability ``p_overrun``.
-``spike_prob`` / ``spike_magnitude``
+``spike_prob`` / ``spike_magnitude`` / ``spike_windows``
     Additive interrupt spikes: with probability ``spike_prob`` an
     instruction is charged an extra ``1..spike_magnitude`` units on top
-    of any multiplicative overrun.
+    of any multiplicative overrun.  ``spike_windows`` optionally
+    confines spikes to disjoint ``[start, end)`` intervals of machine
+    time (an interrupt storm, a DRAM-refresh beat): an instruction is
+    only spiked when its start time falls inside a window.  Windows
+    must not overlap -- overlapping windows would double-count the same
+    storm and are rejected at construction.
 ``straggler_pes`` / ``straggler_factor``
     Per-PE stragglers: instructions on the named processors see their
     ``epsilon`` budget multiplied by ``straggler_factor`` (a slow core
@@ -56,6 +61,7 @@ class FaultPlan:
     p_overrun: float = 1.0
     spike_prob: float = 0.0
     spike_magnitude: int = 0
+    spike_windows: tuple[tuple[int, int], ...] = ()
     straggler_pes: frozenset[int] = frozenset()
     straggler_factor: float = 2.0
     barrier_jitter: int = 0
@@ -73,6 +79,22 @@ class FaultPlan:
             raise ValueError("straggler_factor must be >= 1")
         if self.barrier_jitter < 0:
             raise ValueError("barrier_jitter must be >= 0")
+        windows = tuple(tuple(w) for w in self.spike_windows)
+        for w in windows:
+            if len(w) != 2:
+                raise ValueError(f"spike window {w!r} must be a (start, end) pair")
+            start, end = w
+            if start < 0 or end <= start:
+                raise ValueError(
+                    f"spike window [{start}, {end}) must satisfy 0 <= start < end"
+                )
+        ordered = sorted(windows)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(ordered, ordered[1:]):
+            if b_lo < a_hi:
+                raise ValueError(
+                    f"spike windows [{a_lo}, {a_hi}) and [{b_lo}, {b_hi}) overlap"
+                )
+        object.__setattr__(self, "spike_windows", tuple(ordered))
         # normalize so FaultPlan(straggler_pes={1}) hashes/compares sanely
         object.__setattr__(self, "straggler_pes", frozenset(self.straggler_pes))
 
@@ -106,17 +128,33 @@ class FaultPlan:
             hi += self.spike_magnitude
         return hi
 
+    def spike_active(self, clock: int | None) -> bool:
+        """Can a spike strike an instruction starting at ``clock``?
+
+        Unwindowed plans spike anywhere; an unknown clock (legacy
+        ``sample`` path) is treated as in-window so the injected
+        envelope never silently shrinks below ``worst_case_hi``.
+        """
+        if not self.spike_windows or clock is None:
+            return True
+        return any(start <= clock < end for start, end in self.spike_windows)
+
     def perturb(
         self,
         duration: int,
         latency: Interval,
         rng: random.Random,
         slow: bool = False,
+        clock: int | None = None,
     ) -> int:
         """Apply the plan's faults to one sampled in-interval duration.
 
         The result is always within ``[latency.lo, worst_case_hi(latency)]``
-        -- faults only ever lengthen executions.
+        -- faults only ever lengthen executions.  ``clock`` (the
+        instruction's start time, when the engine knows it) gates
+        windowed spikes; the spike rng draw is consumed either way so a
+        windowed plan replays the same multiplicative stream as its
+        unwindowed counterpart.
         """
         total = duration
         cap = self.stretch_hi(latency.hi, slow)
@@ -127,6 +165,7 @@ class FaultPlan:
             self.spike_prob > 0.0
             and self.spike_magnitude > 0
             and rng.random() < self.spike_prob
+            and self.spike_active(clock)
         ):
             total += rng.randint(1, self.spike_magnitude)
         return total
@@ -140,7 +179,11 @@ class FaultPlan:
     def describe(self) -> str:
         parts = [f"epsilon={self.epsilon:g} (p={self.p_overrun:g})"]
         if self.spike_prob > 0 and self.spike_magnitude > 0:
-            parts.append(f"spikes p={self.spike_prob:g} mag={self.spike_magnitude}")
+            spikes = f"spikes p={self.spike_prob:g} mag={self.spike_magnitude}"
+            if self.spike_windows:
+                spans = ",".join(f"[{lo},{hi})" for lo, hi in self.spike_windows)
+                spikes += f" in {spans}"
+            parts.append(spikes)
         if self.straggler_pes:
             pes = ",".join(str(p) for p in sorted(self.straggler_pes))
             parts.append(f"stragglers PE{{{pes}}} x{self.straggler_factor:g}")
@@ -163,9 +206,24 @@ class FaultySampler:
     base: DurationSampler = field(default_factory=UniformSampler)
     slow_nodes: frozenset[NodeId] = frozenset()
 
+    @property
+    def fault_context(self) -> str:
+        """Plan summary stamped onto engine errors (see ``_fault_context``)."""
+        return "" if self.plan.is_null else self.plan.describe()
+
     def sample(self, node: NodeId, latency: Interval, rng: random.Random) -> int:
         duration = self.base.sample(node, latency, rng)
         return self.plan.perturb(duration, latency, rng, node in self.slow_nodes)
+
+    def sample_at(
+        self, node: NodeId, latency: Interval, rng: random.Random, clock: int
+    ) -> int:
+        """Clock-aware draw: identical to :meth:`sample` except windowed
+        spikes only strike when ``clock`` falls inside a spike window."""
+        duration = self.base.sample(node, latency, rng)
+        return self.plan.perturb(
+            duration, latency, rng, node in self.slow_nodes, clock
+        )
 
 
 @dataclass
@@ -183,6 +241,16 @@ class FaultyController:
     plan: FaultPlan
     rng: random.Random
     jitter: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def fault_context(self) -> str:
+        """Plan summary stamped onto engine errors (see ``_fault_context``)."""
+        return "" if self.plan.is_null else self.plan.describe()
+
+    def pending(self) -> int | None:
+        """Delegate queue-head diagnostics to the wrapped controller."""
+        pending = getattr(self.inner, "pending", None)
+        return pending() if callable(pending) else None
 
     def select(
         self, waiting: dict[int, int], arrival: dict[int, int]

@@ -1,0 +1,25 @@
+"""Hybrid static/dynamic scheduling (see :mod:`repro.hybrid.plan`).
+
+Compiler side: :func:`hybridize_schedule` classifies timing-proved edges
+against an ε budget and demotes the fragile ones to dynamic data guards;
+:func:`hybrid_program` lowers the (unchanged) schedule with the guard
+table attached.  Runtime side: :class:`HybridController` executes static
+barriers natively while the engine resolves guards under a
+timeout/bounded-retry watchdog (:class:`~repro.machine.engine.GuardPolicy`).
+"""
+
+from repro.hybrid.controller import HybridController
+from repro.hybrid.plan import (
+    EdgeDemotion,
+    HybridPlan,
+    hybrid_program,
+    hybridize_schedule,
+)
+
+__all__ = [
+    "EdgeDemotion",
+    "HybridController",
+    "HybridPlan",
+    "hybrid_program",
+    "hybridize_schedule",
+]

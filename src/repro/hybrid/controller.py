@@ -1,0 +1,69 @@
+"""The hybrid runtime: static barriers plus dynamic guard resolution.
+
+A :class:`HybridController` implements the
+:class:`~repro.machine.engine.BarrierController` protocol by delegating
+barrier selection to the machine's native controller (SBM FIFO or DBM
+associative) -- static barriers execute exactly as they would on the
+pure-static machine.  What it adds is the *guard policy*: the watchdog
+parameters the engine applies when it resolves the program's demoted
+edges (``MachineProgram.guards``) dynamically, and the fault-plan
+context stamped onto any :class:`~repro.machine.trace.GuardStall` or
+:class:`~repro.machine.trace.DeadlockError` so campaign failures are
+self-describing.
+
+Diagnostics mirror ``SBMController.pending``: :meth:`pending` names the
+queue head the inner controller is stuck on, and the engine's deadlock
+message additionally lists guard-blocked consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.dbm import DBMController
+from repro.machine.engine import GuardPolicy
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import SBMController
+
+__all__ = ["HybridController"]
+
+
+@dataclass
+class HybridController:
+    """Wrap a machine controller with hybrid guard semantics."""
+
+    inner: object  # BarrierController protocol
+    guard_policy: GuardPolicy = field(default_factory=GuardPolicy)
+    #: Active fault-plan summary ("" outside injection campaigns).
+    fault_context: str = ""
+
+    @staticmethod
+    def for_program(
+        program: MachineProgram,
+        machine: str,
+        guard_policy: GuardPolicy | None = None,
+        fault_context: str = "",
+    ) -> "HybridController":
+        """Build the native controller for ``machine`` and wrap it."""
+        if machine == "sbm":
+            inner = SBMController(program)
+        elif machine == "dbm":
+            inner = DBMController(program)
+        else:
+            raise ValueError(
+                f"unknown machine {machine!r} (expected 'sbm' or 'dbm')"
+            )
+        return HybridController(
+            inner=inner,
+            guard_policy=guard_policy or GuardPolicy(),
+            fault_context=fault_context,
+        )
+
+    def select(
+        self, waiting: dict[int, int], arrival: dict[int, int]
+    ) -> tuple[int, int] | None:
+        return self.inner.select(waiting, arrival)
+
+    def pending(self) -> int | None:
+        pending = getattr(self.inner, "pending", None)
+        return pending() if callable(pending) else None

@@ -1,0 +1,185 @@
+"""Hybrid static/dynamic scheduling: demote fragile timing proofs.
+
+The paper's compiler discharges cross-processor orderings three ways --
+program order, barrier chains, or the step [2]-[5] timing inequality.
+The first two are enforced by hardware at runtime; only the third rests
+entirely on the ``[min,max]`` latency intervals holding.  PR 1's fault
+campaigns showed exactly which timing proofs shatter first under
+ε-inflation: the ones whose slack is a small fraction of the producer's
+worst-case path.
+
+ε-hardening (:func:`repro.faults.harden.harden_schedule`) answers with
+*more barriers everywhere the inflated model fails* -- robust, but the
+whole schedule pays.  The hybrid scheduler takes the middle road of
+hybrid static/dynamic schedules (Jimborean et al., arXiv:1610.07236):
+keep the statically-proven skeleton, and demote only the *fragile*
+timing edges to dynamic data guards resolved at runtime:
+
+* an edge whose proven tolerance ``epsilon_edge = slack / T_max(g)``
+  meets the ε budget is **proven-robust** -- left purely static;
+* an edge below the budget is **fragile** -- the static order is kept
+  (placement and barriers do not change), but the consumer additionally
+  *waits for data*: a DBM-style associative guard the engine resolves
+  dynamically (:mod:`repro.machine.engine`), with a timeout/bounded-retry
+  watchdog so an overrun becomes a recovered wait or a reported
+  :class:`~repro.machine.trace.GuardStall` instead of a silent race.
+
+Because the schedule itself is untouched, a hybrid compile with a zero
+budget (or zero injected faults at runtime) is *digest-identical* to the
+static one -- the guard table is pure insurance.  Every demotion is
+recorded as provenance (:class:`~repro.obs.provenance.DemotionDecision`)
+so ``repro-sbm explain`` can say why each edge was demoted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.faults.margin import MarginReport, robustness_margin
+from repro.ir.dag import NodeId
+from repro.machine.program import MachineProgram
+from repro.obs.provenance import DemotionDecision, record_demotion
+
+__all__ = ["EdgeDemotion", "HybridPlan", "hybridize_schedule", "hybrid_program"]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeDemotion:
+    """One fragile timing edge demoted to a dynamic data guard."""
+
+    producer: NodeId
+    consumer: NodeId
+    kind: str  # "timing" | "timing-optimal"
+    slack: int
+    t_max_producer: int
+    epsilon_edge: float
+    budget: float
+
+    def describe(self) -> str:
+        eps = (
+            "inf" if math.isinf(self.epsilon_edge) else f"{self.epsilon_edge:.3f}"
+        )
+        return (
+            f"{self.producer!s} -> {self.consumer!s}: {self.kind} proof "
+            f"tolerates eps {eps} < budget {self.budget:g} "
+            f"(slack {self.slack} over T_max {self.t_max_producer}) "
+            f"-> dynamic guard"
+        )
+
+
+@dataclass(frozen=True)
+class HybridPlan:
+    """Which edges a hybrid compile trusts statically vs guards dynamically."""
+
+    budget: float
+    demotions: tuple[EdgeDemotion, ...]
+    #: Timing-proved edges examined (demoted + proven-robust).
+    n_timing: int
+    #: Serialized / path / barrier edges (structurally robust, untouched).
+    n_structural: int
+
+    @property
+    def n_demoted(self) -> int:
+        return len(self.demotions)
+
+    @property
+    def n_proven(self) -> int:
+        """Timing edges whose slack meets the budget -- left purely static."""
+        return self.n_timing - self.n_demoted
+
+    @property
+    def guards(self) -> dict[NodeId, tuple[NodeId, ...]]:
+        """The engine-facing wait-for-data table: consumer -> producers."""
+        by_consumer: dict[NodeId, list[NodeId]] = {}
+        for d in self.demotions:
+            by_consumer.setdefault(d.consumer, []).append(d.producer)
+        return {
+            consumer: tuple(sorted(producers, key=str))
+            for consumer, producers in by_consumer.items()
+        }
+
+    def describe(self) -> str:
+        return (
+            f"hybrid plan (budget eps={self.budget:g}): "
+            f"{self.n_timing} timing edges = {self.n_proven} proven-robust "
+            f"+ {self.n_demoted} demoted to guards; "
+            f"{self.n_structural} structural edges untouched"
+        )
+
+    def render(self, limit: int = 8) -> str:
+        lines = [self.describe()]
+        for d in self.demotions[:limit]:
+            lines.append(f"  {d.describe()}")
+        if self.n_demoted > limit:
+            lines.append(f"  ... and {self.n_demoted - limit} more demotions")
+        return "\n".join(lines)
+
+
+def hybridize_schedule(
+    schedule: Schedule,
+    budget: float,
+    mode: str = "conservative",
+    margin: MarginReport | None = None,
+) -> HybridPlan:
+    """Classify every timing-proved edge of a finished schedule.
+
+    ``budget`` is the uniform multiplicative overrun (ε) the hybrid
+    schedule must survive.  Edges whose
+    :attr:`~repro.faults.margin.EdgeMargin.epsilon_edge` is at least the
+    budget keep their pure-static discharge; the rest are demoted to
+    dynamic guards.  A zero budget demotes nothing -- hybrid mode then
+    degenerates to static scheduling, which the parity tests pin.
+
+    The schedule is never modified: placement, stream order, and barrier
+    structure stay exactly as compiled, so makespan under the static
+    model is unchanged (guards only cost time when a fault actually
+    delays a producer).
+    """
+    if budget < 0:
+        raise ValueError("hybrid epsilon budget must be >= 0")
+    report = margin if margin is not None else robustness_margin(schedule, mode)
+    demotions: list[EdgeDemotion] = []
+    if budget > 0:
+        for edge in report.edges:
+            if edge.epsilon_edge >= budget:
+                continue
+            demotion = EdgeDemotion(
+                producer=edge.producer,
+                consumer=edge.consumer,
+                kind=edge.kind,
+                slack=edge.slack,
+                t_max_producer=edge.t_max_producer,
+                epsilon_edge=edge.epsilon_edge,
+                budget=budget,
+            )
+            demotions.append(demotion)
+            record_demotion(
+                DemotionDecision(
+                    producer=demotion.producer,
+                    consumer=demotion.consumer,
+                    kind=demotion.kind,
+                    slack=demotion.slack,
+                    t_max_producer=demotion.t_max_producer,
+                    epsilon_edge=demotion.epsilon_edge,
+                    budget=budget,
+                )
+            )
+    demotions.sort(key=lambda d: (d.epsilon_edge, d.slack, str(d.producer)))
+    return HybridPlan(
+        budget=budget,
+        demotions=tuple(demotions),
+        n_timing=report.n_timing,
+        n_structural=report.n_structural,
+    )
+
+
+def hybrid_program(schedule: Schedule, plan: HybridPlan) -> MachineProgram:
+    """Lower a schedule with the plan's guard table attached.
+
+    The streams, masks, and queue order are byte-for-byte what
+    :meth:`MachineProgram.from_schedule` produces for the static
+    schedule; only the ``guards`` table is added.
+    """
+    return MachineProgram.from_schedule(schedule, guards=plan.guards)

@@ -75,7 +75,7 @@ def program_to_json(program: MachineProgram) -> dict:
                     }
                 )
         streams.append(items)
-    return {
+    data = {
         "format": _FORMAT,
         "n_pes": program.n_pes,
         "streams": streams,
@@ -85,6 +85,14 @@ def program_to_json(program: MachineProgram) -> dict:
         "edges": [[_encode_node(g), _encode_node(i)] for g, i in program.edges],
         "barrier_latency": program.barrier_latency,
     }
+    if program.guards:
+        data["guards"] = [
+            [_encode_node(consumer), [_encode_node(p) for p in producers]]
+            for consumer, producers in sorted(
+                program.guards.items(), key=lambda kv: str(kv[0])
+            )
+        ]
+    return data
 
 
 def program_from_json(data: dict) -> MachineProgram:
@@ -117,6 +125,10 @@ def program_from_json(data: dict) -> MachineProgram:
     edges = tuple(
         (_decode_node(g), _decode_node(i)) for g, i in data["edges"]
     )
+    guards = {
+        _decode_node(consumer): tuple(_decode_node(p) for p in producers)
+        for consumer, producers in data.get("guards", [])
+    }
     return MachineProgram(
         n_pes=n_pes,
         streams=tuple(streams),
@@ -125,6 +137,7 @@ def program_from_json(data: dict) -> MachineProgram:
         initial_barrier_id=int(data["initial_barrier_id"]),
         edges=edges,
         barrier_latency=int(data.get("barrier_latency", 0)),
+        guards=guards,
     )
 
 

@@ -22,12 +22,12 @@ from typing import Protocol
 
 from repro.machine.durations import DurationSampler, UniformSampler
 from repro.machine.program import BarrierRef, MachineOp, MachineProgram
-from repro.machine.trace import DeadlockError, ExecutionTrace
+from repro.machine.trace import DeadlockError, ExecutionTrace, GuardStall, GuardWait
 from repro.obs.metrics import current_registry
 from repro.obs.spans import current_tracer
 from repro.perf.timers import stage
 
-__all__ = ["BarrierController", "run_machine"]
+__all__ = ["BarrierController", "GuardPolicy", "run_machine"]
 
 
 class BarrierController(Protocol):
@@ -44,12 +44,35 @@ class BarrierController(Protocol):
         ...
 
 
+@dataclass(frozen=True, slots=True)
+class GuardPolicy:
+    """Watchdog parameters for dynamic data guards (hybrid programs).
+
+    A blocked consumer re-checks its producers every ``poll`` time units
+    (bounded retry: the recorded ``GuardWait.polls`` counts the retries),
+    so the resume time is quantized to poll ticks past the arrival.  A
+    wait that would exceed ``timeout`` raises :class:`GuardStall`
+    instead of spinning forever -- the race is *reported*, not silent.
+    """
+
+    poll: int = 1
+    timeout: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.poll < 1:
+            raise ValueError("guard poll interval must be >= 1")
+        if self.timeout < self.poll:
+            raise ValueError("guard timeout must be >= poll interval")
+
+
 @dataclass
 class _PEState:
     pc: int = 0
     clock: int = 0
     waiting: int | None = None  # barrier id
     done: bool = False
+    #: Guarded consumer this PE is blocked on (producers not finished).
+    guarded: object | None = None  # NodeId
 
 
 def run_machine(
@@ -59,6 +82,7 @@ def run_machine(
     sampler: DurationSampler | None = None,
     rng: random.Random | int | None = None,
     allow_overrun: bool = False,
+    guard_policy: GuardPolicy | None = None,
 ) -> ExecutionTrace:
     """Execute ``program`` under ``controller``; return the full trace.
 
@@ -70,11 +94,29 @@ def run_machine(
     ``allow_overrun=True`` the excursion is executed anyway and recorded
     in ``ExecutionTrace.overruns`` so the race detector can correlate
     observed order violations with the injected faults.
+
+    Hybrid programs additionally carry ``program.guards``: demoted
+    data edges the engine resolves dynamically by holding the consumer
+    until its producers have finished, under the ``guard_policy``
+    watchdog (default :class:`GuardPolicy`; a ``guard_policy``
+    attribute on ``controller`` is honored when the argument is
+    omitted).  Every resolved wait is recorded in
+    ``ExecutionTrace.guard_waits``.
     """
     with stage("simulate"):
         return _run_machine(
-            program, controller, machine_name, sampler, rng, allow_overrun
+            program, controller, machine_name, sampler, rng, allow_overrun,
+            guard_policy,
         )
+
+
+def _fault_context(sampler, controller) -> str:
+    """Active fault-plan summary, when either party knows one."""
+    for source in (sampler, controller):
+        context = getattr(source, "fault_context", "")
+        if context:
+            return str(context)
+    return ""
 
 
 def _run_machine(
@@ -84,10 +126,19 @@ def _run_machine(
     sampler: DurationSampler | None,
     rng: random.Random | int | None,
     allow_overrun: bool,
+    guard_policy: GuardPolicy | None = None,
 ) -> ExecutionTrace:
     sampler = sampler or UniformSampler()
     if rng is None or isinstance(rng, int):
         rng = random.Random(rng)
+    # Clock-aware samplers (windowed spikes) see the instruction's start
+    # time; plain samplers keep the original position-free interface.
+    sample_at = getattr(sampler, "sample_at", None)
+
+    guards = program.guards
+    policy = guard_policy or getattr(controller, "guard_policy", None)
+    if guards and policy is None:
+        policy = GuardPolicy()
 
     states = [_PEState() for _ in range(program.n_pes)]
     start: dict = {}
@@ -95,6 +146,32 @@ def _run_machine(
     durations: dict = {}
     overruns: dict = {}
     barrier_fire: dict[int, int] = {}
+    guard_waits: list[GuardWait] = []
+    resolved_guards: set = set()
+
+    def resolve_guard(st: _PEState, node) -> None:
+        """All producers of ``node`` finished: charge the wait (if any),
+        quantized into watchdog poll ticks, and release the consumer."""
+        producers = guards[node]
+        ready = max(finish[p] for p in producers)
+        arrival = st.clock
+        if ready > arrival:
+            polls = -(-(ready - arrival) // policy.poll)  # ceil division
+            resumed = arrival + polls * policy.poll
+            if resumed - arrival > policy.timeout:
+                raise GuardStall(
+                    node,
+                    producers,
+                    resumed - arrival,
+                    policy.timeout,
+                    _fault_context(sampler, controller) or None,
+                )
+        else:
+            polls = 0
+            resumed = arrival
+        guard_waits.append(GuardWait(node, producers, arrival, resumed, polls))
+        st.clock = resumed
+        resolved_guards.add(node)
 
     def advance(pe: int) -> None:
         """Run processor ``pe`` until it blocks or retires."""
@@ -107,7 +184,18 @@ def _run_machine(
                 st.pc += 1
                 return
             assert isinstance(item, MachineOp)
-            dur = sampler.sample(item.node, item.latency, rng)
+            if guards and item.node in guards and item.node not in resolved_guards:
+                if all(p in finish for p in guards[item.node]):
+                    resolve_guard(st, item.node)
+                else:
+                    # Producer finish times unknown yet: block here and
+                    # let the main loop retry once more work retires.
+                    st.guarded = item.node
+                    return
+            if sample_at is not None:
+                dur = sample_at(item.node, item.latency, rng, st.clock)
+            else:
+                dur = sampler.sample(item.node, item.latency, rng)
             if dur not in item.latency:
                 if not allow_overrun:
                     raise ValueError(
@@ -126,8 +214,25 @@ def _run_machine(
             st.pc += 1
         st.done = True
 
+    def settle_guards() -> bool:
+        """Release guard-blocked PEs whose producers have now finished;
+        repeat to a fixpoint (a release can retire another's producer)."""
+        progressed = False
+        changed = True
+        while changed:
+            changed = False
+            for pe, st in enumerate(states):
+                node = st.guarded
+                if node is not None and all(p in finish for p in guards[node]):
+                    st.guarded = None
+                    advance(pe)
+                    changed = progressed = True
+        return progressed
+
     for pe in range(program.n_pes):
         advance(pe)
+    if guards:
+        settle_guards()
 
     # One lookup each per run, not per release: the loop below is the
     # simulator's hot path.
@@ -143,6 +248,8 @@ def _run_machine(
         arrival = {pe: states[pe].clock for pe in waiting}
         choice = controller.select(waiting, arrival)
         if choice is None:
+            if guards and settle_guards():
+                continue
             stuck = {pe: f"b{bid}" for pe, bid in waiting.items()}
             message = f"{machine_name}: no barrier can fire; waiting: {stuck}"
             # Name the pending barrier when the controller knows one
@@ -159,6 +266,16 @@ def _run_machine(
                     f"; pending barrier b{pending_id} still needs "
                     f"PEs {absent}"
                 )
+            stalled = {
+                pe: str(st.guarded)
+                for pe, st in enumerate(states)
+                if st.guarded is not None
+            }
+            if stalled:
+                message += f"; guard-blocked: {stalled}"
+            context = _fault_context(sampler, controller)
+            if context:
+                message += f"; under faults: {context}"
             raise DeadlockError(message)
         barrier_id, fire_time = choice
         if barrier_id != program.initial_barrier_id:
@@ -198,4 +315,5 @@ def _run_machine(
         pe_finish=tuple(st.clock for st in states),
         durations=durations,
         overruns=overruns,
+        guard_waits=tuple(guard_waits),
     )

@@ -15,7 +15,7 @@ trace can be verified against the original DAG.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Union
 
 from repro.barriers.mask import BarrierMask
@@ -101,6 +101,13 @@ class MachineProgram:
     edges: tuple[tuple[NodeId, NodeId], ...]
     #: Release latency of every non-initial barrier (hardware model).
     barrier_latency: int = 0
+    #: Dynamic data guards of a hybrid program: ``consumer -> producers``
+    #: for every demoted (timing-fragile) edge.  Before executing a
+    #: guarded consumer the engine waits -- DBM-style wait-for-data --
+    #: until every listed producer has finished.  Empty for pure-static
+    #: programs, so the loader image is unchanged unless the hybrid
+    #: scheduler actually demoted something.
+    guards: dict[NodeId, tuple[NodeId, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(self.streams) != self.n_pes:
@@ -111,7 +118,10 @@ class MachineProgram:
             raise ValueError("the initial barrier must head the queue")
 
     @staticmethod
-    def from_schedule(schedule: Schedule) -> "MachineProgram":
+    def from_schedule(
+        schedule: Schedule,
+        guards: dict[NodeId, tuple[NodeId, ...]] | None = None,
+    ) -> "MachineProgram":
         """Lower a finished schedule.
 
         The SBM queue must present barriers in an order consistent with
@@ -155,6 +165,7 @@ class MachineProgram:
             initial_barrier_id=schedule.initial_barrier.id,
             edges=tuple(schedule.dag.real_edges()),
             barrier_latency=schedule.barrier_latency,
+            guards=dict(guards) if guards else {},
         )
 
     @property
@@ -168,8 +179,21 @@ class MachineProgram:
         """Barriers excluding the initial machine-start barrier."""
         return len(self.masks) - 1
 
+    @property
+    def n_guards(self) -> int:
+        """Demoted edges resolved dynamically (0 for static programs)."""
+        return sum(len(ps) for ps in self.guards.values())
+
     def render(self) -> str:
         lines = [f"barrier queue: {' '.join('b%d' % b for b in self.barrier_order)}"]
+        if self.guards:
+            waits = " ".join(
+                f"{consumer!s}<-({', '.join(str(p) for p in ps)})"
+                for consumer, ps in sorted(
+                    self.guards.items(), key=lambda kv: str(kv[0])
+                )
+            )
+            lines.append(f"data guards: {waits}")
         for pe, stream in enumerate(self.streams):
             parts = []
             for item in stream:

@@ -22,12 +22,76 @@ from typing import Mapping
 
 from repro.ir.dag import NodeId
 
-__all__ = ["DeadlockError", "OrderViolation", "ExecutionTrace"]
+__all__ = [
+    "DeadlockError",
+    "GuardStall",
+    "GuardWait",
+    "OrderViolation",
+    "ExecutionTrace",
+]
 
 
 class DeadlockError(RuntimeError):
     """The machine stopped with processors still waiting (queue order
     inconsistent with arrivals, or a barrier with absent participants)."""
+
+
+class GuardStall(RuntimeError):
+    """A hybrid data guard spun past its watchdog budget.
+
+    Raised by the engine when a demoted (dynamically-resolved) edge's
+    consumer had to wait longer than the guard policy's timeout for its
+    producers to finish -- the overrun was *detected and reported*
+    instead of racing silently.  Carries the blamed edge and, when the
+    controller knows one, the active fault-plan summary.
+    """
+
+    def __init__(
+        self,
+        consumer: NodeId,
+        producers: tuple[NodeId, ...],
+        waited: int,
+        timeout: int,
+        context: str | None = None,
+    ) -> None:
+        self.consumer = consumer
+        self.producers = producers
+        self.waited = waited
+        self.timeout = timeout
+        self.context = context
+        blamed = ", ".join(str(p) for p in producers)
+        message = (
+            f"guard stall: consumer {consumer!s} waited {waited} units "
+            f"(timeout {timeout}) for producer(s) {blamed}"
+        )
+        if context:
+            message += f" under faults: {context}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True, slots=True)
+class GuardWait:
+    """One resolved data-guard wait of a hybrid execution.
+
+    ``waited == 0`` means the guard was satisfied on arrival (the static
+    order held, as it always does without faults); ``waited > 0`` means
+    the guard *recovered* a would-be race -- the producer had not
+    finished when the consumer reached the demoted edge.
+    """
+
+    consumer: NodeId
+    producers: tuple[NodeId, ...]
+    arrival: int
+    resumed: int
+    polls: int
+
+    @property
+    def waited(self) -> int:
+        return self.resumed - self.arrival
+
+    @property
+    def recovered(self) -> bool:
+        return self.waited > 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +102,10 @@ class OrderViolation:
     consumer: NodeId
     producer_finish: int
     consumer_start: int
+    #: Active fault-plan summary when the violation surfaced under
+    #: injection (empty for plain simulation), so a raised violation is
+    #: self-describing without re-running with tracing.
+    context: str = ""
 
     @property
     def slack(self) -> int:
@@ -46,10 +114,11 @@ class OrderViolation:
         return self.consumer_start - self.producer_finish
 
     def __str__(self) -> str:
+        suffix = f" under faults: {self.context}" if self.context else ""
         return (
             f"edge {self.producer!r} -> {self.consumer!r}: producer finished "
             f"at {self.producer_finish} but consumer started at "
-            f"{self.consumer_start} (slack {self.slack})"
+            f"{self.consumer_start} (slack {self.slack}){suffix}"
         )
 
 
@@ -68,23 +137,35 @@ class ExecutionTrace:
     #: static interval -- ``duration - latency.hi`` for an overrun,
     #: ``duration - latency.lo`` (negative) for an underrun.
     overruns: Mapping[NodeId, int] = field(default_factory=dict)
+    #: Data-guard waits of a hybrid execution (empty for pure-static
+    #: programs).  Entries with ``waited > 0`` are recovered races.
+    guard_waits: tuple[GuardWait, ...] = ()
 
     @property
     def makespan(self) -> int:
         return max(self.pe_finish, default=0)
 
-    def verify(self, edges) -> list[OrderViolation]:
-        """All producer/consumer order violations (empty == sound run)."""
+    @property
+    def guard_saves(self) -> int:
+        """Guard waits that actually fired: races the runtime recovered."""
+        return sum(1 for w in self.guard_waits if w.recovered)
+
+    def verify(self, edges, context: str = "") -> list[OrderViolation]:
+        """All producer/consumer order violations (empty == sound run).
+
+        ``context`` (e.g. the active fault-plan summary) is stamped onto
+        every violation so campaign failures name their injection.
+        """
         violations = []
         for g, i in edges:
             if self.finish[g] > self.start[i]:
                 violations.append(
-                    OrderViolation(g, i, self.finish[g], self.start[i])
+                    OrderViolation(g, i, self.finish[g], self.start[i], context)
                 )
         return violations
 
-    def assert_sound(self, edges) -> None:
-        violations = self.verify(edges)
+    def assert_sound(self, edges, context: str = "") -> None:
+        violations = self.verify(edges, context)
         if violations:
             sample = "; ".join(str(v) for v in violations[:3])
             raise AssertionError(

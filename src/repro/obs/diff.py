@@ -72,6 +72,23 @@ def run_record(
 ) -> dict:
     """Build the versioned record of one run (JSON-shaped dict)."""
     schedule = result.schedule
+    hybrid = None
+    if result.hybrid is not None:
+        hybrid = {
+            "budget": result.hybrid.budget,
+            "n_timing": result.hybrid.n_timing,
+            "n_proven": result.hybrid.n_proven,
+            "demotions": [
+                {
+                    "producer": str(d.producer),
+                    "consumer": str(d.consumer),
+                    "kind": d.kind,
+                    "slack": d.slack,
+                    "epsilon_edge": d.epsilon_edge,
+                }
+                for d in result.hybrid.demotions
+            ],
+        }
     program = MachineProgram.from_schedule(schedule)
     fire = schedule.fire_times()
     barriers = []
@@ -102,6 +119,7 @@ def run_record(
         },
         "order": [str(node) for node in result.list_order],
         "barriers": barriers,
+        "hybrid": hybrid,
         "queue": list(program.barrier_order),
         "provenance": provenance.as_dict() if provenance is not None else None,
         "trace": None,
@@ -116,6 +134,8 @@ def run_record(
                 str(bid): t for bid, t in sorted(trace.barrier_fire.items())
             },
             "pe_finish": list(trace.pe_finish),
+            "guard_waits": len(trace.guard_waits),
+            "guard_saves": trace.guard_saves,
         }
     return record
 
@@ -269,6 +289,40 @@ def _merge_divergence_notes(a: dict, b: dict) -> list[str]:
     return notes
 
 
+def _hybrid_notes(a: dict, b: dict) -> list[str]:
+    """Name the demotion decisions only one of the runs took.
+
+    Hybrid demotion never moves nodes or barriers (the static skeleton
+    is untouched), so a demotion difference is *context* rather than a
+    pipeline-layer divergence: the runs compute the same schedule but
+    trust different edges at runtime.
+    """
+    ha, hb = a.get("hybrid"), b.get("hybrid")
+    if ha is None and hb is None:
+        return []
+    if (ha is None) != (hb is None):
+        side = "A" if ha is not None else "B"
+        h = ha or hb
+        return [
+            f"hybrid only in {side}: {len(h.get('demotions', ()))} timing "
+            f"edge(s) demoted to data guards (budget {h.get('budget')})"
+        ]
+
+    def edges(h: dict) -> set[tuple]:
+        return {(d["producer"], d["consumer"]) for d in h.get("demotions", ())}
+
+    ea, eb = edges(ha), edges(hb)
+    if ea == eb:
+        return []
+    notes = []
+    for side, only in (("A", sorted(ea - eb)), ("B", sorted(eb - ea))):
+        for producer, consumer in only[:3]:
+            notes.append(f"demoted only in {side}: {producer} -> {consumer}")
+        if len(only) > 3:
+            notes.append(f"... and {len(only) - 3} more demotions only in {side}")
+    return notes
+
+
 def _diff_assignment(a: dict, b: dict) -> RunDivergence | None:
     order = a["order"] if len(a["order"]) >= len(b["order"]) else b["order"]
     asg_a, asg_b = a["assignment"], b["assignment"]
@@ -394,6 +448,7 @@ def diff_runs(a: dict, b: dict) -> RunDiff:
     notes = []
     if divergence is not None:
         notes.extend(_merge_divergence_notes(a, b))
+    notes.extend(_hybrid_notes(a, b))
     if a.get("results_digest") == b.get("results_digest"):
         notes.append(f"results_digest: identical ({a.get('results_digest', '')[:16]}...)")
     else:

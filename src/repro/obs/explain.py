@@ -65,6 +65,7 @@ class ExplainReport:
             "assignments": [d.as_dict() for d in rec.assignments.values()],
             "barriers": [b.as_dict() for b in self.barriers],
             "merges": [d.as_dict() for d in rec.merges],
+            "demotions": [d.as_dict() for d in rec.demotions],
         }
 
     def render(self) -> str:
@@ -104,6 +105,16 @@ class ExplainReport:
                         f" T_min(i-)={d.t_min_i}"
                         f" (slack {d.slack}, dom b{d.dominator}){note}"
                     )
+
+        if self.recorder.demotions:
+            lines.append("")
+            lines.append("hybrid demotions (timing edges guarded at runtime):")
+            for d in self.recorder.demotions:
+                lines.append(
+                    f"  {d.producer} -> {d.consumer}: margin "
+                    f"{d.epsilon_edge:.3f} < budget {d.budget:g} "
+                    f"(slack {d.slack}, t_max {d.t_max_producer})"
+                )
 
         accepted = [m for m in self.recorder.merges if m.accepted]
         rejected = [m for m in self.recorder.merges if not m.accepted]

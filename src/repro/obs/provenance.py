@@ -35,12 +35,14 @@ from repro.obs.spans import DISABLED
 __all__ = [
     "AssignmentDecision",
     "BarrierDecision",
+    "DemotionDecision",
     "MergeDecision",
     "ProvenanceRecorder",
     "collect_provenance",
     "current_recorder",
     "record_assignment",
     "record_barrier",
+    "record_demotion",
     "record_merge",
 ]
 
@@ -103,6 +105,37 @@ class BarrierDecision:
 
 
 @dataclass(frozen=True, slots=True)
+class DemotionDecision:
+    """One timing-proved edge the hybrid scheduler demoted to a dynamic
+    data guard, and the margin arithmetic that condemned it."""
+
+    producer: object
+    consumer: object
+    #: ``timing`` or ``timing-optimal`` (the static proof that was kept
+    #: for ordering but judged too fragile to trust under faults).
+    kind: str
+    #: Static slack of the proof, ``T_min(i-) - T_max(g)``.
+    slack: int
+    #: Producer-side worst-case time the slack is measured against.
+    t_max_producer: int
+    #: ``slack / t_max_producer`` -- the edge's proven overrun tolerance.
+    epsilon_edge: float
+    #: The ε budget the edge failed to meet (``epsilon_edge < budget``).
+    budget: float
+
+    def as_dict(self) -> dict:
+        return {
+            "producer": str(self.producer),
+            "consumer": str(self.consumer),
+            "kind": self.kind,
+            "slack": self.slack,
+            "t_max_producer": self.t_max_producer,
+            "epsilon_edge": self.epsilon_edge,
+            "budget": self.budget,
+        }
+
+
+@dataclass(frozen=True, slots=True)
 class MergeDecision:
     """One examined merge pair: fused, or rejected with the reason."""
 
@@ -134,6 +167,7 @@ class ProvenanceRecorder:
         self.assignments: dict[object, AssignmentDecision] = {}
         self.barriers: list[BarrierDecision] = []
         self.merges: list[MergeDecision] = []
+        self.demotions: list[DemotionDecision] = []
 
     def record_assignment(self, decision: AssignmentDecision) -> None:
         self.assignments[decision.node] = decision
@@ -143,6 +177,9 @@ class ProvenanceRecorder:
 
     def record_merge(self, decision: MergeDecision) -> None:
         self.merges.append(decision)
+
+    def record_demotion(self, decision: DemotionDecision) -> None:
+        self.demotions.append(decision)
 
     def barrier_decision(self, barrier_id: int) -> BarrierDecision | None:
         for d in self.barriers:
@@ -155,6 +192,7 @@ class ProvenanceRecorder:
             "assignments": [d.as_dict() for d in self.assignments.values()],
             "barriers": [d.as_dict() for d in self.barriers],
             "merges": [d.as_dict() for d in self.merges],
+            "demotions": [d.as_dict() for d in self.demotions],
         }
 
 
@@ -200,3 +238,9 @@ def record_merge(
     rec = current_recorder()
     if rec is not None:
         rec.record_merge(MergeDecision(trigger, survivor, other, accepted, reason))
+
+
+def record_demotion(decision: DemotionDecision) -> None:
+    rec = current_recorder()
+    if rec is not None:
+        rec.record_demotion(decision)

@@ -1,0 +1,87 @@
+"""Property tests for ε-hardening: survival and monotone cost.
+
+Two schedule-independent laws, checked by seeded Monte-Carlo over a
+random corpus rather than on the one reference case:
+
+* **Soundness**: a schedule hardened against a duration-only plan
+  survives *any* fault draw the plan can produce -- every campaign run
+  is race-free, whatever the seed.
+* **Monotone cost**: the worst-case makespan of the hardened schedule
+  never decreases as ε grows.  A bigger fault envelope can only force
+  more (never fewer) of the timing proofs to fail, so the hardening
+  price curve is non-decreasing.
+"""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.faults import FaultPlan, harden_schedule, run_campaign
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+EPSILONS = (0.0, 0.1, 0.25, 0.5, 1.0)
+
+
+def scheduled(seed, n_pes=4, n_statements=24):
+    case = compile_case(GeneratorConfig(n_statements=n_statements), seed)
+    cfg = SchedulerConfig(n_pes=n_pes, machine="sbm", seed=seed)
+    return schedule_dag(case.dag, cfg).schedule
+
+
+class TestHardeningSoundnessProperty:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_hardened_survives_any_draw_within_budget(self, seed):
+        # Monte-Carlo over the plan's whole envelope: overruns on every
+        # instruction, interrupt spikes, and straggler PEs at once.
+        schedule = scheduled(seed)
+        plan = FaultPlan(
+            epsilon=0.4,
+            p_overrun=1.0,
+            spike_prob=0.3,
+            spike_magnitude=3,
+            straggler_pes=frozenset({0}),
+            straggler_factor=2.0,
+        )
+        hardened = harden_schedule(schedule, plan=plan, merge=True)
+        report = run_campaign(
+            hardened.schedule, "sbm", plan, runs=25, seed=seed * 77 + 1
+        )
+        assert report.race_free, report.render()
+        assert report.n_deadlocks == 0
+
+    @pytest.mark.parametrize("seed", [2, 5])
+    def test_survival_holds_across_distinct_campaign_seeds(self, seed):
+        # The property is about the draw space, not one rng stream.
+        schedule = scheduled(seed)
+        plan = FaultPlan(epsilon=0.6)
+        hardened = harden_schedule(schedule, plan=plan, merge=True)
+        for campaign_seed in (0, 101, 202):
+            report = run_campaign(
+                hardened.schedule, "sbm", plan, runs=15, seed=campaign_seed
+            )
+            assert report.race_free, report.render()
+
+
+class TestHardeningCostMonotonicity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_worst_case_makespan_monotone_in_epsilon(self, seed):
+        schedule = scheduled(seed)
+        highs = []
+        barriers = []
+        for eps in EPSILONS:
+            if eps == 0.0:
+                highs.append(schedule.makespan().hi)
+                barriers.append(len(list(schedule.barriers())))
+                continue
+            hardened = harden_schedule(schedule, epsilon=eps, merge=True)
+            highs.append(hardened.schedule.makespan().hi)
+            barriers.append(len(list(hardened.schedule.barriers())))
+        assert highs == sorted(highs), (EPSILONS, highs)
+        # Barrier population never shrinks either: hardening only adds.
+        assert all(b >= barriers[0] for b in barriers), barriers
+
+    def test_overhead_relative_to_static_is_nonnegative(self):
+        schedule = scheduled(3)
+        for eps in EPSILONS[1:]:
+            hardened = harden_schedule(schedule, epsilon=eps, merge=True)
+            assert hardened.schedule.makespan().hi >= schedule.makespan().hi

@@ -1,0 +1,95 @@
+"""Digest-parity pins: hybrid mode must be free when nothing faults.
+
+The hybrid scheduler's contract is *pure insurance*: demoting a timing
+edge to a data guard changes neither the schedule (placement, order,
+barriers) nor a zero-fault execution.  These tests pin that contract
+with the same digests CI uses elsewhere -- ``results_digest`` for the
+compile side, ``campaign_digest`` for the runtime side -- so any drift
+(a guard that perturbs placement, a wait charged without a fault) is a
+hard failure, not a performance footnote.
+"""
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.faults import FaultPlan, campaign_digest, run_campaign
+from repro.hybrid import hybridize_schedule
+from repro.perf.parallel import results_digest
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+RACY_SEED = 7
+
+
+def compiled(seed=RACY_SEED):
+    return compile_case(GeneratorConfig(n_statements=30), seed)
+
+
+class TestCompileParity:
+    def test_hybrid_compile_is_digest_identical_to_static(self):
+        # Acceptance criterion: with zero faults, `--mode hybrid` output
+        # is digest-identical to the static schedule.
+        for seed in range(5):
+            case = compiled(seed)
+            static = schedule_dag(case.dag, SchedulerConfig(n_pes=4, seed=seed))
+            hybrid = schedule_dag(
+                case.dag,
+                SchedulerConfig(
+                    n_pes=4, seed=seed, mode="hybrid", hybrid_epsilon=0.25
+                ),
+            )
+            assert results_digest([static]) == results_digest([hybrid])
+
+    def test_zero_budget_hybrid_degenerates_to_static(self):
+        case = compiled()
+        result = schedule_dag(
+            case.dag,
+            SchedulerConfig(n_pes=4, seed=RACY_SEED, mode="hybrid"),
+        )
+        assert result.hybrid is not None
+        assert result.hybrid.n_demoted == 0
+        assert result.hybrid.guards == {}
+
+
+class TestRuntimeParity:
+    def test_zero_fault_campaign_digest_identical(self):
+        # With a null fault plan the guards never fire: run-for-run the
+        # hybrid campaign is indistinguishable from the static one.
+        case = compiled()
+        cfg = SchedulerConfig(n_pes=4, machine="sbm", seed=RACY_SEED)
+        schedule = schedule_dag(case.dag, cfg).schedule
+        hyb = hybridize_schedule(schedule, 0.25)
+        assert hyb.n_demoted > 0
+        plan = FaultPlan()
+        static = run_campaign(schedule, "sbm", plan, runs=20, seed=RACY_SEED)
+        hybrid = run_campaign(
+            schedule, "sbm", plan, runs=20, seed=RACY_SEED, hybrid=hyb
+        )
+        assert campaign_digest(static) == campaign_digest(hybrid)
+        assert hybrid.n_guard_saves == 0
+
+    def test_campaign_digest_serial_vs_parallel(self):
+        # Satellite: run_campaign must produce bit-identical reports
+        # serial and under --jobs N (fork pool), faults or not.
+        case = compiled()
+        cfg = SchedulerConfig(n_pes=4, machine="sbm", seed=RACY_SEED)
+        schedule = schedule_dag(case.dag, cfg).schedule
+        plan = FaultPlan(epsilon=0.25)
+        hyb = hybridize_schedule(schedule, plan.worst_stretch)
+        for hybrid in (None, hyb):
+            serial = run_campaign(
+                schedule, "sbm", plan, runs=24, seed=3, hybrid=hybrid, jobs=1
+            )
+            parallel = run_campaign(
+                schedule, "sbm", plan, runs=24, seed=3, hybrid=hybrid, jobs=4
+            )
+            assert campaign_digest(serial) == campaign_digest(parallel)
+            assert serial == parallel
+
+    def test_campaign_digest_is_sensitive_to_outcomes(self):
+        case = compiled()
+        cfg = SchedulerConfig(n_pes=4, machine="sbm", seed=RACY_SEED)
+        schedule = schedule_dag(case.dag, cfg).schedule
+        quiet = run_campaign(schedule, "sbm", FaultPlan(), runs=10, seed=0)
+        racy = run_campaign(
+            schedule, "sbm", FaultPlan(epsilon=0.25), runs=10, seed=0
+        )
+        assert campaign_digest(quiet) != campaign_digest(racy)

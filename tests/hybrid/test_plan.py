@@ -1,0 +1,127 @@
+"""Tests for the hybrid demotion plan: edge classification and guards."""
+
+import pytest
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.faults.margin import robustness_margin
+from repro.hybrid import hybrid_program, hybridize_schedule
+from repro.machine.program import MachineProgram
+from repro.obs.provenance import collect_provenance
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+# The reference racy configuration of docs/robustness.md.
+RACY_SEED = 7
+
+
+def scheduled(seed=RACY_SEED, n_pes=4, machine="sbm"):
+    case = compile_case(GeneratorConfig(n_statements=30), seed)
+    cfg = SchedulerConfig(n_pes=n_pes, machine=machine, seed=seed)
+    return schedule_dag(case.dag, cfg).schedule
+
+
+class TestClassification:
+    def test_zero_budget_demotes_nothing(self):
+        plan = hybridize_schedule(scheduled(), 0.0)
+        assert plan.n_demoted == 0
+        assert plan.guards == {}
+        assert plan.n_proven == plan.n_timing
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            hybridize_schedule(scheduled(), -0.1)
+
+    def test_demotes_exactly_the_fragile_margin_edges(self):
+        schedule = scheduled()
+        margin = robustness_margin(schedule)
+        budget = 0.25
+        fragile = {
+            (m.producer, m.consumer)
+            for m in margin.edges
+            if m.epsilon_edge < budget
+        }
+        plan = hybridize_schedule(schedule, budget, margin=margin)
+        assert {(d.producer, d.consumer) for d in plan.demotions} == fragile
+        assert plan.n_timing == len(margin.edges)
+        assert all(d.epsilon_edge < budget for d in plan.demotions)
+
+    def test_huge_budget_demotes_every_timing_edge(self):
+        schedule = scheduled()
+        plan = hybridize_schedule(schedule, 1e9)
+        assert plan.n_demoted == plan.n_timing
+        assert plan.n_proven == 0
+
+    def test_demotions_sorted_most_fragile_first(self):
+        plan = hybridize_schedule(scheduled(), 1e9)
+        eps = [d.epsilon_edge for d in plan.demotions]
+        assert eps == sorted(eps)
+
+    def test_guards_group_producers_per_consumer(self):
+        plan = hybridize_schedule(scheduled(), 0.25)
+        assert plan.n_demoted > 0
+        total = sum(len(ps) for ps in plan.guards.values())
+        assert total == plan.n_demoted
+        for d in plan.demotions:
+            assert d.producer in plan.guards[d.consumer]
+
+    def test_render_names_budget_and_edges(self):
+        plan = hybridize_schedule(scheduled(), 0.25)
+        text = plan.render()
+        assert "budget eps=0.25" in text
+        assert "dynamic guard" in text
+
+
+class TestHybridProgram:
+    def test_program_keeps_static_skeleton(self):
+        schedule = scheduled()
+        plan = hybridize_schedule(schedule, 0.25)
+        base = MachineProgram.from_schedule(schedule)
+        hybrid = hybrid_program(schedule, plan)
+        assert hybrid.streams == base.streams
+        assert hybrid.barrier_order == base.barrier_order
+        assert hybrid.masks == base.masks
+        assert hybrid.guards == plan.guards
+        assert hybrid.n_guards == plan.n_demoted
+
+    def test_render_mentions_guards(self):
+        schedule = scheduled()
+        plan = hybridize_schedule(schedule, 0.25)
+        assert "data guards" in hybrid_program(schedule, plan).render()
+
+
+class TestSchedulerIntegration:
+    def test_static_mode_has_no_hybrid_plan(self):
+        case = compile_case(GeneratorConfig(n_statements=30), RACY_SEED)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=4))
+        assert result.hybrid is None
+
+    def test_hybrid_mode_attaches_plan(self):
+        case = compile_case(GeneratorConfig(n_statements=30), RACY_SEED)
+        cfg = SchedulerConfig(
+            n_pes=4, seed=RACY_SEED, mode="hybrid", hybrid_epsilon=0.25
+        )
+        result = schedule_dag(case.dag, cfg)
+        assert result.hybrid is not None
+        assert result.hybrid.budget == 0.25
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SchedulerConfig(n_pes=4, mode="dynamic")
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="hybrid_epsilon"):
+            SchedulerConfig(n_pes=4, hybrid_epsilon=-1.0)
+
+
+class TestDemotionProvenance:
+    def test_demotions_recorded(self):
+        schedule = scheduled()
+        with collect_provenance() as recorder:
+            plan = hybridize_schedule(schedule, 0.25)
+        assert len(recorder.demotions) == plan.n_demoted
+        d = recorder.demotions[0]
+        assert d.budget == 0.25
+        assert (d.producer, d.consumer) in {
+            (e.producer, e.consumer) for e in plan.demotions
+        }
+        assert recorder.as_dict()["demotions"]

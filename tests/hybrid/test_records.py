@@ -1,0 +1,76 @@
+"""Run records carry the demotion table; diff names demotion deltas."""
+
+import json
+
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.obs.diff import diff_runs, run_record
+from repro.synth.corpus import compile_case
+from repro.synth.generator import GeneratorConfig
+
+RACY_SEED = 7
+
+
+def records():
+    case = compile_case(GeneratorConfig(n_statements=30), RACY_SEED)
+    static = schedule_dag(
+        case.dag, SchedulerConfig(n_pes=4, seed=RACY_SEED)
+    )
+    hybrid = schedule_dag(
+        case.dag,
+        SchedulerConfig(
+            n_pes=4, seed=RACY_SEED, mode="hybrid", hybrid_epsilon=0.25
+        ),
+    )
+    return (
+        run_record(static, label="static"),
+        run_record(hybrid, label="hybrid"),
+    )
+
+
+class TestHybridRunRecord:
+    def test_record_carries_demotion_table(self):
+        static_rec, hybrid_rec = records()
+        assert static_rec["hybrid"] is None
+        h = hybrid_rec["hybrid"]
+        assert h["budget"] == 0.25
+        assert len(h["demotions"]) == h["n_timing"] - h["n_proven"]
+        assert len(h["demotions"]) > 0
+        json.dumps(hybrid_rec)  # still a JSON artifact
+        assert hybrid_rec["config"]["mode"] == "hybrid"
+
+    def test_diff_is_clean_but_names_the_demotions(self):
+        # Hybrid never perturbs the pipeline layers, so the diff finds
+        # no divergence -- but it must say which runs guard which edges.
+        static_rec, hybrid_rec = records()
+        diff = diff_runs(static_rec, hybrid_rec)
+        assert diff.identical
+        assert ("mode", ("static", "hybrid")) in diff.config_changes.items()
+        text = diff.render()
+        assert "hybrid only in B" in text
+        assert "results_digest: identical" in text
+
+    def test_diff_between_budgets_names_edge_deltas(self):
+        case = compile_case(GeneratorConfig(n_statements=30), RACY_SEED)
+        small = run_record(
+            schedule_dag(
+                case.dag,
+                SchedulerConfig(
+                    n_pes=4, seed=RACY_SEED, mode="hybrid", hybrid_epsilon=0.1
+                ),
+            ),
+            label="small",
+        )
+        big = run_record(
+            schedule_dag(
+                case.dag,
+                SchedulerConfig(
+                    n_pes=4, seed=RACY_SEED, mode="hybrid", hybrid_epsilon=1e9
+                ),
+            ),
+            label="big",
+        )
+        assert len(big["hybrid"]["demotions"]) > len(
+            small["hybrid"]["demotions"]
+        )
+        text = diff_runs(small, big).render()
+        assert "demoted only in B" in text

@@ -121,7 +121,9 @@ class TestExplain:
         recorder, result = traced_schedule
         doc = explain_result(result, recorder).as_dict()
         json.dumps(doc)
-        assert set(doc) == {"summary", "assignments", "barriers", "merges"}
+        assert set(doc) == {
+            "summary", "assignments", "barriers", "merges", "demotions"
+        }
 
     def test_ablation_policies_record_their_rule(self):
         source = generate_block(GeneratorConfig(n_statements=14), 3).source()

@@ -280,7 +280,9 @@ class TestExplain:
 
         assert main(["explain", block_file, "--pes", "4", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert set(doc) == {"summary", "assignments", "barriers", "merges"}
+        assert set(doc) == {
+            "summary", "assignments", "barriers", "merges", "demotions"
+        }
         for barrier in doc["barriers"]:
             assert barrier["attributed"]
             for d in barrier["decisions"]:
@@ -560,3 +562,96 @@ class TestPerfTrajectory:
         ) == 0
         assert "appended" not in capsys.readouterr().out
         assert not traj.exists()
+
+
+class TestHybridCLI:
+    def test_schedule_mode_hybrid_prints_plan(self, capsys):
+        assert main(
+            ["schedule", "--mode", "hybrid", "--hybrid-epsilon", "0.25",
+             "--pes", "4", "--seed", "7", "-", ]
+        ) == 2  # stdin is empty under capsys -> parse error, not a traceback
+        capsys.readouterr()
+
+    def test_schedule_hybrid_on_file(self, capsys, block_file):
+        assert main(
+            ["schedule", block_file, "--mode", "hybrid", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hybrid demotion plan" in out
+        assert "budget eps=" in out
+
+    def test_simulate_hybrid_reports_guard_waits(self, capsys, block_file):
+        assert main(
+            ["simulate", block_file, "--mode", "hybrid", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hybrid plan" in out
+        assert "data-guard waits" in out
+
+    def test_faults_mode_hybrid_adds_campaign_section(self, capsys):
+        assert main(
+            ["faults", "--epsilon", "0.25", "--runs", "20", "--seed", "7",
+             "--mode", "hybrid"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== hybrid demotion plan ==" in out
+        assert "== fault campaign (hybrid) ==" in out
+        # The reference racy case: the static campaign races, the hybrid
+        # campaign recovers every race as a guard wait.
+        static_part = out.split("== hybrid demotion plan ==")[0]
+        hybrid_part = out.split("== fault campaign (hybrid) ==")[1].split(
+            "== epsilon-hardening =="
+        )[0]
+        assert "RACES" in static_part
+        assert "no races observed" in hybrid_part
+        assert "recovered wait(s)" in hybrid_part
+
+    def test_faults_hybrid_explicit_budget(self, capsys, block_file):
+        assert main(
+            ["faults", block_file, "--runs", "3", "--mode", "hybrid",
+             "--hybrid-epsilon", "0.5", "--no-harden"]
+        ) == 0
+        assert "budget eps=0.5" in capsys.readouterr().out
+
+    def test_faults_jobs_flag_accepted(self, capsys):
+        assert main(
+            ["faults", "--epsilon", "0.25", "--runs", "8", "--seed", "7",
+             "--jobs", "2", "--no-harden"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_hybrid_experiment_registered(self, capsys):
+        assert main(
+            ["experiment", "hybrid", "--count", "4", "--no-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hybrid robustness study" in out
+        assert "static" in out and "hardened" in out
+
+
+class TestFaultPlanInputHardening:
+    """Malformed fault plans exit 2 with a one-line diagnostic (satellite)."""
+
+    @pytest.mark.parametrize(
+        "argv, needle",
+        [
+            (["--epsilon", "-0.5"], "epsilon"),
+            (["--p-overrun", "1.5"], "p_overrun"),
+            (["--spike-prob", "-0.2"], "spike_prob"),
+            (["--straggler-factor", "0.5"], "straggler_factor"),
+            (["--stragglers", "one"], "--stragglers"),
+            (["--stragglers", "9", "--pes", "4"], "out of range"),
+            (["--spike-window", "abc"], "--spike-window"),
+            (["--spike-window", "5"], "--spike-window"),
+            (["--spike-window", "7:3"], "0 <= start < end"),
+            (["--spike-window", "3:3"], "0 <= start < end"),
+            (["--spike-window", "0:9", "--spike-window", "4:12"], "overlap"),
+            (["--hybrid-epsilon", "-1", "--mode", "hybrid"], "budget"),
+        ],
+    )
+    def test_malformed_plan_exits_two(self, capsys, block_file, argv, needle):
+        assert main(["faults", block_file, "--runs", "2", *argv]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-sbm: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert needle in err

@@ -92,3 +92,21 @@ class TestTraceAndSummary:
         fr = data["fractions"]
         assert abs(fr["barrier"] + fr["serialized"] + fr["static"] - 1.0) < 1e-9
         json.dumps(data)
+
+
+class TestGuardRoundTrip:
+    def test_guards_preserved(self, result):
+        from repro.hybrid import hybrid_program, hybridize_schedule
+
+        plan = hybridize_schedule(result.schedule, 1e9)
+        assert plan.n_demoted > 0
+        program = hybrid_program(result.schedule, plan)
+        data = program_to_json(program)
+        json.dumps(data)
+        back = program_from_json(data)
+        assert back.guards == program.guards
+        assert back == program
+
+    def test_guardless_program_omits_key(self, program):
+        assert "guards" not in program_to_json(program)
+        assert program_from_json(program_to_json(program)).guards == {}
