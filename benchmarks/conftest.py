@@ -16,6 +16,12 @@ at that scale the corpus drivers fan out over all cores by default
 (``REPRO_JOBS=0``; export ``REPRO_JOBS`` yourself to pin a worker count
 or force serial with ``REPRO_JOBS=1``).  Parallel results are
 bit-identical to serial -- see docs/performance.md.
+
+The compute backend follows ``REPRO_BACKEND`` (python / numpy / auto,
+see :mod:`repro.kernels`); it is validated once here so a typo fails
+the whole session immediately instead of erroring 50 corpora in, and
+pinned into the environment so the parallel workers and any
+subprocesses observe the same setting.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ import os
 
 import pytest
 
+from repro import kernels
+
 #: Benchmarks per parameter point (paper: 100).
 BENCH_COUNT = int(os.environ.get("REPRO_BENCH_COUNT", "50"))
 
@@ -31,6 +39,10 @@ BENCH_COUNT = int(os.environ.get("REPRO_BENCH_COUNT", "50"))
 #: startup; smaller runs keep the serial default.
 if BENCH_COUNT >= 100:
     os.environ.setdefault("REPRO_JOBS", "0")  # 0 = all cores
+
+#: Validate and pin the kernel backend for the whole session (workers
+#: re-pin from the shipped payload; see repro.perf.parallel).
+os.environ["REPRO_BACKEND"] = kernels.backend_setting()
 
 
 @pytest.fixture

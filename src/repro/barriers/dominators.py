@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from repro import kernels
 from repro.barriers.dag import BarrierDag
 from repro.obs.spans import span
 
@@ -49,8 +50,30 @@ class DominatorTree:
     def __init__(self, dag: BarrierDag, _idom: dict[int, int] | None = None) -> None:
         self._dag = dag
         self._idom: dict[int, int] = _compute_idoms(dag) if _idom is None else _idom
+        if kernels.use_numpy("domin", len(dag)):
+            from repro.kernels import domin
+
+            kernels.count("domin", "numpy")
+            depth, tin, tout = domin.tree_views(dag, self._idom)
+            if kernels.checking():
+                kernels.verify(
+                    "domin", (depth, tin, tout), self._tree_views_python()
+                )
+        else:
+            kernels.count("domin", "python")
+            depth, tin, tout = self._tree_views_python()
+        self._depth = depth
+        self._tin = tin
+        self._tout = tout
+        #: Binary-lifting ancestor table, built lazily on the first NCA query.
+        self._up: list[dict[int, int]] | None = None
+
+    def _tree_views_python(
+        self,
+    ) -> tuple[dict[int, int], dict[int, int], dict[int, int]]:
+        dag = self._dag
         root = dag.initial.id
-        self._depth: dict[int, int] = {root: 0}
+        depth: dict[int, int] = {root: 0}
         # Nodes come out of barrier_ids topologically sorted, and an idom
         # always precedes its node topologically, so one sweep sets depths.
         children: dict[int, list[int]] = {bid: [] for bid in dag.barrier_ids}
@@ -58,7 +81,7 @@ class DominatorTree:
             if bid == root:
                 continue
             idom = self._idom[bid]
-            self._depth[bid] = self._depth[idom] + 1
+            depth[bid] = depth[idom] + 1
             children[idom].append(bid)
         # Euler-tour intervals over the dominator tree: x dominates y iff
         # y's interval nests inside x's.  O(1) per query after this O(B)
@@ -77,10 +100,7 @@ class DominatorTree:
             stack.append((node, True))
             for child in reversed(children[node]):
                 stack.append((child, False))
-        self._tin = tin
-        self._tout = tout
-        #: Binary-lifting ancestor table, built lazily on the first NCA query.
-        self._up: list[dict[int, int]] | None = None
+        return depth, tin, tout
 
     @classmethod
     def evolved(

@@ -353,7 +353,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "perf",
         help="run the standard perf workload; emit a BENCH_*.json record",
     )
-    perf.add_argument("--count", type=_positive_int, default=25)
+    perf.add_argument(
+        "--count",
+        type=_positive_int,
+        default=None,
+        help="benchmarks per sweep point (default: the preset's standard "
+        "count, e.g. 25 for default, 100 for paper3500)",
+    )
+    perf.add_argument(
+        "--preset",
+        choices=("default", "paper3500", "scale1024"),
+        default="default",
+        help="workload preset: 'paper3500' runs the paper-scale 35-point "
+        "evaluation (3500 benchmarks at the default count), 'scale1024' "
+        "the 1024-PE stress sweep",
+    )
     perf.add_argument("--seed", type=int, default=0)
     perf.add_argument(
         "--output",
@@ -440,6 +454,13 @@ def _add_perf_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="worker processes for corpus points (0 = all cores; "
         "default: the REPRO_JOBS environment variable, else serial)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("python", "numpy", "auto"),
+        default=None,
+        help="scheduling-kernel backend (default: the REPRO_BACKEND "
+        "environment variable, else auto)",
     )
 
 
@@ -931,6 +952,8 @@ def _perf_env(args, cache: bool | None = None):
     overrides: dict[str, str] = {}
     if args.jobs is not None:
         overrides["REPRO_JOBS"] = str(args.jobs)
+    if getattr(args, "backend", None) is not None:
+        overrides["REPRO_BACKEND"] = args.backend
     if cache is not None:
         overrides["REPRO_CACHE"] = "1" if cache else "0"
     saved = {key: os.environ.get(key) for key in overrides}
@@ -956,7 +979,9 @@ def _cmd_perf(args) -> int:
     from repro.perf.report import run_perf_report
 
     with _perf_env(args):
-        report = run_perf_report(count=args.count, master_seed=args.seed)
+        report = run_perf_report(
+            count=args.count, master_seed=args.seed, preset=args.preset
+        )
     print(report.render())
     if args.output and args.output != "-":
         path = report.write(args.output)

@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+from repro import kernels
 from repro.core.schedule import Schedule
 from repro.ir.dag import NodeId
 from repro.obs.provenance import record_assignment
@@ -137,19 +138,38 @@ class ListPolicy:
 
     # Step [2]: earliest-start placement.
     def _step2(self, schedule: Schedule, node: NodeId, rng: random.Random) -> int:
-        estimates = [
-            _earliest_start_estimate(schedule, node, pe)
-            for pe in range(schedule.n_pes)
-        ]
-        best = min(estimates)
+        if kernels.use_numpy("assign", schedule.n_pes):
+            from repro.kernels import assignvec
+
+            kernels.count("assign", "numpy")
+            best, ties, vec = assignvec.step2_estimates(schedule, node)
+            if kernels.checking():
+                kernels.verify(
+                    "assign",
+                    vec.tolist(),
+                    [
+                        _earliest_start_estimate(schedule, node, pe)
+                        for pe in range(schedule.n_pes)
+                    ],
+                )
+            get_est = lambda pe: int(vec[pe])  # noqa: E731
+        else:
+            kernels.count("assign", "python")
+            estimates = [
+                _earliest_start_estimate(schedule, node, pe)
+                for pe in range(schedule.n_pes)
+            ]
+            best = min(estimates)
+            ties = [pe for pe, est in enumerate(estimates) if est == best]
+            get_est = estimates.__getitem__
         if self.serialization_slack > 0:
             producer_pes = sorted(
                 {schedule.processor_of(g) for g in schedule.dag.real_preds(node)}
             )
             close = [
-                (estimates[pe], pe)
+                (get_est(pe), pe)
                 for pe in producer_pes
-                if estimates[pe] <= best + self.serialization_slack
+                if get_est(pe) <= best + self.serialization_slack
             ]
             if close:
                 est, pe = min(close)
@@ -157,7 +177,6 @@ class ListPolicy:
                     node, pe, "slack-serialization", estimate=est, best=best
                 )
                 return pe
-        ties = [pe for pe, est in enumerate(estimates) if est == best]
         pe = ties[0] if len(ties) == 1 else rng.choice(ties)
         record_assignment(node, pe, "earliest-start", estimate=best, ties=ties)
         return pe

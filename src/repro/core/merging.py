@@ -33,6 +33,7 @@ Two structural facts keep the operation well-defined:
 
 from __future__ import annotations
 
+from repro import kernels
 from repro.barriers.model import Barrier
 from repro.core.schedule import Schedule
 from repro.obs.metrics import current_registry
@@ -128,36 +129,37 @@ def merge_all_overlapping(schedule: Schedule) -> int:
         with span("merge.round", round=rounds):
             barriers = schedule.barriers()
             pair: tuple[Barrier, Barrier] | None = None
-            for a_idx, a in enumerate(barriers):
-                for b in barriers[a_idx + 1:]:
-                    key = (a.id, b.id)
-                    if key in ordered or key in disjoint:
-                        if reg is not None:
-                            reg.inc("merge.verdict.cached")
-                        continue
-                    if reg is not None:
-                        reg.inc("merge.verdict.recomputed")
-                    if schedule.hb_barrier_ordered(a.id, b.id):
-                        if reg is not None:
-                            reg.inc("merge.verdict.ordered")
-                        if rec is not None:
-                            record_merge(
-                                "finalize", a.id, b.id, False, "hb-ordered"
-                            )
-                        ordered.add(key)
-                        continue
-                    if fire[a.id].overlaps(fire[b.id]):
-                        pair = (a, b)
-                        break
-                    if reg is not None:
-                        reg.inc("merge.verdict.disjoint")
-                    if rec is not None:
-                        record_merge(
-                            "finalize", a.id, b.id, False, "windows-disjoint"
-                        )
-                    disjoint.add(key)
-                if pair:
-                    break
+            # The matrix kernel recomputes the whole round at once --
+            # equivalent to the cached scan because "ordered" verdicts
+            # are permanent and "disjoint" ones hold while fires do.
+            # Provenance wants one record per rejected pair, so an
+            # active recorder keeps the python scan.
+            if rec is None and kernels.use_numpy("merge", len(barriers)):
+                from repro.kernels import mergemat
+
+                kernels.count("merge", "numpy")
+                ids = [b.id for b in barriers]
+                found = mergemat.first_candidate(
+                    ids,
+                    [fire[bid].lo for bid in ids],
+                    [fire[bid].hi for bid in ids],
+                    schedule.hb_barrier_descendants(),
+                )
+                if kernels.checking():
+                    kernels.verify(
+                        "merge",
+                        found,
+                        _first_candidate_python(schedule, barriers, fire),
+                    )
+                if reg is not None:
+                    reg.inc("merge.verdict.matrix_rounds")
+                if found is not None:
+                    pair = (barriers[found[0]], barriers[found[1]])
+            else:
+                kernels.count("merge", "python")
+                pair = _scan_round(
+                    schedule, barriers, fire, ordered, disjoint, reg, rec
+                )
             if pair is None:
                 return absorbed
             survivor, victim = pair
@@ -181,3 +183,45 @@ def merge_all_overlapping(schedule: Schedule) -> int:
         disjoint = {
             (x, y) for (x, y) in disjoint if x not in dirty and y not in dirty
         }
+
+
+def _first_candidate_python(schedule, barriers, fire):
+    """Cache-free reference scan for the matrix kernel's cross-check:
+    position pair of the round's first H-unordered overlapping pair."""
+    for a_idx, a in enumerate(barriers):
+        for b_idx in range(a_idx + 1, len(barriers)):
+            b = barriers[b_idx]
+            if schedule.hb_barrier_ordered(a.id, b.id):
+                continue
+            if fire[a.id].overlaps(fire[b.id]):
+                return (a_idx, b_idx)
+    return None
+
+
+def _scan_round(schedule, barriers, fire, ordered, disjoint, reg, rec):
+    """One python round of the worklist scan (the canonical path):
+    returns the first mergeable pair, updating the verdict caches."""
+    for a_idx, a in enumerate(barriers):
+        for b in barriers[a_idx + 1:]:
+            key = (a.id, b.id)
+            if key in ordered or key in disjoint:
+                if reg is not None:
+                    reg.inc("merge.verdict.cached")
+                continue
+            if reg is not None:
+                reg.inc("merge.verdict.recomputed")
+            if schedule.hb_barrier_ordered(a.id, b.id):
+                if reg is not None:
+                    reg.inc("merge.verdict.ordered")
+                if rec is not None:
+                    record_merge("finalize", a.id, b.id, False, "hb-ordered")
+                ordered.add(key)
+                continue
+            if fire[a.id].overlaps(fire[b.id]):
+                return (a, b)
+            if reg is not None:
+                reg.inc("merge.verdict.disjoint")
+            if rec is not None:
+                record_merge("finalize", a.id, b.id, False, "windows-disjoint")
+            disjoint.add(key)
+    return None

@@ -52,6 +52,7 @@ import os
 from bisect import bisect_left, bisect_right
 from typing import Iterator, Union
 
+from repro import kernels
 from repro.barriers.dag import BarrierDag
 from repro.barriers.dominators import DominatorTree
 from repro.barriers.model import Barrier
@@ -130,6 +131,18 @@ class Schedule:
         #: adjacency list.  Lives and dies with ``_hb_cache``.
         self._hb_pred_cache: dict[HbKey, list[HbKey]] | None = None
         self._hbdesc_cache: dict[int, frozenset[int]] | None = None
+        #: per-PE id of the stream's last barrier and the hi-latency sum
+        #: of the instructions after it -- exact at every revision, so
+        #: the completion vector (numpy assign kernel) is a gather plus
+        #: one vector add instead of an O(n_pes) python walk.
+        self._last_bid: list[int] = [0] * n_pes
+        self._tail_hi: list[int] = [0] * n_pes
+        #: int64 vector of completion_hi(pe) for all PEs (numpy assign
+        #: kernel); valid only while ``_comp_vec_rev == revision``.
+        #: Appends patch it in place (+lat.hi on one PE); structural
+        #: mutations drop it with the fire cache.
+        self._comp_vec = None
+        self._comp_vec_rev = -1
         self._check = os.environ.get("REPRO_CHECK_INCREMENTAL", "") not in ("", "0")
         self._rebuild_tables()
 
@@ -203,6 +216,7 @@ class Schedule:
         self._hb_cache = None
         self._hb_pred_cache = None
         self._hbdesc_cache = None
+        self._comp_vec = None
 
     def _reindex_stream(self, pe: int) -> None:
         """Rebuild one stream's prefix sums / barrier-position tables."""
@@ -234,6 +248,8 @@ class Schedule:
         self._lastbar[pe] = lastbar
         self._barpos[pe] = barpos
         self._barindex[pe] = barindex
+        self._last_bid[pe] = stream[last].id  # every stream starts with b0
+        self._tail_hi[pe] = hi - cum_hi[last + 1]
 
     def _rebuild_contrib(self) -> None:
         contrib: dict[tuple[int, int], dict[int, tuple[int, int]]] = {}
@@ -281,7 +297,14 @@ class Schedule:
         self._cum_lo[pe].append(self._cum_lo[pe][-1] + lat.lo)
         self._cum_hi[pe].append(self._cum_hi[pe][-1] + lat.hi)
         self._lastbar[pe].append(self._lastbar[pe][-1])
+        self._tail_hi[pe] += lat.hi
         self._bump()
+        # Exact completion-vector patch: fire times and the last-barrier
+        # position are untouched by a content append, so only this PE's
+        # completion moves, by exactly the appended latency.
+        if self._comp_vec is not None and self._comp_vec_rev == self.revision - 1:
+            self._comp_vec[pe] += lat.hi
+            self._comp_vec_rev = self.revision
         # A content mutation: the node lands in the open region after the
         # stream's last barrier, which no barrier-dag edge covers yet, so
         # the cached dag / dominator tree / fire times all stay valid.  H
@@ -381,6 +404,7 @@ class Schedule:
         else:
             self._dom_cache = None
         self._fire_cache = None
+        self._comp_vec = None
         if self._hb_cache is not None:
             self._patch_hb_insert(barrier, placements)
             if self._hbdesc_cache is not None:
@@ -421,6 +445,8 @@ class Schedule:
             barindex = self._barindex[pe]
             del barindex[old.id]
             barindex[new.id] = pos
+            if self._last_bid[pe] == old.id:
+                self._last_bid[pe] = new.id
         del self._registry[old.id]
         self._registry[new.id] = new
         # Move the per-stream contributions from old-keyed to new-keyed
@@ -465,6 +491,7 @@ class Schedule:
         else:
             self._dom_cache = None
         self._fire_cache = None
+        self._comp_vec = None
         if self._hb_cache is not None:
             self._patch_hb_replace(old, new)
         if self._hbdesc_cache is not None:
@@ -963,6 +990,28 @@ class Schedule:
         j = self._lastbar[pe][n - 1]
         ch = self._cum_hi[pe]
         return self.fire_times()[stream[j].id].hi + ch[n] - ch[j + 1]
+
+    def completion_hi_all(self):
+        """:meth:`completion_hi` of every PE as one shared int64 numpy
+        vector (the assignment kernel's hot input).  Callers must not
+        mutate the returned array.
+
+        The per-PE last-barrier ids and post-barrier latency sums are
+        maintained exactly across mutations, so the rebuild is a fire
+        gather plus one vector add -- O(barriers + n_pes array ops),
+        never an O(n_pes) python walk.
+        """
+        if self._comp_vec is not None and self._comp_vec_rev == self.revision:
+            return self._comp_vec
+        np = kernels.numpy()
+        fire_hi = np.zeros(self._next_barrier_id, dtype=np.int64)
+        for bid, window in self.fire_times().items():
+            fire_hi[bid] = window.hi
+        vec = fire_hi[np.asarray(self._last_bid, dtype=np.int64)]
+        vec += np.asarray(self._tail_hi, dtype=np.int64)
+        self._comp_vec = vec
+        self._comp_vec_rev = self.revision
+        return vec
 
     def makespan(self) -> Interval:
         """``[min,max]`` completion time of the whole schedule."""

@@ -1,0 +1,204 @@
+"""Vectorized (numpy) backends behind the pure-python hot loops.
+
+The scheduling pipeline's inner loops -- descendant-bitset reachability
+(:mod:`repro.barriers.dag`), k-longest-path relaxation
+(:mod:`repro.barriers.paths`), dominator/Euler recompute
+(:mod:`repro.barriers.dominators`), the ``merge_all_overlapping``
+verdict scan (:mod:`repro.core.merging`), and the per-PE
+earliest-start scan of list scheduling (:mod:`repro.core.assignment`)
+-- each have a numpy kernel sitting *behind* the canonical pure-python
+implementation.  The python code stays the specification; a kernel is
+only ever an accelerator that must produce bit-identical results.
+
+Backend selection (``REPRO_BACKEND``):
+
+``python``
+    Never use the kernels.
+``numpy``
+    Auto-pick a kernel above its per-kernel size threshold
+    (:data:`THRESHOLDS`); below it the python loop is faster than the
+    array setup it would replace, so the threshold applies on every
+    backend.  Raises ``ValueError`` when numpy is not importable (the
+    CLI maps this to its exit-2 one-line error contract).
+``auto`` (default, and the meaning of an empty/absent variable)
+    Same auto-pick, but degrade to pure python silently when numpy is
+    not available.
+
+Cross-check mode (``REPRO_CHECK_KERNELS=1``): every kernel call *also*
+runs the python implementation and asserts bit-identical results,
+mirroring how ``REPRO_CHECK_INCREMENTAL`` pins the incremental views.
+Check mode forces kernels on under ``auto`` (otherwise small corpora
+would verify nothing); outcomes are counted as
+``kernels.check.checked`` / ``kernels.check.mismatches``.
+
+Every dispatch decision is counted -- module-locally (always, see
+:func:`kernels_info`) and on the active metrics registry
+(``kernels.calls.<kernel>.<backend>`` plus the
+``kernels.backend.<backend>`` totals) so backend drift is visible in
+traces, ``repro-sbm explain --json``, and perf reports.
+
+numpy itself is imported lazily: a pure-python run (or a machine
+without numpy) never pays the import.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "THRESHOLDS",
+    "VALID_BACKENDS",
+    "backend_setting",
+    "checking",
+    "count",
+    "have_numpy",
+    "kernels_info",
+    "numpy",
+    "reset_calls",
+    "resolved_backend",
+    "use_numpy",
+    "verify",
+]
+
+VALID_BACKENDS = ("python", "numpy", "auto")
+
+#: ``auto`` engages a kernel when its size measure (barriers in the dag
+#: for the graph kernels, schedule barriers for ``merge``, PEs for
+#: ``assign``) reaches the threshold.  Calibrated so the default 8-PE /
+#: 10-30-statement corpora stay pure python while 1024-PE and
+#: paper-scale runs vectorize.
+THRESHOLDS: dict[str, int] = {
+    "descbits": 128,
+    "splice": 128,
+    "paths": 128,
+    "domin": 192,
+    "merge": 48,
+    "assign": 64,
+}
+
+_np: Any = None
+_np_checked = False
+
+#: Dispatch tally, ``kernels.calls.<kernel>.<backend> -> n``.  Module
+#: level (not registry-scoped) so ``explain``/reports can show backend
+#: drift even when no registry is active.
+_CALLS: dict[str, int] = {}
+
+
+def numpy() -> Any:
+    """The numpy module, or ``None`` when it cannot be imported."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy as np  # local: keep pure-python runs import-free
+
+            _np = np
+        except Exception:  # pragma: no cover - container always has numpy
+            _np = None
+    return _np
+
+
+def have_numpy() -> bool:
+    return numpy() is not None
+
+
+def backend_setting() -> str:
+    """The validated ``REPRO_BACKEND`` setting (empty/absent = auto)."""
+    text = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if not text:
+        return "auto"
+    if text not in VALID_BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {', '.join(VALID_BACKENDS)}, "
+            f"got {text!r}"
+        )
+    return text
+
+
+def checking() -> bool:
+    """True when ``REPRO_CHECK_KERNELS`` asks for per-call cross-checks."""
+    return os.environ.get("REPRO_CHECK_KERNELS", "") not in ("", "0")
+
+
+def resolved_backend() -> str:
+    """What the current environment resolves to (``python``/``numpy``)."""
+    setting = backend_setting()
+    if setting == "python":
+        return "python"
+    if setting == "numpy":
+        if not have_numpy():
+            raise ValueError("REPRO_BACKEND=numpy but numpy is not importable")
+        return "numpy"
+    return "numpy" if have_numpy() else "python"
+
+
+def use_numpy(kernel: str, size: int) -> bool:
+    """Decide the backend for one kernel call of the given size."""
+    setting = backend_setting()
+    if setting == "python":
+        return False
+    if setting == "numpy" and not have_numpy():
+        raise ValueError("REPRO_BACKEND=numpy but numpy is not importable")
+    # Size test first so small pure-python runs never import numpy;
+    # check mode overrides it (small corpora would verify nothing).
+    if not checking() and size < THRESHOLDS[kernel]:
+        return False
+    return have_numpy()
+
+
+def count(kernel: str, backend: str) -> None:
+    """Record one dispatch decision (module tally + metrics registry)."""
+    key = f"kernels.calls.{kernel}.{backend}"
+    _CALLS[key] = _CALLS.get(key, 0) + 1
+    reg = obs_metrics.current_registry()
+    if reg is not None:
+        reg.inc(key)
+        reg.inc(f"kernels.backend.{backend}")
+
+
+def verify(kernel: str, got: Any, expected: Any) -> None:
+    """Cross-check a kernel result against the python implementation.
+
+    Counts ``kernels.check.checked`` per comparison and raises
+    ``AssertionError`` (after counting ``kernels.check.mismatches``) on
+    any divergence -- same contract as the incremental-view checker.
+    """
+    reg = obs_metrics.current_registry()
+    if reg is not None:
+        reg.inc("kernels.check.checked")
+    if got != expected:
+        if reg is not None:
+            reg.inc("kernels.check.mismatches")
+        raise AssertionError(
+            f"kernel cross-check failed for {kernel!r}: numpy backend "
+            f"diverged from the python implementation"
+        )
+
+
+def reset_calls() -> None:
+    """Clear the module-level dispatch tally (test isolation)."""
+    _CALLS.clear()
+
+
+def kernels_info() -> dict:
+    """Backend status for reports: setting, resolution, call tallies."""
+    try:
+        setting = backend_setting()
+    except ValueError:
+        setting = os.environ.get("REPRO_BACKEND", "")
+    try:
+        resolved = resolved_backend()
+    except ValueError:
+        resolved = "error"
+    return {
+        "setting": setting,
+        "resolved": resolved,
+        "numpy_available": have_numpy(),
+        "checking": checking(),
+        "thresholds": dict(THRESHOLDS),
+        "calls": dict(_CALLS),
+    }

@@ -1,0 +1,143 @@
+"""uint64 bit-matrix kernels for the descendant-bitset reachability.
+
+The canonical storage in :class:`repro.barriers.dag.BarrierDag` is a
+``list[int]`` of python arbitrary-precision bitsets (row ``i`` = the
+descendants of the barrier at topological position ``i``, bit ``j`` set
+iff position ``j`` is a strict descendant).  These kernels compute the
+same rows as a ``(n, words)`` uint64 matrix and convert **at the
+boundary** via little-endian byte serialization, so the dag's query
+paths (``has_path``, ``descendants``) and the cross-check mode never
+see anything but plain python ints.
+
+Two kernels:
+
+* :func:`descendant_bits` -- the full reverse-topological closure
+  sweep (``_descendant_bits``).
+* :func:`spliced_desc_bits` -- the ``evolved_insert`` patch: splice a
+  zero column/row at the insertion position (a whole-matrix shift-left
+  by one bit, blended at the boundary word) and OR the new barrier's
+  closure into every ancestor row that reaches a predecessor
+  (``_spliced_desc_bits``).
+"""
+
+from __future__ import annotations
+
+from repro.kernels import numpy as _numpy
+
+__all__ = ["descendant_bits", "pack_rows", "spliced_desc_bits", "unpack_rows"]
+
+_WORD = 64
+
+
+def _n_words(n_bits: int) -> int:
+    return max(1, (n_bits + _WORD - 1) // _WORD)
+
+
+def pack_rows(rows: list[int], n_bits: int):
+    """Pack python-int bitsets into a ``(len(rows), words)`` uint64 matrix."""
+    np = _numpy()
+    words = _n_words(n_bits)
+    nbytes = words * 8
+    buf = b"".join(row.to_bytes(nbytes, "little") for row in rows)
+    return (
+        np.frombuffer(buf, dtype="<u8").reshape(len(rows), words).copy()
+    )
+
+
+def unpack_rows(mat) -> list[int]:
+    """Invert :func:`pack_rows`: matrix rows back to python-int bitsets."""
+    data = mat.astype("<u8", copy=False).tobytes()
+    nbytes = mat.shape[1] * 8
+    return [
+        int.from_bytes(data[i * nbytes : (i + 1) * nbytes], "little")
+        for i in range(mat.shape[0])
+    ]
+
+
+def descendant_bits(succ_idx: list[list[int]]) -> list[int]:
+    """Strict-descendant bitsets from successor lists in topo coordinates.
+
+    ``succ_idx[i]`` holds the topological positions of position ``i``'s
+    direct successors.  One reverse sweep; each row is the OR of its
+    successors' *closures* (descendants | self), exactly like the
+    python sweep in ``BarrierDag._descendant_bits``.
+    """
+    np = _numpy()
+    n = len(succ_idx)
+    words = _n_words(n)
+    closure = np.zeros((n, words), dtype=np.uint64)
+    desc = np.zeros((n, words), dtype=np.uint64)
+    for i in range(n - 1, -1, -1):
+        succs = succ_idx[i]
+        if succs:
+            rows = closure[succs]
+            acc = rows[0] if len(succs) == 1 else np.bitwise_or.reduce(rows, axis=0)
+            desc[i] = acc
+            closure[i] = acc
+        closure[i, i >> 6] |= np.uint64(1 << (i & 63))
+    return unpack_rows(desc)
+
+
+def spliced_desc_bits(
+    old_bits: list[int],
+    pos: int,
+    succ_idx: list[int],
+    pred_idx: list[int],
+) -> list[int]:
+    """Patch descendant bitsets for a barrier spliced at topo position
+    ``pos`` -- the vectorized twin of ``BarrierDag._spliced_desc_bits``.
+
+    ``succ_idx``/``pred_idx`` are the new barrier's successor and
+    predecessor positions in the **new** (post-splice) coordinates.
+    Returns the new ``list[int]`` rows (length ``len(old_bits) + 1``).
+    """
+    np = _numpy()
+    n_old = len(old_bits)
+    n_new = n_old + 1
+    words_new = _n_words(n_new)
+
+    mat = pack_rows(old_bits, n_old)
+    if mat.shape[1] < words_new:  # splice crosses into a fresh word
+        mat = np.concatenate(
+            [mat, np.zeros((n_old, words_new - mat.shape[1]), dtype=np.uint64)],
+            axis=1,
+        )
+
+    # Shift every bit at position >= pos up by one: a whole-row
+    # left-shift with word carries, blended with the untouched low bits
+    # at the boundary word.  Bit ``pos`` itself becomes 0 (the new row).
+    left = mat << np.uint64(1)
+    left[:, 1:] |= mat[:, :-1] >> np.uint64(63)
+    wb, bb = pos >> 6, pos & 63
+    low = np.uint64((1 << bb) - 1)
+    high = np.uint64(((1 << 64) - 1) ^ ((1 << (bb + 1)) - 1))
+    out = np.empty_like(mat)
+    out[:, :wb] = mat[:, :wb]
+    out[:, wb] = (mat[:, wb] & low) | (left[:, wb] & high)
+    out[:, wb + 1 :] = left[:, wb + 1 :]
+
+    new = np.zeros((n_new, words_new), dtype=np.uint64)
+    new[:pos] = out[:pos]
+    new[pos + 1 :] = out[pos:]
+
+    # The new row: union of successor closures (descendants | self).
+    if succ_idx:
+        acc = np.bitwise_or.reduce(new[succ_idx], axis=0)
+        for si in succ_idx:
+            acc[si >> 6] |= np.uint64(1 << (si & 63))
+        new[pos] = acc
+
+    # Ancestors -- rows that reach a predecessor, or are one -- gain
+    # the new barrier's closure plus the new bit itself.
+    gain = new[pos].copy()
+    gain[wb] |= np.uint64(1 << bb)
+    pred_row = np.zeros(words_new, dtype=np.uint64)
+    is_pred = np.zeros(n_new, dtype=bool)
+    for pi in pred_idx:
+        pred_row[pi >> 6] |= np.uint64(1 << (pi & 63))
+        is_pred[pi] = True
+    sel = (new & pred_row).any(axis=1) | is_pred
+    sel[pos] = False
+    new[sel] |= gain
+
+    return unpack_rows(new)

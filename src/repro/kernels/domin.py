@@ -1,0 +1,75 @@
+"""Batched dominator-tree derivation (depth / children / Euler intervals).
+
+``DominatorTree.__init__`` derives three views from the immediate
+dominators: per-node depth, the child lists, and the Euler-tour
+``tin``/``tout`` intervals that make ``dominates`` O(1).  The python
+version walks dicts; this kernel does the same work on topo-position
+int arrays -- children are grouped in one stable argsort of the parent
+vector (stability preserves the python append order, i.e. topological
+order within each sibling group), depth is one forward array pass
+(an idom always precedes its node topologically), and the Euler tour is
+the same mirrored stack DFS over the grouped child segments.
+
+``_compute_idoms`` itself stays python on every backend: the one-pass
+CHK intersect walks short dominator chains whose length is data
+dependent -- there is no batch shape to exploit, and the python loop is
+already O(B * chain) with final chains.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import numpy as _numpy
+
+__all__ = ["tree_views"]
+
+
+def tree_views(
+    dag, idom: dict[int, int]
+) -> tuple[dict[int, int], dict[int, int], dict[int, int]]:
+    """``(depth, tin, tout)`` dicts for a dominator tree, bit-identical
+    to the python derivation in ``DominatorTree.__init__``."""
+    np = _numpy()
+    order = dag.barrier_ids  # topological, initial barrier first
+    index = dag.order_index
+    n = len(order)
+    if n == 1:
+        root = order[0]
+        return {root: 0}, {root: 0}, {root: 1}
+
+    parent = np.fromiter(
+        (index[idom[bid]] for bid in order[1:]), dtype=np.int64, count=n - 1
+    )
+    # Children of node k, in topological order: stable argsort groups
+    # the child positions 1..n-1 by parent while keeping them ascending.
+    kids = np.argsort(parent, kind="stable") + 1
+    counts = np.bincount(parent, minlength=n)
+    cstart = np.concatenate(([0], np.cumsum(counts)))
+
+    depth = np.zeros(n, dtype=np.int64)
+    for k in range(1, n):  # parent position < k, so depths finalize in order
+        depth[k] = depth[parent[k - 1]] + 1
+
+    tin = np.zeros(n, dtype=np.int64)
+    tout = np.zeros(n, dtype=np.int64)
+    clock = 0
+    # Stack of encoded entries: +(pos+1) opens a node, -(pos+1) closes it.
+    stack = [1]
+    while stack:
+        entry = stack.pop()
+        if entry < 0:
+            tout[-entry - 1] = clock
+            continue
+        pos = entry - 1
+        tin[pos] = clock
+        clock += 1
+        stack.append(-entry)
+        segment = kids[cstart[pos] : cstart[pos + 1]]
+        if segment.size:
+            # Reversed push, so children pop in topological order.
+            stack.extend((segment[::-1] + 1).tolist())
+
+    return (
+        dict(zip(order, depth.tolist())),
+        dict(zip(order, tin.tolist())),
+        dict(zip(order, tout.tolist())),
+    )

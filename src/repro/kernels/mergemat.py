@@ -1,0 +1,66 @@
+"""Matrix formulation of the ``merge_all_overlapping`` verdict scan.
+
+One round of the global merge sweep asks: in the id-sorted upper
+triangle of barrier pairs, what is the *first* pair that is H-unordered
+and whose fire windows overlap?  The python worklist answers with a
+nested scan plus verdict caches; this kernel recomputes the whole
+round as three boolean matrices:
+
+* ``ordered``  -- H-comparability, scattered from the happens-before
+  descendant sets and symmetrized;
+* ``overlap``  -- closed-interval fire-window intersection,
+  ``lo_a <= hi_b  and  lo_b <= hi_a``, via two broadcasts;
+* candidates   -- ``overlap & ~ordered`` restricted to the strict
+  upper triangle.
+
+The first set bit of the candidate matrix in row-major order is
+exactly the pair the python scan would return: a cached "ordered"
+verdict is permanent and a cached "disjoint" verdict holds while both
+fire windows do, so skipping caches and recomputing verdicts reach the
+same conclusions pair for pair.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import numpy as _numpy
+
+__all__ = ["first_candidate"]
+
+
+def first_candidate(
+    ids: list[int],
+    lo: list[int],
+    hi: list[int],
+    desc: dict[int, frozenset[int]],
+) -> tuple[int, int] | None:
+    """Positions ``(a_idx, b_idx)`` of the round's first mergeable pair.
+
+    ``ids`` are the id-sorted barrier ids of the round, ``lo``/``hi``
+    their fire windows, ``desc`` the happens-before descendant sets
+    (``repro.core.schedule.Schedule.hb_barrier_descendants``).
+    """
+    np = _numpy()
+    n = len(ids)
+    if n < 2:
+        return None
+    pos = {bid: k for k, bid in enumerate(ids)}
+    ordered = np.zeros((n, n), dtype=bool)
+    for k, bid in enumerate(ids):
+        ds = desc.get(bid)
+        if ds:
+            cols = [pos[x] for x in ds if x in pos]
+            if cols:
+                ordered[k, cols] = True
+    ordered |= ordered.T
+
+    lo_a = np.asarray(lo, dtype=np.int64)
+    hi_a = np.asarray(hi, dtype=np.int64)
+    overlap = (lo_a[:, None] <= hi_a[None, :]) & (lo_a[None, :] <= hi_a[:, None])
+
+    cand = overlap & ~ordered
+    cand &= ~np.tri(n, dtype=bool)  # strict upper triangle
+    flat = np.flatnonzero(cand.ravel())
+    if not flat.size:
+        return None
+    a_idx, b_idx = divmod(int(flat[0]), n)
+    return a_idx, b_idx

@@ -1,0 +1,173 @@
+"""Vectorized longest-path relaxation over the barrier dag.
+
+The k-longest-paths machinery (:mod:`repro.barriers.paths`) and the
+dag's ``_longest`` query are single-source DP sweeps in topological
+order.  These kernels run the same DP as a *level-batched* scatter-max:
+edges are grouped by the dependency level of their target (1 + the
+longest edge-count path into it), every level's relaxations are
+independent, and one ``np.maximum.at`` per level replaces the python
+inner loop.
+
+Unreachable nodes carry a sentinel of ``-2**62``; accumulated edge
+weights are bounded far below that magnitude, so a value is
+non-negative exactly when the python DP would have produced one
+(weights are non-negative) -- the window restrictions of the python
+sweeps are therefore equivalence-preserving, not result-changing.
+
+The per-dag edge tables are built once and cached on the dag
+(``dag._kern_cache``); evolved dags start with a cold cache.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import numpy as _numpy
+
+__all__ = ["completion_bounds", "edge_tables", "longest", "longest_min_forced"]
+
+#: Far below any real path length, far above int64 underflow even after
+#: accumulating every edge weight in a corpus-scale dag.
+_NEG = -(1 << 62)
+
+
+class _EdgeTables:
+    """Edge arrays + level grouping for one dag (immutable once built)."""
+
+    __slots__ = (
+        "n",
+        "src",
+        "dst",
+        "wlo",
+        "whi",
+        "level",
+        "fwd_order",
+        "fwd_starts",
+        "rev_order",
+        "rev_starts",
+        "n_levels",
+        "edge_pos",
+    )
+
+    def __init__(self, dag) -> None:
+        np = _numpy()
+        index = dag._order_index
+        n = len(dag._topo)
+        pairs = list(dag._weight.items())
+        src = np.fromiter(
+            (index[u] for (u, v), _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        dst = np.fromiter(
+            (index[v] for (u, v), _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        wlo = np.fromiter((w.lo for _, w in pairs), dtype=np.int64, count=len(pairs))
+        whi = np.fromiter((w.hi for _, w in pairs), dtype=np.int64, count=len(pairs))
+
+        # Dependency levels: level[i] = longest edge-count path into i.
+        # Edges sorted by target position relax in dependency order
+        # (topo guarantees src position < dst position).
+        level = np.zeros(n, dtype=np.int64)
+        by_dst = np.argsort(dst, kind="stable")
+        bounds = np.searchsorted(dst[by_dst], np.arange(n + 1))
+        for i in range(n):
+            lo, hi = bounds[i], bounds[i + 1]
+            if lo != hi:
+                level[i] = int(level[src[by_dst[lo:hi]]].max()) + 1
+
+        n_levels = int(level.max()) + 1 if n else 1
+        fwd_order = np.argsort(level[dst], kind="stable")
+        fwd_starts = np.searchsorted(
+            level[dst][fwd_order], np.arange(n_levels + 1)
+        )
+        rev_order = np.argsort(level[src], kind="stable")
+        rev_starts = np.searchsorted(
+            level[src][rev_order], np.arange(n_levels + 1)
+        )
+
+        self.n = n
+        self.src, self.dst, self.wlo, self.whi = src, dst, wlo, whi
+        self.level = level
+        self.fwd_order, self.fwd_starts = fwd_order, fwd_starts
+        self.rev_order, self.rev_starts = rev_order, rev_starts
+        self.n_levels = n_levels
+        self.edge_pos = {uv: k for k, (uv, _) in enumerate(pairs)}
+
+
+def edge_tables(dag) -> _EdgeTables:
+    tables = dag._kern_cache
+    if tables is None:
+        tables = dag._kern_cache = _EdgeTables(dag)
+    return tables
+
+
+def _forward(dag, u, v, weights):
+    """Longest ``u -> v`` distance under per-edge ``weights`` (int64
+    array), or ``None`` when ``v`` is unreachable from ``u``."""
+    np = _numpy()
+    t = edge_tables(dag)
+    iu, iv = dag._order_index[u], dag._order_index[v]
+    best = np.full(t.n, _NEG, dtype=np.int64)
+    best[iu] = 0
+    lv_u, lv_v = int(t.level[iu]), int(t.level[iv])
+    # Only levels in (level(u), level(v)] can carry value from u to v.
+    for lv in range(lv_u + 1, lv_v + 1):
+        e = t.fwd_order[t.fwd_starts[lv] : t.fwd_starts[lv + 1]]
+        if e.size:
+            np.maximum.at(best, t.dst[e], best[t.src[e]] + weights[e])
+    val = int(best[iv])
+    return val if val >= 0 else None
+
+
+def longest(dag, u: int, v: int, use_max: bool) -> int | None:
+    """Vectorized twin of ``BarrierDag._longest``."""
+    t = edge_tables(dag)
+    return _forward(dag, u, v, t.whi if use_max else t.wlo)
+
+
+def longest_min_forced(dag, u: int, w: int, forced_edges) -> int | None:
+    """Vectorized twin of ``longest_min_path_with_forced_max``'s DP:
+    min weights everywhere except the forced edges, which take max."""
+    t = edge_tables(dag)
+    weights = t.wlo
+    patched = None
+    for edge in forced_edges:
+        k = t.edge_pos.get(edge)
+        if k is not None:
+            if patched is None:
+                patched = weights = t.wlo.copy()
+            weights[k] = t.whi[k]
+    return _forward(dag, u, w, weights)
+
+
+def completion_bounds(dag, u: int, v: int) -> dict[int, int]:
+    """Vectorized twin of ``repro.barriers.paths._completion_bounds``:
+    max-weight remaining distance to ``v`` for every barrier reachable
+    from ``u`` (inclusive) that can still reach ``v``."""
+    np = _numpy()
+    t = edge_tables(dag)
+    order, index = dag._topo, dag._order_index
+    iu, iv = index[u], index[v]
+    rbest = np.full(t.n, _NEG, dtype=np.int64)
+    rbest[iv] = 0
+    lv_u, lv_v = int(t.level[iu]), int(t.level[iv])
+    # Sources at levels in [level(u), level(v)) relax in decreasing
+    # level order; same-level nodes share no edges.
+    for lv in range(lv_v - 1, lv_u - 1, -1):
+        e = t.rev_order[t.rev_starts[lv] : t.rev_starts[lv + 1]]
+        if e.size:
+            np.maximum.at(rbest, t.src[e], rbest[t.dst[e]] + t.whi[e])
+
+    # Keys: v itself, u, and u's strict descendants up to v.  For a
+    # u-reachable node every intermediate on any path to v is also
+    # u-reachable, so the unrestricted DP equals the python sweep's
+    # window-restricted one on exactly these keys.
+    bound = {v: 0}
+    if u == v:
+        return bound
+    bits = dag._descendant_bits()[iu] & ((1 << iv) - 1) | (1 << iu)
+    while bits:
+        lowbit = bits & -bits
+        k = lowbit.bit_length() - 1
+        bits ^= lowbit
+        val = int(rbest[k])
+        if val >= 0:
+            bound[order[k]] = val
+    return bound

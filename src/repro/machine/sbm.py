@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.barriers.mask import BarrierTree
 from repro.machine.durations import DurationSampler
 from repro.machine.engine import run_machine
 from repro.machine.program import MachineProgram
@@ -33,12 +34,25 @@ __all__ = ["SBMSimulator", "simulate_sbm"]
 
 @dataclass
 class SBMController:
-    """FIFO firing rule: only ``queue[head]`` may execute."""
+    """FIFO firing rule: only ``queue[head]`` may execute.
+
+    Arrival checking goes through a :class:`BarrierTree` rather than
+    re-scanning the head's full mask against ``waiting`` on every call:
+    under the FIFO rule a processor found waiting on the head stays
+    waiting until the head fires, so each arrival is recorded in the
+    tree exactly once and later calls only examine the participants
+    still missing.  That keeps wide machines (1024 PEs) linear in
+    arrivals per barrier instead of quadratic in mask width.
+    """
 
     program: MachineProgram
     head: int = 0
     last_fire: int = 0
     fired: list[int] = field(default_factory=list)
+    _tree: BarrierTree = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._tree = BarrierTree(self.program.n_pes)
 
     def pending(self) -> int | None:
         """The barrier at the queue head (None once the queue drained).
@@ -58,12 +72,19 @@ class SBMController:
             return None
         barrier_id = self.program.barrier_order[self.head]
         mask = self.program.masks[barrier_id]
-        for pe in mask:
-            if waiting.get(pe) != barrier_id:
+        tree = self._tree
+        if barrier_id not in tree:
+            tree.register(barrier_id, mask)
+        if not tree.ready(barrier_id):
+            for pe in tree.missing(barrier_id):
+                if waiting.get(pe) == barrier_id:
+                    tree.arrive(barrier_id, pe)
+            if not tree.ready(barrier_id):
                 return None  # some participant has not arrived at the head
         fire_time = self.last_fire
         for pe in mask:
             fire_time = max(fire_time, arrival[pe])
+        tree.release(barrier_id)
         self.head += 1
         self.last_fire = fire_time
         self.fired.append(barrier_id)

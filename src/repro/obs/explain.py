@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import kernels
 from repro.core.scheduler import ScheduleResult
 from repro.obs.provenance import BarrierDecision, ProvenanceRecorder
 
@@ -66,6 +67,7 @@ class ExplainReport:
             "barriers": [b.as_dict() for b in self.barriers],
             "merges": [d.as_dict() for d in rec.merges],
             "demotions": [d.as_dict() for d in rec.demotions],
+            "kernels": kernels.kernels_info(),
         }
 
     def render(self) -> str:

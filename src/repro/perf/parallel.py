@@ -39,6 +39,7 @@ from contextlib import nullcontext
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
+from repro import kernels
 from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
 from repro.io import result_summary
 from repro.ir.ops import TimingModel
@@ -102,6 +103,7 @@ def _run_chunk(
         Callable[[BenchmarkCase], bool] | None,
         tuple[int, ...],
         bool,
+        str,
     ],
 ) -> tuple[list[ScheduleResult | None], dict[str, float], dict, dict | None]:
     """Worker: compile/filter/schedule one chunk of attempt seeds.
@@ -111,7 +113,11 @@ def _run_chunk(
     its obs metrics, and (when the parent asked for tracing) its span
     tracer state for :meth:`~repro.obs.spans.SpanTracer.adopt`.
     """
-    generator, timing, scheduler, accept, seeds, trace = payload
+    generator, timing, scheduler, accept, seeds, trace, backend = payload
+    # Pin the kernel backend explicitly rather than trusting fork-time
+    # env inheritance: the parent may scope REPRO_BACKEND per command
+    # (``repro-sbm perf --backend``) while the pool outlives that scope.
+    os.environ["REPRO_BACKEND"] = backend
     out: list[ScheduleResult | None] = []
     # A fresh per-chunk tracer: fork copies the parent's contextvars, so
     # without this the spans would pile up in a dead copy of the parent's
@@ -157,6 +163,7 @@ def run_cases_parallel(
     except Exception:
         return None
 
+    backend = kernels.backend_setting()  # validates REPRO_BACKEND early
     seed_stream = random.Random(master_seed)
     limit = max(1, count) * max_attempts_factor
     attempts = 0
@@ -177,7 +184,7 @@ def run_cases_parallel(
             pending.append(
                 pool.submit(
                     _run_chunk,
-                    (generator, timing, scheduler, accept, seeds, trace),
+                    (generator, timing, scheduler, accept, seeds, trace, backend),
                 )
             )
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro import __version__
+from repro import __version__, kernels
 from repro.core.scheduler import SchedulerConfig
 from repro.machine.program import MachineProgram
 from repro.machine.sbm import simulate_sbm
@@ -41,6 +41,8 @@ __all__ = [
     "trajectory_entry",
     "append_trajectory",
     "DEFAULT_TRAJECTORY",
+    "PRESETS",
+    "PRESET_COUNTS",
     "TRAJECTORY_FORMAT",
 ]
 
@@ -58,6 +60,41 @@ PERF_VALUES: tuple[int, ...] = (10, 20, 30)
 
 #: Benchmarks simulated (one run each) to exercise the simulate stage.
 SIMULATED_CASES = 10
+
+#: Named workloads: each preset is a tuple of sweep legs
+#: ``(axis, values, base overrides)``, overrides being dotted axes
+#: applied to the base point before the leg's sweep.
+#:
+#: ``default``
+#:     The original mid-size smoke workload (3 points).
+#: ``paper3500``
+#:     The paper-scale evaluation: 35 sweep points x 100 benchmarks =
+#:     3500 scheduled benchmarks (PAPER.md section 5) -- a size sweep,
+#:     a machine-width sweep up to 1024 PEs, and the paper's ablations
+#:     (round-robin assignment, the DBM, optimal insertion).
+#: ``scale1024``
+#:     The 1024-PE stress leg on its own: the workload behind the CI
+#:     numpy-vs-python speed gate and the committed scaling record.
+PRESETS: dict[str, tuple[tuple[str, tuple, dict], ...]] = {
+    "default": ((PERF_AXIS, PERF_VALUES, {}),),
+    "paper3500": (
+        (PERF_AXIS, (10, 15, 20, 25, 30, 35, 40, 50, 60, 80), {}),
+        ("scheduler.n_pes", (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024), {}),
+        (PERF_AXIS, (10, 20, 30, 40, 50), {"scheduler.assignment": "roundrobin"}),
+        (PERF_AXIS, (10, 20, 30, 40, 50), {"scheduler.machine": "dbm"}),
+        (PERF_AXIS, (10, 20, 30, 40, 50), {"scheduler.insertion": "optimal"}),
+    ),
+    "scale1024": (
+        (PERF_AXIS, (40, 60, 80), {"scheduler.n_pes": 1024}),
+    ),
+}
+
+#: Default benchmarks per sweep point, by preset.
+PRESET_COUNTS: dict[str, int] = {
+    "default": 25,
+    "paper3500": 100,
+    "scale1024": 100,
+}
 
 
 @dataclass(frozen=True)
@@ -78,14 +115,30 @@ class PerfReport:
     def render(self) -> str:
         d = self.data
         stages = "  ".join(f"{s} {d['stages'][s]:.3f}s" for s in STAGES)
+        preset = d.get("preset", "default")
         lines = [
             f"perf report ({d['format']})  repro {d['version']}  "
             f"python {d['python']}  jobs={d['jobs']}/{d['cpu_count']} cpus",
-            f"workload: sweep {d['axis']} over {d['values']} x {d['count']} "
-            f"benchmarks + {d['simulated_cases']} simulations",
+            f"workload: preset {preset}, {len(d['points'])} sweep points "
+            f"x {d['count']} benchmarks + {d['simulated_cases']} simulations",
             f"wall {d['wall_s']:.3f}s   {stages}",
             f"results digest {d['results_digest'][:16]}...",
         ]
+        backend = d.get("backend")
+        if backend:
+            calls = backend.get("calls", {})
+            numpy_calls = sum(
+                n for key, n in calls.items() if key.endswith(".numpy")
+            )
+            python_calls = sum(
+                n for key, n in calls.items() if key.endswith(".python")
+            )
+            lines.append(
+                f"backend {backend.get('resolved')} "
+                f"(setting {backend.get('setting')}, "
+                f"check {'on' if backend.get('checking') else 'off'}); "
+                f"kernel calls numpy {numpy_calls} python {python_calls}"
+            )
         counters = d.get("metrics", {}).get("counters", {})
         checked = counters.get("views.check.checked", 0)
         if checked:
@@ -94,8 +147,9 @@ class PerfReport:
                 f"{counters.get('views.check.mismatches', 0)} mismatches"
             )
         for row in d["points"]:
+            axis = row.get("axis", d["axis"])
             lines.append(
-                f"  {d['axis']}={row['value']:<4} barrier {row['barrier']:.3f} "
+                f"  {axis}={row['value']:<4} barrier {row['barrier']:.3f} "
                 f"serialized {row['serialized']:.3f} static {row['static']:.3f} "
                 f"barriers {row['mean_barriers']:.2f}"
             )
@@ -121,6 +175,8 @@ def trajectory_entry(data: dict, label: str = "") -> dict:
         "jobs": data.get("jobs"),
         "count": data.get("count"),
         "master_seed": data.get("master_seed"),
+        "preset": data.get("preset", "default"),
+        "backend": (data.get("backend") or {}).get("resolved"),
         "wall_s": data.get("wall_s"),
         "stages": dict(data.get("stages", {})),
         "results_digest": data.get("results_digest"),
@@ -150,15 +206,42 @@ def append_trajectory(
 
 
 def run_perf_report(
-    count: int = 25,
+    count: int | None = None,
     jobs: int | None = None,
     master_seed: int = 0,
-    values: Sequence[int] = PERF_VALUES,
+    values: Sequence[int] | None = None,
+    preset: str = "default",
 ) -> PerfReport:
-    """Run the standard perf workload and reduce it to a report."""
-    from repro.experiments.sweeps import ExperimentPoint, run_corpus, sweep
+    """Run one preset perf workload and reduce it to a report.
 
+    ``count`` defaults to the preset's standard corpus size
+    (:data:`PRESET_COUNTS`); ``values`` overrides the *first* sweep
+    leg's axis values (the historical ``default``-preset knob).  The
+    simulation pass runs on the first leg's base point, so the
+    ``scale1024`` preset simulates (and digests) at 1024 PEs.
+    """
+    from repro.experiments.sweeps import (
+        ExperimentPoint,
+        _set_axis,
+        run_corpus,
+        sweep,
+    )
+
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown perf preset {preset!r}; expected one of "
+            f"{', '.join(sorted(PRESETS))}"
+        )
+    legs = [
+        (axis, list(vals), dict(overrides))
+        for axis, vals, overrides in PRESETS[preset]
+    ]
+    if values is not None:
+        legs[0] = (legs[0][0], list(values), legs[0][2])
+    if count is None:
+        count = PRESET_COUNTS[preset]
     jobs = resolve_jobs(jobs)
+    kernels.reset_calls()
     base = ExperimentPoint(
         generator=GeneratorConfig(n_statements=20, n_variables=8),
         scheduler=SchedulerConfig(n_pes=8),
@@ -167,10 +250,21 @@ def run_perf_report(
     )
 
     start = time.perf_counter()
+    swept: list[tuple[str, object, object]] = []  # (axis, value, stats)
     with collect_metrics() as metrics, collect_timings() as timings:
-        swept = sweep(base, PERF_AXIS, list(values), jobs=jobs, cache=False)
+        sim_base = base
+        for leg_index, (axis, leg_values, overrides) in enumerate(legs):
+            point = base
+            for over_axis, over_value in overrides.items():
+                point = _set_axis(point, over_axis, over_value)
+            if leg_index == 0:
+                sim_base = point
+            for value, stats in sweep(
+                point, axis, leg_values, jobs=jobs, cache=False
+            ):
+                swept.append((axis, value, stats))
         sim_results = run_corpus(
-            base.with_(count=min(count, SIMULATED_CASES)), jobs=jobs
+            sim_base.with_(count=min(count, SIMULATED_CASES)), jobs=jobs
         )
         for result in sim_results:
             program = MachineProgram.from_schedule(result.schedule)
@@ -184,6 +278,7 @@ def run_perf_report(
 
     points = [
         {
+            "axis": axis,
             "value": value,
             "n_benchmarks": stats.n_benchmarks,
             "barrier": stats.barrier.mean,
@@ -192,7 +287,7 @@ def run_perf_report(
             "mean_barriers": stats.mean_barriers,
             "mean_makespan_max": stats.mean_makespan_max,
         }
-        for value, stats in swept
+        for axis, value, stats in swept
     ]
     data = {
         "format": _FORMAT,
@@ -204,8 +299,14 @@ def run_perf_report(
         "jobs": jobs,
         "count": count,
         "master_seed": master_seed,
-        "axis": PERF_AXIS,
-        "values": list(values),
+        "preset": preset,
+        "axis": legs[0][0],
+        "values": legs[0][1],
+        "legs": [
+            {"axis": axis, "values": vals, "base": overrides}
+            for axis, vals, overrides in legs
+        ],
+        "backend": kernels.kernels_info(),
         "simulated_cases": len(sim_results),
         "wall_s": wall,
         "stages": timings.as_dict(),

@@ -1,0 +1,172 @@
+"""Hierarchical barrier trees and 1024-PE machine-width scaling.
+
+:class:`repro.barriers.mask.BarrierTree` is the radix-64 arrival
+aggregator behind the SBM queue controller at large machine widths.
+These tests pin its semantics (registration, arrival propagation,
+readiness, missing-set reconstruction, release) against the flat mask
+model, plus the end-to-end property the tree exists for: 1024-PE
+configurations schedule, simulate soundly, and produce backend-identical
+results digests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.barriers.mask import BarrierMask, BarrierTree
+from repro.core.scheduler import SchedulerConfig, schedule_dag
+from repro.experiments.sweeps import ExperimentPoint, run_corpus
+from repro.machine.program import MachineProgram
+from repro.machine.sbm import simulate_sbm
+from repro.perf.parallel import results_digest
+from repro.synth.generator import GeneratorConfig
+
+from tests.conftest import make_case
+
+
+class TestMaskIteration:
+    @pytest.mark.parametrize("n_pes", [1, 63, 64, 65, 128, 1024])
+    def test_iter_yields_exactly_the_set_bits(self, n_pes):
+        rng = random.Random(n_pes)
+        for _ in range(20):
+            bits = rng.getrandbits(n_pes)
+            mask = BarrierMask(bits, n_pes)
+            expected = [pe for pe in range(n_pes) if (bits >> pe) & 1]
+            assert list(mask) == expected
+            assert len(mask) == len(expected)
+
+    def test_empty_and_full(self):
+        assert list(BarrierMask.empty(1024)) == []
+        assert list(BarrierMask.full(70)) == list(range(70))
+
+
+class TestBarrierTree:
+    def test_single_level_small_machine(self):
+        tree = BarrierTree(8)
+        tree.register(1, BarrierMask.from_pes([0, 3, 7], 8))
+        assert 1 in tree
+        assert not tree.ready(1)
+        assert list(tree.missing(1)) == [0, 3, 7]
+        tree.arrive(1, 3)
+        assert not tree.ready(1)
+        assert list(tree.missing(1)) == [0, 7]
+        tree.arrive(1, 0)
+        tree.arrive(1, 7)
+        assert tree.ready(1)
+        assert list(tree.missing(1)) == []
+
+    def test_multi_level_word_boundaries(self):
+        # 130 PEs -> three level-0 words, one summary level.
+        tree = BarrierTree(130)
+        pes = [0, 63, 64, 127, 128, 129]
+        tree.register(5, BarrierMask.from_pes(pes, 130))
+        for pe in pes[:-1]:
+            tree.arrive(5, pe)
+            assert not tree.ready(5)
+        assert list(tree.missing(5)) == [129]
+        tree.arrive(5, 129)
+        assert tree.ready(5)
+
+    def test_full_1024_matches_flat_model(self):
+        rng = random.Random(42)
+        tree = BarrierTree(1024)
+        pes = sorted(rng.sample(range(1024), 300))
+        mask = BarrierMask.from_pes(pes, 1024)
+        tree.register(9, mask)
+        arrived = BarrierMask.empty(1024)
+        for pe in rng.sample(pes, len(pes)):
+            tree.arrive(9, pe)
+            arrived = arrived.with_wait(pe)
+            # The tree's view must agree with the flat subset test at
+            # every step, not just at the end.
+            assert tree.ready(9) == mask.is_subset_of(arrived)
+            assert tree.missing(9).bits == mask.bits & ~arrived.bits
+        assert tree.ready(9)
+
+    def test_duplicate_arrival_is_idempotent(self):
+        tree = BarrierTree(128)
+        tree.register(2, BarrierMask.from_pes([1, 100], 128))
+        tree.arrive(2, 1)
+        tree.arrive(2, 1)
+        assert list(tree.missing(2)) == [100]
+        tree.arrive(2, 100)
+        assert tree.ready(2)
+
+    def test_non_participant_arrival_rejected(self):
+        tree = BarrierTree(1024)
+        tree.register(3, BarrierMask.from_pes([5], 1024))
+        with pytest.raises(ValueError, match="does not participate"):
+            tree.arrive(3, 6)
+        with pytest.raises(ValueError, match="does not participate"):
+            tree.arrive(3, 700)
+
+    def test_unregistered_barrier_rejected(self):
+        tree = BarrierTree(64)
+        with pytest.raises(ValueError, match="not registered"):
+            tree.arrive(99, 0)
+        with pytest.raises(ValueError, match="not registered"):
+            tree.ready(99)
+        with pytest.raises(ValueError, match="not registered"):
+            tree.missing(99)
+
+    def test_release_drops_state(self):
+        tree = BarrierTree(256)
+        tree.register(4, BarrierMask.from_pes([0, 200], 256))
+        tree.arrive(4, 0)
+        tree.release(4)
+        assert 4 not in tree
+        with pytest.raises(ValueError):
+            tree.ready(4)
+        tree.release(4)  # releasing twice is harmless
+
+    def test_reregister_resets_arrivals(self):
+        tree = BarrierTree(128)
+        mask = BarrierMask.from_pes([0, 70], 128)
+        tree.register(7, mask)
+        tree.arrive(7, 0)
+        tree.arrive(7, 70)
+        assert tree.ready(7)
+        tree.register(7, mask)
+        assert not tree.ready(7)
+
+    def test_empty_mask_is_vacuously_ready(self):
+        tree = BarrierTree(1024)
+        tree.register(8, BarrierMask.empty(1024))
+        assert tree.ready(8)
+        assert list(tree.missing(8)) == []
+
+    def test_mask_width_mismatch_rejected(self):
+        tree = BarrierTree(128)
+        with pytest.raises(ValueError, match="wide"):
+            tree.register(1, BarrierMask.from_pes([0], 64))
+
+
+class TestScale1024:
+    """End to end: 1024-PE configs schedule and simulate."""
+
+    def test_schedule_and_simulate_round_trip(self):
+        case = make_case(n_statements=60, seed=5)
+        result = schedule_dag(case.dag, SchedulerConfig(n_pes=1024))
+        assert result.schedule.n_pes == 1024
+        program = MachineProgram.from_schedule(result.schedule)
+        trace = simulate_sbm(program, rng=0)
+        trace.assert_sound(program.edges)
+
+    def test_digest_parity_across_backends(self, monkeypatch):
+        pytest.importorskip("numpy")
+
+        def digest():
+            point = ExperimentPoint(
+                generator=GeneratorConfig(n_statements=40, n_variables=8),
+                scheduler=SchedulerConfig(n_pes=1024),
+                count=3,
+                master_seed=17,
+            )
+            return results_digest(run_corpus(point, jobs=1))
+
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        baseline = digest()
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert digest() == baseline

@@ -122,7 +122,8 @@ class TestExplain:
         doc = explain_result(result, recorder).as_dict()
         json.dumps(doc)
         assert set(doc) == {
-            "summary", "assignments", "barriers", "merges", "demotions"
+            "summary", "assignments", "barriers", "merges", "demotions",
+            "kernels",
         }
 
     def test_ablation_policies_record_their_rule(self):

@@ -1,0 +1,90 @@
+"""Perf-workload presets (:data:`repro.perf.report.PRESETS`).
+
+``paper3500`` is the paper-scale evaluation -- 35 sweep points x 100
+benchmarks = 3500 scheduled benchmarks -- and ``scale1024`` the 1024-PE
+stress leg behind the CI backend speed gate.  These tests pin the preset
+tables structurally and smoke the multi-leg report path at count=1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.report import (
+    PERF_AXIS,
+    PRESET_COUNTS,
+    PRESETS,
+    run_perf_report,
+    trajectory_entry,
+)
+
+
+class TestPresetTables:
+    def test_paper3500_is_paper_scale(self):
+        points = sum(len(values) for _, values, _ in PRESETS["paper3500"])
+        assert points == 35
+        assert points * PRESET_COUNTS["paper3500"] == 3500
+
+    def test_paper3500_covers_the_paper_axes(self):
+        axes = [axis for axis, _, _ in PRESETS["paper3500"]]
+        assert PERF_AXIS in axes
+        assert "scheduler.n_pes" in axes
+        pes_values = dict(
+            (axis, values) for axis, values, _ in PRESETS["paper3500"]
+        )["scheduler.n_pes"]
+        assert max(pes_values) == 1024
+        ablations = [
+            overrides for _, _, overrides in PRESETS["paper3500"] if overrides
+        ]
+        assert {"scheduler.assignment": "roundrobin"} in ablations
+        assert {"scheduler.machine": "dbm"} in ablations
+        assert {"scheduler.insertion": "optimal"} in ablations
+
+    def test_scale1024_pins_machine_width(self):
+        ((axis, values, overrides),) = PRESETS["scale1024"]
+        assert axis == PERF_AXIS
+        assert overrides == {"scheduler.n_pes": 1024}
+        assert len(values) >= 3
+
+    def test_every_preset_has_a_count(self):
+        assert set(PRESET_COUNTS) == set(PRESETS)
+        assert all(count > 0 for count in PRESET_COUNTS.values())
+
+
+class TestRunPerfReportPresets:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown perf preset"):
+            run_perf_report(count=1, jobs=1, preset="paper9000")
+
+    def test_scale1024_smoke(self):
+        report = run_perf_report(count=1, jobs=1, preset="scale1024")
+        d = report.data
+        assert d["preset"] == "scale1024"
+        assert d["legs"] == [
+            {
+                "axis": PERF_AXIS,
+                "values": list(PRESETS["scale1024"][0][1]),
+                "base": {"scheduler.n_pes": 1024},
+            }
+        ]
+        assert len(d["points"]) == len(PRESETS["scale1024"][0][1])
+        assert all(p["axis"] == PERF_AXIS for p in d["points"])
+        assert d["backend"]["resolved"] in ("python", "numpy")
+        # The simulation pass runs on the leg's base point, i.e. at
+        # 1024 PEs -- the digest certifies 1024-PE behaviour.
+        assert d["results_digest"]
+        entry = trajectory_entry(d)
+        assert entry["preset"] == "scale1024"
+        assert entry["backend"] == d["backend"]["resolved"]
+
+    def test_default_preset_values_override(self):
+        report = run_perf_report(count=1, jobs=1, values=(10,))
+        d = report.data
+        assert d["preset"] == "default"
+        assert d["values"] == [10]
+        assert [p["value"] for p in d["points"]] == [10]
+        assert d["count"] == 1
+
+    def test_default_count_comes_from_preset_table(self):
+        # Structural only (no run): the CLI passes count=None through.
+        assert PRESET_COUNTS["default"] == 25

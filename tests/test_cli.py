@@ -281,8 +281,10 @@ class TestExplain:
         assert main(["explain", block_file, "--pes", "4", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert set(doc) == {
-            "summary", "assignments", "barriers", "merges", "demotions"
+            "summary", "assignments", "barriers", "merges", "demotions",
+            "kernels",
         }
+        assert doc["kernels"]["resolved"] in ("python", "numpy")
         for barrier in doc["barriers"]:
             assert barrier["attributed"]
             for d in barrier["decisions"]:
