@@ -284,7 +284,7 @@ class Schedule:
             raise ValueError(f"node {node!r} already scheduled")
         from repro.ir.dag import ENTRY, EXIT  # local import avoids a cycle
 
-        if node is ENTRY or node is EXIT:
+        if node == ENTRY or node == EXIT:
             raise ValueError("dummy nodes are never scheduled")
         if node not in self.dag:
             raise ValueError(f"node {node!r} is not in the instruction DAG")
@@ -883,9 +883,7 @@ class Schedule:
             )
         return self._hbdesc_cache
 
-    def _scratch_hb_barrier_descendants(
-        self, succs: dict[HbKey, list[HbKey]]
-    ) -> dict[int, frozenset[int]]:
+    def _hb_topo_order(self, succs: dict[HbKey, list[HbKey]]) -> list[HbKey]:
         # Kahn topological order of H (acyclic by construction).
         in_deg: dict[HbKey, int] = {k: 0 for k in succs}
         for outs in succs.values():
@@ -902,6 +900,12 @@ class Schedule:
                     frontier.append(nxt)
         if len(order) != len(in_deg):
             raise AssertionError("happens-before graph H contains a cycle")
+        return order
+
+    def _scratch_hb_barrier_descendants(
+        self, succs: dict[HbKey, list[HbKey]]
+    ) -> dict[int, frozenset[int]]:
+        order = self._hb_topo_order(succs)
 
         barrier_ids = [b.id for b in self.barriers(include_initial=True)]
         bit_of = {bid: 1 << k for k, bid in enumerate(barrier_ids)}
@@ -921,6 +925,56 @@ class Schedule:
                 other for other in barrier_ids if bits & bit_of[other]
             )
         return result
+
+    def hb_descendants_cold(self) -> bool:
+        """True when :meth:`hb_barrier_descendants` would run the full
+        scratch sweep (cache empty) -- the batched driver batches those
+        sweeps across a corpus chunk."""
+        return self._hbdesc_cache is None
+
+    def hb_reach_inputs(self):
+        """The scratch H sweep as batched-reachability inputs.
+
+        Returns ``(succ_idx, self_bits, barrier_ids, barrier_pos)``:
+        successor topological positions per H node, the per-position
+        barrier bit masks (``1 << barrier index`` for barrier nodes,
+        0 for instruction nodes), the barrier ids in bit order, and
+        each barrier's position.  Feeding these to
+        :func:`repro.kernels.batch.reach_batch` computes exactly the
+        bitset sweep of :meth:`_scratch_hb_barrier_descendants`.
+        """
+        succs = self.hb_successors()
+        order = self._hb_topo_order(succs)
+        barrier_ids = [b.id for b in self.barriers(include_initial=True)]
+        bit_of = {bid: 1 << k for k, bid in enumerate(barrier_ids)}
+        pos = {key: i for i, key in enumerate(order)}
+        succ_idx = [
+            [pos[nxt] for nxt in succs.get(key, ())] for key in order
+        ]
+        self_bits = [
+            bit_of[key[1]] if key[0] == "b" else 0 for key in order
+        ]
+        barrier_pos = [pos[("b", bid)] for bid in barrier_ids]
+        return succ_idx, self_bits, barrier_ids, barrier_pos
+
+    def adopt_hb_descendants(
+        self, rows: list[int], barrier_ids: list[int], barrier_pos: list[int]
+    ) -> None:
+        """Install a batch-computed descendant closure as the cache.
+
+        ``rows`` are the reachability bitsets for the ``hb_reach_inputs``
+        positions; the extraction below mirrors the tail of
+        :meth:`_scratch_hb_barrier_descendants`, so the adopted cache is
+        exactly what the scratch sweep would have produced.
+        """
+        bit_of = {bid: 1 << k for k, bid in enumerate(barrier_ids)}
+        result: dict[int, frozenset[int]] = {}
+        for bid, p in zip(barrier_ids, barrier_pos):
+            bits = rows[p]
+            result[bid] = frozenset(
+                other for other in barrier_ids if bits & bit_of[other]
+            )
+        self._hbdesc_cache = result
 
     def insertion_creates_hb_cycle(self, placements: dict[int, int]) -> bool:
         """Would inserting a barrier at ``placements`` make H cyclic?

@@ -153,16 +153,45 @@ class ScheduleResult:
         )
 
 
-def schedule_dag(dag: InstructionDAG, config: SchedulerConfig | None = None) -> ScheduleResult:
+def schedule_dag(
+    dag: InstructionDAG,
+    config: SchedulerConfig | None = None,
+    heights: dict[NodeId, Interval] | None = None,
+) -> ScheduleResult:
     """Schedule an instruction DAG onto a barrier MIMD.
 
     Phases (section 4): label nodes with min/max heights, sort them into
     the scheduling list, then assign each node to a processor and resolve
     each of its incoming producer edges -- inserting (and, for the SBM,
     merging) barriers where static timing cannot discharge them.
+
+    ``heights`` accepts precomputed node labels (the batched driver
+    labels a whole corpus chunk in one relaxation); ``None`` computes
+    them here.
     """
     config = config or SchedulerConfig()
-    heights = compute_heights(dag)
+    schedule, inserter, order = _list_schedule(dag, config, heights)
+
+    repairs = 0
+    final_merges = 0
+    if config.validate:
+        repairs, final_merges = finalize_schedule(
+            schedule, config.insertion, merge=config.merging_enabled
+        )
+
+    return _assemble_result(
+        schedule, config, inserter, order, repairs, final_merges
+    )
+
+
+def _list_schedule(
+    dag: InstructionDAG,
+    config: SchedulerConfig,
+    heights: dict[NodeId, Interval] | None = None,
+) -> tuple[Schedule, BarrierInserter, list[NodeId]]:
+    """The list-scheduling phases up to (not including) finalization."""
+    if heights is None:
+        heights = compute_heights(dag)
     order = order_nodes(dag, config.ordering, heights)
     schedule = Schedule(dag, config.n_pes, config.barrier_latency)
     policy = make_policy(
@@ -187,13 +216,18 @@ def schedule_dag(dag: InstructionDAG, config: SchedulerConfig | None = None) -> 
         for g in producers:
             inserter.ensure_edge(g, node)
 
-    repairs = 0
-    final_merges = 0
-    if config.validate:
-        repairs, final_merges = finalize_schedule(
-            schedule, config.insertion, merge=config.merging_enabled
-        )
+    return schedule, inserter, order
 
+
+def _assemble_result(
+    schedule: Schedule,
+    config: SchedulerConfig,
+    inserter: BarrierInserter,
+    order: list[NodeId],
+    repairs: int,
+    final_merges: int,
+) -> ScheduleResult:
+    """Tally a finalized schedule into the :class:`ScheduleResult`."""
     resolutions = tuple(inserter.resolutions)
     counts = _tally(schedule, resolutions, repairs, final_merges)
 

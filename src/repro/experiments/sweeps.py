@@ -25,15 +25,20 @@ Two performance controls ride on every entry point (see
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
+from repro.core import batchrun
 from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
 from repro.ir.ops import DEFAULT_TIMING, TimingModel
 from repro.metrics.stats import CorpusStats, aggregate_results
 from repro.perf.cache import load_point_stats, resolve_cache, store_point_stats
-from repro.perf.parallel import resolve_jobs, run_cases_parallel
+from repro.perf.gctune import batched_gc
+from repro.perf.parallel import resolve_batch, resolve_jobs, run_cases_parallel
+from repro.perf.shm import run_cases_shm
 from repro.perf.timers import add_to_current, collect_timings, stage
+from repro.synth import genvec
 from repro.synth.corpus import BenchmarkCase, generate_cases
 from repro.synth.generator import GeneratorConfig
 
@@ -61,6 +66,8 @@ def run_corpus(
     point: ExperimentPoint,
     accept: Callable[[BenchmarkCase], bool] | None = None,
     jobs: int | None = None,
+    batch: int | None = None,
+    compact: bool = False,
 ) -> list[ScheduleResult]:
     """Compile and schedule every benchmark of a point; return the results.
 
@@ -68,9 +75,35 @@ def run_corpus(
     case so random tie-breaking is reproducible yet varies across the
     corpus.  With ``jobs > 1`` the corpus is dispatched to a process
     pool; the result list is bit-identical to the serial run.
+
+    The serial path runs the corpus in *batches* (``None`` consults
+    ``REPRO_BATCH``; ``1`` disables): each chunk of attempt seeds is
+    compiled by the vectorized generator and scheduled by the batched
+    driver (:mod:`repro.core.batchrun`) in one pass, bit-identical to
+    the case-at-a-time loop.  Filtered corpora apply ``accept``
+    positionally per chunk, exactly like the process pool: the accepted
+    prefix matches serial, only unused trailing attempts may differ.
+
+    ``compact=True`` allows the zero-copy shared-memory driver
+    (:mod:`repro.perf.shm`) for unfiltered parallel points: results
+    come back as :class:`~repro.perf.parallel.CompactResult` rows that
+    support aggregation and digests but carry no ``Schedule`` graph.
+    Callers that read ``result.schedule`` or ``result.resolutions``
+    must leave it off.
     """
     jobs = resolve_jobs(jobs)
     if jobs > 1:
+        if compact and accept is None:
+            zero_copy = run_cases_shm(
+                point.generator,
+                point.count,
+                point.master_seed,
+                point.timing,
+                point.scheduler,
+                jobs,
+            )
+            if zero_copy is not None:
+                return zero_copy
         parallel = run_cases_parallel(
             point.generator,
             point.count,
@@ -83,6 +116,10 @@ def run_corpus(
         if parallel is not None:
             return parallel
 
+    batch = resolve_batch(batch)
+    if batch > 1:
+        return _run_corpus_batched(point, accept, batch)
+
     results: list[ScheduleResult] = []
     cases = generate_cases(
         point.generator,
@@ -91,14 +128,66 @@ def run_corpus(
         timing=point.timing,
         accept=accept,
     )
-    while True:
-        with stage("generate"):  # pulls generation + compilation work
-            case = next(cases, None)
-        if case is None:
-            break
-        cfg = point.scheduler.with_(seed=case.seed & 0xFFFFFFFF)
-        with stage("schedule"):
-            results.append(schedule_dag(case.dag, cfg))
+    with batched_gc():
+        while True:
+            with stage("generate"):  # pulls generation + compilation work
+                case = next(cases, None)
+            if case is None:
+                break
+            cfg = point.scheduler.with_(seed=case.seed & 0xFFFFFFFF)
+            with stage("schedule"):
+                results.append(schedule_dag(case.dag, cfg))
+    return results
+
+
+def _run_corpus_batched(
+    point: ExperimentPoint,
+    accept: Callable[[BenchmarkCase], bool] | None,
+    batch: int,
+    max_attempts_factor: int = 50,
+) -> list[ScheduleResult]:
+    """The serial corpus loop, ``batch`` attempt seeds at a time.
+
+    Draws the exact attempt-seed sequence of
+    :func:`repro.synth.corpus.generate_cases` in chunks, compiles each
+    chunk through :func:`repro.synth.genvec.compile_cases` and schedules
+    it through :func:`repro.core.batchrun.schedule_cases` -- both of
+    which fall back to the per-case code paths below their kernel
+    thresholds, so the results are bit-identical either way.
+    """
+    results: list[ScheduleResult] = []
+    produced = 0
+    attempts = 0
+    limit = max(1, point.count) * max_attempts_factor
+    seed_stream = random.Random(point.master_seed)
+    with batched_gc():
+        while produced < point.count:
+            if attempts >= limit:
+                raise RuntimeError(
+                    f"corpus filter accepted only {produced}/{point.count} "
+                    f"cases after {attempts} attempts"
+                )
+            chunk = min(batch, limit - attempts)
+            seeds = [seed_stream.getrandbits(48) for _ in range(chunk)]
+            attempts += chunk
+            with stage("generate"):
+                cases = genvec.compile_cases(
+                    point.generator, seeds, point.timing
+                )
+                if accept is not None:
+                    cases = [case for case in cases if accept(case)]
+            cases = cases[: point.count - produced]
+            produced += len(cases)
+            configs = [
+                point.scheduler.with_(seed=case.seed & 0xFFFFFFFF)
+                for case in cases
+            ]
+            with stage("schedule"):
+                results.extend(
+                    batchrun.schedule_cases(
+                        [case.dag for case in cases], configs
+                    )
+                )
     return results
 
 
@@ -121,7 +210,11 @@ def run_point(
         if cached is not None:
             return cached
     with collect_timings() as timings:
-        stats = aggregate_results(run_corpus(point, accept, jobs=jobs))
+        # Aggregation reads nothing a compact result lacks, so the
+        # zero-copy driver may serve parallel unfiltered points.
+        stats = aggregate_results(
+            run_corpus(point, accept, jobs=jobs, compact=True)
+        )
     # Collectors nest innermost-wins, so an enclosing measurement (e.g.
     # the ``repro-sbm perf`` harness timing a whole sweep) would see none
     # of this point's stage time -- credit it upward explicitly.

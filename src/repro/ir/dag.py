@@ -140,7 +140,9 @@ class InstructionDAG:
     @property
     def real_nodes(self) -> tuple[NodeId, ...]:
         """Instruction nodes (no dummies), in topological order."""
-        return tuple(n for n in self._topo if n is not ENTRY and n is not EXIT)
+        # Dummies are matched by value, not identity: a dag that crossed
+        # a process boundary (pickle) carries non-interned sentinels.
+        return tuple(n for n in self._topo if n != ENTRY and n != EXIT)
 
     def __len__(self) -> int:
         return len(self._topo) - 2
@@ -167,18 +169,18 @@ class InstructionDAG:
         return self._preds[node]
 
     def real_preds(self, node: NodeId) -> tuple[NodeId, ...]:
-        return tuple(p for p in self._preds[node] if p is not ENTRY)
+        return tuple(p for p in self._preds[node] if p != ENTRY)
 
     def real_succs(self, node: NodeId) -> tuple[NodeId, ...]:
-        return tuple(s for s in self._succs[node] if s is not EXIT)
+        return tuple(s for s in self._succs[node] if s != EXIT)
 
     def real_edges(self) -> Iterator[tuple[NodeId, NodeId]]:
         """Producer/consumer edges between instruction nodes only."""
         for u in self._topo:
-            if u is ENTRY:
+            if u == ENTRY:
                 continue
             for v in self._succs[u]:
-                if v is not EXIT:
+                if v != EXIT:
                     yield (u, v)
 
     @property

@@ -77,6 +77,12 @@ THRESHOLDS: dict[str, int] = {
     "domin": 192,
     "merge": 48,
     "assign": 64,
+    # Batched corpus kernels: sizes are *cases per batch*, not nodes.
+    # The vectorized generator wins from ~8 cases up (the flat-gather
+    # RNG keeps per-call dispatch low), which covers the perf report's
+    # 10-case simulation corpus.
+    "genvec": 8,
+    "batch": 16,
 }
 
 _np: Any = None

@@ -65,8 +65,13 @@ class SyncFractions:
 
 
 def fractions_of(result: "ScheduleResult | SyncCounts") -> SyncFractions:
-    """Compute the section 3.1 fractions for one schedule."""
-    counts = result.counts if isinstance(result, ScheduleResult) else result
+    """Compute the section 3.1 fractions for one schedule.
+
+    Accepts anything carrying a ``counts`` attribute (a full
+    :class:`ScheduleResult` or the zero-copy driver's
+    :class:`~repro.perf.parallel.CompactResult`) or bare counts.
+    """
+    counts = getattr(result, "counts", result)
     total = counts.total_edges
     if total == 0:
         return SyncFractions(0, 0.0, 0.0, 0.0)

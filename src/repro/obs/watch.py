@@ -11,7 +11,11 @@ prior ones:
   noise floor -- the same 2x-with-floor discipline the CI perf gates
   already use, but applied to the whole series instead of one pinned
   baseline, so a slow drift across many commits is caught even when no
-  single step trips a 2x gate;
+  single step trips a 2x gate.  Only prior entries that ran the *same
+  workload* (``preset`` / ``count``) enter the baseline median: a
+  ``scale1024`` sweep is legitimately an order of magnitude slower
+  than a quick default-preset run, and mixing them would flag every
+  heavy entry (or mask a real regression in a light one);
 * **deterministic series** (sync fractions, mean makespans) are exact
   functions of the workload.  When the latest entry ran the same
   workload as a prior one (same ``count`` / ``master_seed``) and their
@@ -231,8 +235,24 @@ def watch_trajectory(
     notes: list[str] = []
 
     # -- wall-clock series -------------------------------------------------
+    time_workload = (latest.get("preset"), latest.get("count"))
+    same_time_workload = [
+        (e.get("preset"), e.get("count")) == time_workload for e in prior
+    ]
+    off_workload = len(prior) - sum(same_time_workload)
+    if off_workload:
+        notes.append(
+            f"{off_workload} prior entr"
+            f"{'y' if off_workload == 1 else 'ies'} ran a different "
+            "workload (preset/count); time series were not compared "
+            "against them"
+        )
     for name, values in _time_series(entries).items():
-        hist = [v for v in values[:-1] if v is not None]
+        hist = [
+            v
+            for v, same in zip(values[:-1], same_time_workload)
+            if v is not None and same
+        ]
         last = values[-1]
         if last is None or len(hist) < config.min_history:
             continue

@@ -39,18 +39,30 @@ from contextlib import nullcontext
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
+from dataclasses import dataclass
+
 from repro import kernels
-from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
+from repro.core.scheduler import (
+    ScheduleResult,
+    SchedulerConfig,
+    SyncCounts,
+    schedule_dag,
+)
 from repro.io import result_summary
 from repro.ir.ops import TimingModel
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import collect_trace, current_tracer
+from repro.perf.gctune import batched_gc
 from repro.perf.timers import add_to_current, collect_timings, stage
 from repro.synth.corpus import BenchmarkCase, compile_case
 from repro.synth.generator import GeneratorConfig
+from repro.timing import Interval
 
 __all__ = [
+    "CompactResult",
+    "digest_record",
     "fork_available",
+    "resolve_batch",
     "resolve_jobs",
     "results_digest",
     "run_cases_parallel",
@@ -61,6 +73,12 @@ CHUNK_SIZE = 8
 
 #: Chunks in flight per worker; bounds wasted work past the accept target.
 CHUNKS_IN_FLIGHT = 2
+
+#: Cases per batched-pipeline chunk (vectorized generation + batched
+#: scheduling kernels).  One paper-sized corpus (count=100) per chunk:
+#: the vectorized draw's fixed setup amortizes poorly below ~64 seeds,
+#: and the padded corpus tensors are still only a few MB at this size.
+DEFAULT_BATCH = 100
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -83,6 +101,26 @@ def resolve_jobs(jobs: int | None = None) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+def resolve_batch(batch: int | None = None) -> int:
+    """Resolve the corpus batch size (cases per batched chunk).
+
+    ``None`` consults the ``REPRO_BATCH`` environment variable (absent
+    or empty means :data:`DEFAULT_BATCH`).  ``1`` -- from either source
+    -- disables batching; anything else must be a positive integer.
+    """
+    if batch is None:
+        text = os.environ.get("REPRO_BATCH", "").strip()
+        if not text:
+            return DEFAULT_BATCH
+        try:
+            batch = int(text)
+        except ValueError:
+            raise ValueError(f"REPRO_BATCH must be an integer, got {text!r}")
+    if batch < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch}")
+    return batch
 
 
 def fork_available() -> bool:
@@ -123,7 +161,7 @@ def _run_chunk(
     # without this the spans would pile up in a dead copy of the parent's
     # tracer instead of being shipped back.
     tracing = collect_trace() if trace else nullcontext(None)
-    with tracing as tracer, obs_metrics.collect_metrics() as metrics:
+    with tracing as tracer, obs_metrics.collect_metrics() as metrics, batched_gc():
         with collect_timings() as timings:
             for seed in seeds:
                 with stage("generate"):
@@ -222,7 +260,72 @@ def run_cases_parallel(
     return results
 
 
-def results_digest(results: Sequence[ScheduleResult]) -> str:
+class _CompactSchedule:
+    """Stand-in exposing the one ``Schedule`` accessor reductions use."""
+
+    __slots__ = ("_used",)
+
+    def __init__(self, used: int) -> None:
+        self._used = used
+
+    def used_processors(self) -> int:
+        return self._used
+
+
+@dataclass(frozen=True, slots=True)
+class CompactResult:
+    """A :class:`ScheduleResult` reduced to what reductions read.
+
+    The zero-copy driver (:mod:`repro.perf.shm`) ships these back from
+    its workers instead of pickling whole ``Schedule`` object graphs:
+    the counts, makespan, processor usage, and the precomputed
+    :func:`digest_record` -- everything
+    :func:`repro.metrics.stats.aggregate_results` and
+    :func:`results_digest` consume, nothing else.
+    """
+
+    config: SchedulerConfig
+    counts: SyncCounts
+    makespan: Interval
+    processors_used: int
+    record: dict
+
+    @property
+    def schedule(self) -> _CompactSchedule:
+        return _CompactSchedule(self.processors_used)
+
+
+def digest_record(result: "ScheduleResult | CompactResult") -> dict:
+    """The record :func:`results_digest` hashes for one result.
+
+    Compact results carry theirs precomputed (by this same function, in
+    the worker that still held the full result), so serial and
+    zero-copy digests agree byte for byte.
+    """
+    if isinstance(result, CompactResult):
+        return result.record
+    return {
+        "summary": result_summary(result),
+        "order": [str(node) for node in result.list_order],
+        "resolutions": [
+            [
+                str(r.producer),
+                str(r.consumer),
+                r.kind.value,
+                r.barrier.id if r.barrier is not None else None,
+                r.dominator,
+                r.secondary,
+                r.via_optimal,
+                r.merges,
+            ]
+            for r in result.resolutions
+        ],
+    }
+
+
+def results_digest(
+    results: Sequence["ScheduleResult | CompactResult"],
+) -> str:
     """A stable digest of a result sequence, for determinism regression.
 
     Covers everything the experiments read off a result -- the summary
@@ -231,26 +334,6 @@ def results_digest(results: Sequence[ScheduleResult]) -> str:
     execution (or across refactors that must preserve paper numbers)
     changes the digest.
     """
-    records = []
-    for result in results:
-        records.append(
-            {
-                "summary": result_summary(result),
-                "order": [str(node) for node in result.list_order],
-                "resolutions": [
-                    [
-                        str(r.producer),
-                        str(r.consumer),
-                        r.kind.value,
-                        r.barrier.id if r.barrier is not None else None,
-                        r.dominator,
-                        r.secondary,
-                        r.via_optimal,
-                        r.merges,
-                    ]
-                    for r in result.resolutions
-                ],
-            }
-        )
+    records = [digest_record(result) for result in results]
     blob = json.dumps(records, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

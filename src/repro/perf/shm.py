@@ -1,0 +1,330 @@
+"""Zero-copy parallel corpus driver over shared-memory arenas.
+
+The pickling pool (:mod:`repro.perf.parallel`) ships attempt seeds out
+and whole ``ScheduleResult`` object graphs back -- every schedule's
+streams, barriers, DAG, and caches cross the process boundary as a
+pickle.  This driver removes both copies for the common unfiltered
+corpus point:
+
+* **Input.**  The parent draws the *entire* corpus in one vectorized
+  pass (:func:`repro.synth.genvec.draw_corpus`) and places the drawn
+  arrays -- seeds, constants, targets, opcodes, operand kinds/indices
+  -- in ``multiprocessing.shared_memory`` blocks.  Workers attach
+  read-only and compile their slice straight out of the arena
+  (:func:`repro.synth.genvec.compile_drawn_cases`); no case data is
+  pickled.
+
+* **Output.**  Workers schedule their slice and return *compact
+  arrays*: one ``(cases, 11)`` counts matrix, a ``(cases, 2)`` makespan
+  matrix, a processors-used vector, and the JSON digest records --
+  everything :func:`repro.metrics.stats.aggregate_results` and
+  :func:`repro.perf.parallel.results_digest` read, a few hundred bytes
+  per case instead of a multi-kilobyte schedule pickle.  The parent
+  reassembles them into
+  :class:`~repro.perf.parallel.CompactResult` rows.
+
+Bit-identity holds because the drawn corpus is exactly the serial
+attempt-seed sequence, workers run the unmodified compile + schedule
+code on it, and digest records are computed by the same
+:func:`~repro.perf.parallel.digest_record` the serial digest uses.
+
+:func:`run_cases_shm` returns ``None`` whenever it cannot apply --
+filtered corpora, ``jobs <= 1``, no ``fork``, a generator config the
+vectorized path does not cover, or a backend/threshold that resolves
+to python -- and callers fall back to the pickling pool or the serial
+loop.  Consumers that need full schedules (the simulation pass, the
+secondary-effect tables) must keep using those paths; only
+aggregation/digest consumers opt in (``run_corpus(...,
+compact=True)``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
+from multiprocessing import shared_memory
+
+from repro import kernels
+from repro.core.scheduler import SchedulerConfig, SyncCounts, schedule_dag
+from repro.ir.ops import TimingModel
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import collect_trace, current_tracer
+from repro.perf.parallel import (
+    CHUNK_SIZE,
+    CHUNKS_IN_FLIGHT,
+    CompactResult,
+    digest_record,
+    fork_available,
+)
+from repro.perf.gctune import batched_gc
+from repro.perf.timers import add_to_current, collect_timings, stage
+from repro.synth import genvec
+from repro.synth.generator import GeneratorConfig
+from repro.timing import Interval
+
+__all__ = ["CorpusArena", "run_cases_shm"]
+
+#: Field order of the packed counts rows (== ``SyncCounts`` fields).
+_COUNT_FIELDS = (
+    "total_edges",
+    "serialized_edges",
+    "path_edges",
+    "timing_edges",
+    "barrier_edges",
+    "barriers_final",
+    "merges",
+    "secondary_resolutions",
+    "optimal_rescues",
+    "repairs",
+    "path_explosions",
+)
+
+
+class CorpusArena:
+    """A drawn corpus's arrays in named shared-memory blocks.
+
+    ``create`` copies each array into its own block once; ``attach``
+    maps the blocks back as numpy views without copying.  The creator
+    owns the blocks and must call :meth:`destroy`; attachers call
+    :meth:`close` when their views are dead.
+    """
+
+    def __init__(self, blocks: dict, manifest: dict, owner: bool) -> None:
+        self._blocks = blocks
+        self.manifest = manifest  # name -> (shm name, shape, dtype str)
+        self._owner = owner
+
+    @classmethod
+    def create(cls, arrays: dict) -> "CorpusArena":
+        np = kernels.numpy()
+        blocks: dict = {}
+        manifest: dict = {}
+        try:
+            for name, arr in arrays.items():
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                blocks[name] = shm
+                manifest[name] = (shm.name, arr.shape, arr.dtype.str)
+        except Exception:
+            for shm in blocks.values():
+                shm.close()
+                shm.unlink()
+            raise
+        return cls(blocks, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: dict) -> tuple["CorpusArena", dict]:
+        """Map an existing arena; returns ``(arena, arrays)`` views."""
+        np = kernels.numpy()
+        blocks: dict = {}
+        arrays: dict = {}
+        for name, (shm_name, shape, dtype) in manifest.items():
+            # Attaching does not re-register with the resource tracker
+            # (only ``create=True`` does), so worker-side close() is the
+            # whole cleanup story; the creator alone unlinks.
+            shm = shared_memory.SharedMemory(name=shm_name)
+            blocks[name] = shm
+            arrays[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf
+            )
+        return cls(blocks, manifest, owner=False), arrays
+
+    def close(self) -> None:
+        for shm in self._blocks.values():
+            shm.close()
+
+    def destroy(self) -> None:
+        """Close and unlink; creator-side teardown."""
+        for shm in self._blocks.values():
+            shm.close()
+            if self._owner:
+                shm.unlink()
+
+
+def _run_shm_chunk(
+    payload: tuple[
+        dict,  # arena manifest
+        GeneratorConfig,
+        TimingModel,
+        SchedulerConfig,
+        int,  # slice start
+        int,  # slice stop
+        bool,  # tracing
+        str,  # backend
+    ],
+):
+    """Worker: compile and schedule ``[start, stop)`` out of the arena.
+
+    Returns ``(counts, makespans, processors, records_json)`` compact
+    arrays plus the usual worker timings / metrics / trace state.
+    """
+    manifest, generator, timing, scheduler, start, stop, trace, backend = (
+        payload
+    )
+    os.environ["REPRO_BACKEND"] = backend
+    np = kernels.numpy()
+    arena, arrays = CorpusArena.attach(manifest)
+    try:
+        sliced = {name: arr[start:stop] for name, arr in arrays.items()}
+        tracing = collect_trace() if trace else nullcontext(None)
+        with tracing as tracer, obs_metrics.collect_metrics() as metrics, batched_gc():
+            with collect_timings() as timings:
+                with stage("generate"):
+                    drawn = genvec.DrawnCorpus.from_arrays(sliced)
+                    cases = genvec.compile_drawn_cases(
+                        drawn, generator, timing
+                    )
+                n = len(cases)
+                counts = np.empty((n, len(_COUNT_FIELDS)), dtype=np.int64)
+                makespans = np.empty((n, 2), dtype=np.int64)
+                processors = np.empty(n, dtype=np.int64)
+                records = []
+                with stage("schedule"):
+                    for k, case in enumerate(cases):
+                        config = scheduler.with_(seed=case.seed & 0xFFFFFFFF)
+                        result = schedule_dag(case.dag, config)
+                        counts[k] = [
+                            getattr(result.counts, f) for f in _COUNT_FIELDS
+                        ]
+                        makespans[k] = (
+                            result.makespan.lo,
+                            result.makespan.hi,
+                        )
+                        processors[k] = result.schedule.used_processors()
+                        records.append(digest_record(result))
+    finally:
+        # from_arrays copied the slice out; no views outlive the attach.
+        arena.close()
+    trace_state = tracer.export_state() if tracer is not None else None
+    return (
+        counts,
+        makespans,
+        processors,
+        json.dumps(records),
+        timings.as_dict(),
+        metrics.as_dict(),
+        trace_state,
+    )
+
+
+def run_cases_shm(
+    generator: GeneratorConfig,
+    count: int,
+    master_seed: int,
+    timing: TimingModel,
+    scheduler: SchedulerConfig,
+    jobs: int,
+) -> "list[CompactResult] | None":
+    """Run an unfiltered corpus point through the zero-copy driver.
+
+    Returns compact results in the exact serial case order, or ``None``
+    when the driver cannot apply (see the module docstring); callers
+    then fall back to the pickling pool / serial loop.
+    """
+    if jobs <= 1 or count <= 0 or not fork_available():
+        return None
+    if not genvec.supported(generator):
+        return None
+    if not kernels.use_numpy("genvec", count):
+        return None
+
+    backend = kernels.backend_setting()  # validates REPRO_BACKEND early
+    seed_stream = random.Random(master_seed)
+    seeds = [seed_stream.getrandbits(48) for _ in range(count)]
+    with stage("generate"):  # the parent's share: the vectorized draws
+        drawn = genvec.draw_corpus(generator, seeds)
+        arena = CorpusArena.create(drawn.arrays())
+
+    trace = current_tracer() is not None
+    results: list[CompactResult] = []
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context
+        ) as pool:
+            pending: deque = deque()
+            bounds = [
+                (lo, min(lo + CHUNK_SIZE, count))
+                for lo in range(0, count, CHUNK_SIZE)
+            ]
+            # Results are consumed strictly in submission order, so the
+            # reassembled sequence is the serial order; the in-flight
+            # bound only limits arena pressure, not ordering.
+            window = max(1, jobs * CHUNKS_IN_FLIGHT)
+            for lo, hi in bounds[:window]:
+                pending.append(
+                    pool.submit(
+                        _run_shm_chunk,
+                        (
+                            arena.manifest,
+                            generator,
+                            timing,
+                            scheduler,
+                            lo,
+                            hi,
+                            trace,
+                            backend,
+                        ),
+                    )
+                )
+            next_chunk = window
+            while pending:
+                (
+                    counts,
+                    makespans,
+                    processors,
+                    records_json,
+                    worker_timings,
+                    worker_metrics,
+                    trace_state,
+                ) = pending.popleft().result()
+                if next_chunk < len(bounds):
+                    lo, hi = bounds[next_chunk]
+                    next_chunk += 1
+                    pending.append(
+                        pool.submit(
+                            _run_shm_chunk,
+                            (
+                                arena.manifest,
+                                generator,
+                                timing,
+                                scheduler,
+                                lo,
+                                hi,
+                                trace,
+                                backend,
+                            ),
+                        )
+                    )
+                add_to_current(worker_timings)
+                obs_metrics.add_to_current(worker_metrics)
+                if trace_state is not None:
+                    tracer = current_tracer()
+                    if tracer is not None:
+                        tracer.adopt(trace_state)
+                records = json.loads(records_json)
+                base = len(results)
+                for k, record in enumerate(records):
+                    case_seed = seeds[base + k]
+                    results.append(
+                        CompactResult(
+                            config=scheduler.with_(
+                                seed=case_seed & 0xFFFFFFFF
+                            ),
+                            counts=SyncCounts(*counts[k].tolist()),
+                            makespan=Interval(*makespans[k].tolist()),
+                            processors_used=int(processors[k]),
+                            record=record,
+                        )
+                    )
+    finally:
+        arena.destroy()
+    return results

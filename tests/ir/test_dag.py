@@ -52,6 +52,21 @@ class TestBuild:
         for u, v in dag.real_edges():
             assert order[u] < order[v]
 
+    def test_pickle_roundtrip_filters_dummies(self):
+        # An unpickled dag carries non-interned ENTRY/EXIT strings, so
+        # the dummy filters must compare by value, not identity.  A
+        # dag returned from a process-pool worker is exactly this case;
+        # leaked pseudo edges used to crash trace verification.
+        import pickle
+
+        dag = compile_source("a = x + y\nb = a * z")
+        clone = pickle.loads(pickle.dumps(dag))
+        assert clone.real_nodes == dag.real_nodes
+        assert list(clone.real_edges()) == list(dag.real_edges())
+        for n in clone.real_nodes:
+            assert ENTRY not in clone.real_preds(n)
+            assert EXIT not in clone.real_succs(n)
+
 
 class TestFromProgram:
     def test_edges_follow_refs(self):

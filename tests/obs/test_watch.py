@@ -73,6 +73,25 @@ class TestTimeSeries:
         loose = watch_trajectory(entries, WatchConfig(factor=1.1))
         assert not loose.ok
 
+    def test_baseline_excludes_other_workloads(self):
+        # Quick default-preset runs must not drag the baseline median
+        # down for a heavy scale1024 entry (and vice versa).
+        quick = dict(entry(wall=0.5), preset="default", count=25)
+        heavy = dict(entry(wall=30.0), preset="scale1024", count=100)
+        latest = dict(entry(wall=40.0), preset="scale1024", count=100)
+        report = watch_trajectory([quick, quick, heavy, latest])
+        # Comparable history is just the one heavy run: limit 60s, ok.
+        assert "wall_s" not in {v.name for v in report.flagged}
+        assert any(
+            "different" in n and "workload" in n for n in report.notes
+        )
+
+    def test_no_comparable_history_skips_time_series(self):
+        quick = dict(entry(wall=0.5), preset="default", count=25)
+        latest = dict(entry(wall=40.0), preset="scale1024", count=100)
+        report = watch_trajectory([quick, quick, latest])
+        assert not [v for v in report.verdicts if v.kind == "time"]
+
     def test_single_entry_yields_note_only(self):
         report = watch_trajectory([entry()])
         assert report.ok and not report.verdicts
