@@ -366,13 +366,13 @@ class BarrierDag:
         if kernels.use_numpy("splice", len(self._desc_bits)):
             from repro.kernels import bitset
 
-            kernels.count("splice", "numpy")
-            result = bitset.spliced_desc_bits(
-                self._desc_bits,
-                pos,
-                [oi[s] for s in new._succs[new_id]],
-                [oi[p] for p in new._preds[new_id]],
-            )
+            with kernels.timed("splice", "numpy"):
+                result = bitset.spliced_desc_bits(
+                    self._desc_bits,
+                    pos,
+                    [oi[s] for s in new._succs[new_id]],
+                    [oi[p] for p in new._preds[new_id]],
+                )
             if kernels.checking():
                 kernels.verify(
                     "splice",
@@ -380,8 +380,8 @@ class BarrierDag:
                     self._spliced_desc_bits_python(new, pos, new_id),
                 )
             return result
-        kernels.count("splice", "python")
-        return self._spliced_desc_bits_python(new, pos, new_id)
+        with kernels.timed("splice", "python"):
+            return self._spliced_desc_bits_python(new, pos, new_id)
 
     def _spliced_desc_bits_python(
         self, new: "BarrierDag", pos: int, new_id: int
@@ -422,19 +422,19 @@ class BarrierDag:
             if kernels.use_numpy("descbits", len(self._topo)):
                 from repro.kernels import bitset
 
-                kernels.count("descbits", "numpy")
-                succ_idx = [
-                    [self._order_index[s] for s in self._succs[bid]]
-                    for bid in self._topo
-                ]
-                bits = bitset.descendant_bits(succ_idx)
+                with kernels.timed("descbits", "numpy"):
+                    succ_idx = [
+                        [self._order_index[s] for s in self._succs[bid]]
+                        for bid in self._topo
+                    ]
+                    bits = bitset.descendant_bits(succ_idx)
                 if kernels.checking():
                     kernels.verify(
                         "descbits", bits, self._descendant_bits_python()
                     )
             else:
-                kernels.count("descbits", "python")
-                bits = self._descendant_bits_python()
+                with kernels.timed("descbits", "python"):
+                    bits = self._descendant_bits_python()
             self._desc_bits = bits
         return self._desc_bits
 
@@ -516,15 +516,15 @@ class BarrierDag:
         if kernels.use_numpy("paths", len(self._topo)):
             from repro.kernels import pathvec
 
-            kernels.count("paths", "numpy")
-            result = pathvec.longest(self, u, v, use_max)
+            with kernels.timed("paths", "numpy"):
+                result = pathvec.longest(self, u, v, use_max)
             if kernels.checking():
                 kernels.verify(
                     "paths", result, self._longest_python(u, v, use_max)
                 )
             return result
-        kernels.count("paths", "python")
-        return self._longest_python(u, v, use_max)
+        with kernels.timed("paths", "python"):
+            return self._longest_python(u, v, use_max)
 
     def _longest_python(self, u: int, v: int, use_max: bool) -> int | None:
         start = self._order_index[u]

@@ -53,15 +53,15 @@ class DominatorTree:
         if kernels.use_numpy("domin", len(dag)):
             from repro.kernels import domin
 
-            kernels.count("domin", "numpy")
-            depth, tin, tout = domin.tree_views(dag, self._idom)
+            with kernels.timed("domin", "numpy"):
+                depth, tin, tout = domin.tree_views(dag, self._idom)
             if kernels.checking():
                 kernels.verify(
                     "domin", (depth, tin, tout), self._tree_views_python()
                 )
         else:
-            kernels.count("domin", "python")
-            depth, tin, tout = self._tree_views_python()
+            with kernels.timed("domin", "python"):
+                depth, tin, tout = self._tree_views_python()
         self._depth = depth
         self._tin = tin
         self._tout = tout

@@ -114,15 +114,15 @@ def _completion_bounds(dag: BarrierDag, u: int, v: int) -> dict[int, int]:
     if kernels.use_numpy("paths", len(dag)):
         from repro.kernels import pathvec
 
-        kernels.count("paths", "numpy")
-        result = pathvec.completion_bounds(dag, u, v)
+        with kernels.timed("paths", "numpy"):
+            result = pathvec.completion_bounds(dag, u, v)
         if kernels.checking():
             kernels.verify(
                 "paths.bounds", result, _completion_bounds_python(dag, u, v)
             )
         return result
-    kernels.count("paths", "python")
-    return _completion_bounds_python(dag, u, v)
+    with kernels.timed("paths", "python"):
+        return _completion_bounds_python(dag, u, v)
 
 
 def _completion_bounds_python(dag: BarrierDag, u: int, v: int) -> dict[int, int]:
@@ -228,8 +228,8 @@ def longest_min_path_with_forced_max(
     if kernels.use_numpy("paths", len(dag)):
         from repro.kernels import pathvec
 
-        kernels.count("paths", "numpy")
-        result = pathvec.longest_min_forced(dag, u, w, forced)
+        with kernels.timed("paths", "numpy"):
+            result = pathvec.longest_min_forced(dag, u, w, forced)
         if kernels.checking():
             kernels.verify(
                 "paths.forced",
@@ -237,8 +237,8 @@ def longest_min_path_with_forced_max(
                 _longest_min_forced_python(dag, u, w, forced),
             )
         return result
-    kernels.count("paths", "python")
-    return _longest_min_forced_python(dag, u, w, forced)
+    with kernels.timed("paths", "python"):
+        return _longest_min_forced_python(dag, u, w, forced)
 
 
 def _longest_min_forced_python(

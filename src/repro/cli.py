@@ -43,12 +43,19 @@ Examples::
     repro-sbm faults --epsilon 0.25 --runs 50 --seed 7
     repro-sbm experiment fig15 --count 30 --jobs 4
     repro-sbm perf --count 25 --jobs 0 --output BENCH_perf.json
+    repro-sbm perf --live --profile perf.folded   # status line + flamegraph
+    repro-sbm watch --explain                     # name the regressed series
 
 Global (pre-subcommand) flags: ``-v/--verbose`` raises diagnostic
-verbosity (repeat for debug), ``-q/--quiet`` shows errors only, and
+verbosity (repeat for debug), ``-q/--quiet`` shows errors only.
 ``--trace FILE`` on ``schedule``/``simulate``/``explain``/``perf``
 writes a span trace (Chrome trace JSON, or JSONL for a ``.jsonl``
-suffix) of the run.  See docs/observability.md.
+suffix) of the run; ``--profile FILE`` on the same subcommands plus
+``experiment`` writes folded flamegraph stacks and collects the
+per-kernel/memory/GC resource profile; ``perf --live [FILE]`` streams
+progress heartbeats (TTY status line, or JSONL); ``watch --explain``
+attributes a flagged regression to the stages/kernels that slowed
+down.  See docs/observability.md.
 
 Bad inputs (missing files, malformed source, out-of-range parameters)
 exit with status 2 and a one-line diagnostic, never a traceback.
@@ -348,6 +355,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute every point instead of reusing the on-disk sweep cache",
     )
+    _add_profile_arg(exp)
 
     perf = sub.add_parser(
         "perf",
@@ -381,6 +389,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a span trace of the run (Chrome trace JSON; "
         "'.jsonl' suffix selects JSONL)",
+    )
+    _add_profile_arg(perf)
+    perf.add_argument(
+        "--live",
+        metavar="FILE",
+        nargs="?",
+        const="",
+        default=None,
+        help="stream progress heartbeats during the run: with no FILE, "
+        "a status line on stderr (JSONL heartbeats when stderr is not "
+        "a terminal); with FILE, machine-readable JSONL to that file",
     )
     perf.add_argument(
         "--trajectory",
@@ -442,8 +461,25 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the verdicts as machine-readable JSON instead of text",
     )
+    wat.add_argument(
+        "--explain",
+        action="store_true",
+        help="diff the latest entry's stage/kernel profiles against the "
+        "prior same-workload runs and name the top regressed series",
+    )
 
     return parser
+
+
+def _add_profile_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="write folded flamegraph stacks of the run (speedscope/"
+        "flamegraph.pl input) and collect per-kernel/memory/GC "
+        "accounting",
+    )
 
 
 def _add_perf_args(p: argparse.ArgumentParser) -> None:
@@ -511,6 +547,7 @@ def _add_schedule_args(p: argparse.ArgumentParser) -> None:
         help="write a span trace of the run (Chrome trace JSON; "
         "'.jsonl' suffix selects JSONL)",
     )
+    _add_profile_arg(p)
     p.add_argument(
         "--record",
         metavar="FILE",
@@ -987,10 +1024,58 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+@contextmanager
+def _live_progress(args):
+    """Scope the ``perf --live`` heartbeat stream around a run.
+
+    Bare ``--live`` renders a TTY status line on stderr (falling back
+    to JSONL heartbeats with a warning when stderr is not a terminal);
+    ``--live FILE`` streams machine-readable JSONL to the file.  Bad
+    combinations raise for :func:`main`'s exit-2 diagnostic."""
+    live = getattr(args, "live", None)
+    if live is None:
+        yield
+        return
+    from repro.obs.progress import (
+        JSONLSink,
+        ProgressMeter,
+        TTYStatusSink,
+        collect_progress,
+    )
+
+    if live == "":
+        if args.output == "-":
+            raise ValueError(
+                "--live without FILE draws a status line and conflicts "
+                "with --output - (JSON on stdout); give --live a FILE "
+                "for a machine-readable stream"
+            )
+        if sys.stderr.isatty():
+            sink = TTYStatusSink(sys.stderr)
+        else:
+            _LOG.warning(
+                "--live: stderr is not a terminal; falling back to "
+                "JSONL heartbeats"
+            )
+            sink = JSONLSink(sys.stderr)
+    else:
+        _preflight_output(live, "--live stream")
+        sink = JSONLSink(
+            open(live, "w", encoding="utf-8"), owns_stream=True
+        )
+    meter = ProgressMeter(sink.emit)
+    try:
+        with collect_progress(meter):
+            yield
+        meter.finish()
+    finally:
+        sink.close()
+
+
 def _cmd_perf(args) -> int:
     from repro.perf.report import run_perf_report
 
-    with _perf_env(args):
+    with _perf_env(args), _live_progress(args):
         report = run_perf_report(
             count=args.count, master_seed=args.seed, preset=args.preset
         )
@@ -1030,44 +1115,107 @@ def _cmd_diff(args) -> int:
 
 
 def _cmd_watch(args) -> int:
-    from repro.obs.watch import WatchConfig, load_trajectory, watch_trajectory
+    from repro.obs.watch import (
+        WatchConfig,
+        explain_regression,
+        load_trajectory,
+        watch_trajectory,
+    )
 
     entries = load_trajectory(args.trajectory)
     report = watch_trajectory(entries, WatchConfig(factor=args.factor))
+    explain = explain_regression(entries) if args.explain else None
     if args.json:
         import json
 
-        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+        data = report.as_dict()
+        if explain is not None:
+            data["explain"] = explain.as_dict()
+        print(json.dumps(data, indent=1, sort_keys=True))
     else:
         print(report.render())
+        if explain is not None:
+            print(explain.render())
     if args.output:
+        markdown = report.render_markdown()
+        if explain is not None:
+            markdown = markdown.rstrip("\n") + "\n\n" + explain.render_markdown()
         with open(args.output, "w", encoding="utf-8") as fp:
-            fp.write(report.render_markdown())
+            fp.write(markdown)
         print(f"wrote {args.output}")
     return 0 if report.ok else 1
 
 
-def _run_traced(args, run) -> int:
-    """Run a handler, collecting and writing a span trace when the
-    subcommand carries ``--trace FILE``.  The trace is written only on
-    success; a failing run keeps the plain error path."""
-    path = getattr(args, "trace", None)
-    if not path:
+def _preflight_output(path: str, what: str) -> None:
+    """Fail *before* the run when an output path cannot be written.
+
+    Without this, a misspelled ``--trace``/``--profile`` directory
+    surfaces only after minutes of corpus work.  The check raises
+    ``OSError`` for :func:`main`'s one-line exit-2 diagnostic path.
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    if not os.path.isdir(parent):
+        raise OSError(
+            f"cannot write {what} {path!r}: {parent!r} is not a directory"
+        )
+    if os.path.isdir(path):
+        raise OSError(f"cannot write {what} {path!r}: is a directory")
+    probe = path if os.path.exists(path) else parent
+    if not os.access(probe, os.W_OK):
+        raise OSError(f"cannot write {what} {path!r}: permission denied")
+
+
+def _run_observed(args, run) -> int:
+    """Run a handler under the observation outputs its flags request.
+
+    ``--trace FILE`` writes a span trace; ``--profile FILE`` writes
+    folded flamegraph stacks and collects the per-kernel/memory/GC
+    resource profile.  Both share ONE tracer -- collectors nest
+    innermost-wins, so stacking a second ``collect_trace`` would starve
+    the outer one.  Output paths are preflighted (bad paths exit 2
+    before any work); the files are written only on success, a failing
+    run keeps the plain error path."""
+    trace_path = getattr(args, "trace", None)
+    profile_path = getattr(args, "profile", None)
+    if not trace_path and not profile_path:
         return run(args)
-    from repro.obs.export import write_trace
+    from repro.obs.prof import collect_profile, write_folded
     from repro.obs.spans import DISABLED, collect_trace
 
     if DISABLED:
-        _LOG.warning("REPRO_OBS_DISABLE is set; the trace will be empty")
-    with collect_trace() as tracer:
+        _LOG.warning(
+            "REPRO_OBS_DISABLE is set; trace/profile outputs will be empty"
+        )
+    if trace_path:
+        _preflight_output(trace_path, "trace")
+    if profile_path:
+        _preflight_output(profile_path, "profile")
+    profiling = collect_profile() if profile_path else nullcontext(None)
+    with collect_trace() as tracer, profiling as prof:
         status = run(args)
-    write_trace(tracer, path)
-    _LOG.info(
-        "wrote trace to %s (%d spans, %d events)",
-        path,
-        len(tracer.spans),
-        len(tracer.events),
-    )
+    if trace_path:
+        from repro.obs.export import write_trace
+
+        write_trace(tracer, trace_path)
+        _LOG.info(
+            "wrote trace to %s (%d spans, %d events)",
+            trace_path,
+            len(tracer.spans),
+            len(tracer.events),
+        )
+    if profile_path:
+        write_folded(tracer, profile_path)
+        _LOG.info(
+            "wrote folded stacks to %s (%d spans)",
+            profile_path,
+            len(tracer.spans),
+        )
+        # ``perf`` prints its own profile block from the report; for the
+        # other subcommands the collected accounting surfaces here.
+        if prof is not None and args.command != "perf" and (
+            prof.kernels or prof.stage_rss or prof.bytes
+        ):
+            print(prof.render(), file=sys.stderr)
     return status
 
 
@@ -1090,7 +1238,7 @@ def main(argv: list[str] | None = None) -> int:
         "watch": _cmd_watch,
     }
     try:
-        return _run_traced(args, handlers[args.command])
+        return _run_observed(args, handlers[args.command])
     except (OSError, ValueError) as exc:
         # Covers missing/unreadable source files, ParseError/CycleError
         # (both ValueError subclasses), and domain validation errors --

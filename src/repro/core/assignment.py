@@ -141,8 +141,8 @@ class ListPolicy:
         if kernels.use_numpy("assign", schedule.n_pes):
             from repro.kernels import assignvec
 
-            kernels.count("assign", "numpy")
-            best, ties, vec = assignvec.step2_estimates(schedule, node)
+            with kernels.timed("assign", "numpy"):
+                best, ties, vec = assignvec.step2_estimates(schedule, node)
             if kernels.checking():
                 kernels.verify(
                     "assign",
@@ -154,13 +154,13 @@ class ListPolicy:
                 )
             get_est = lambda pe: int(vec[pe])  # noqa: E731
         else:
-            kernels.count("assign", "python")
-            estimates = [
-                _earliest_start_estimate(schedule, node, pe)
-                for pe in range(schedule.n_pes)
-            ]
-            best = min(estimates)
-            ties = [pe for pe, est in enumerate(estimates) if est == best]
+            with kernels.timed("assign", "python"):
+                estimates = [
+                    _earliest_start_estimate(schedule, node, pe)
+                    for pe in range(schedule.n_pes)
+                ]
+                best = min(estimates)
+                ties = [pe for pe, est in enumerate(estimates) if est == best]
             get_est = estimates.__getitem__
         if self.serialization_slack > 0:
             producer_pes = sorted(

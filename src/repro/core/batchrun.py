@@ -76,14 +76,13 @@ def schedule_cases(
     if current_recorder() is not None or not kernels.use_numpy(
         "batch", len(dags)
     ):
-        kernels.count("batch", "python")
-        return [
-            schedule_dag(dag, config) for dag, config in zip(dags, configs)
-        ]
+        with kernels.timed("batch", "python"):
+            return [
+                schedule_dag(dag, config) for dag, config in zip(dags, configs)
+            ]
 
-    kernels.count("batch", "numpy")
     reg = current_registry()
-    with span("batch.schedule", cases=len(dags)):
+    with kernels.timed("batch", "numpy"), span("batch.schedule", cases=len(dags)):
         heights = _batched_heights(dags, reg)
         built = [
             _list_schedule(dag, config, h)

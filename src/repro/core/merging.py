@@ -137,14 +137,14 @@ def merge_all_overlapping(schedule: Schedule) -> int:
             if rec is None and kernels.use_numpy("merge", len(barriers)):
                 from repro.kernels import mergemat
 
-                kernels.count("merge", "numpy")
-                ids = [b.id for b in barriers]
-                found = mergemat.first_candidate(
-                    ids,
-                    [fire[bid].lo for bid in ids],
-                    [fire[bid].hi for bid in ids],
-                    schedule.hb_barrier_descendants(),
-                )
+                with kernels.timed("merge", "numpy"):
+                    ids = [b.id for b in barriers]
+                    found = mergemat.first_candidate(
+                        ids,
+                        [fire[bid].lo for bid in ids],
+                        [fire[bid].hi for bid in ids],
+                        schedule.hb_barrier_descendants(),
+                    )
                 if kernels.checking():
                     kernels.verify(
                         "merge",
@@ -156,10 +156,10 @@ def merge_all_overlapping(schedule: Schedule) -> int:
                 if found is not None:
                     pair = (barriers[found[0]], barriers[found[1]])
             else:
-                kernels.count("merge", "python")
-                pair = _scan_round(
-                    schedule, barriers, fire, ordered, disjoint, reg, rec
-                )
+                with kernels.timed("merge", "python"):
+                    pair = _scan_round(
+                        schedule, barriers, fire, ordered, disjoint, reg, rec
+                    )
             if pair is None:
                 return absorbed
             survivor, victim = pair

@@ -33,6 +33,7 @@ from repro.core import batchrun
 from repro.core.scheduler import ScheduleResult, SchedulerConfig, schedule_dag
 from repro.ir.ops import DEFAULT_TIMING, TimingModel
 from repro.metrics.stats import CorpusStats, aggregate_results
+from repro.obs import progress as obs_progress
 from repro.perf.cache import load_point_stats, resolve_cache, store_point_stats
 from repro.perf.gctune import batched_gc
 from repro.perf.parallel import resolve_batch, resolve_jobs, run_cases_parallel
@@ -137,6 +138,7 @@ def run_corpus(
             cfg = point.scheduler.with_(seed=case.seed & 0xFFFFFFFF)
             with stage("schedule"):
                 results.append(schedule_dag(case.dag, cfg))
+            obs_progress.advance()
     return results
 
 
@@ -188,6 +190,7 @@ def _run_corpus_batched(
                         [case.dag for case in cases], configs
                     )
                 )
+            obs_progress.advance(len(cases))
     return results
 
 

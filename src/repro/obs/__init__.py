@@ -1,6 +1,6 @@
 """Observability for the scheduling pipeline: spans, metrics, provenance.
 
-Three independent, contextvar-scoped collectors, all opt-in and
+Independent, contextvar-scoped collectors, all opt-in and
 zero-cost when no subscriber is installed (and all hard-disabled by
 ``REPRO_OBS_DISABLE=1``):
 
@@ -10,6 +10,12 @@ zero-cost when no subscriber is installed (and all hard-disabled by
   (:mod:`repro.obs.export`);
 * :mod:`repro.obs.metrics` -- named counters and histograms, merged
   across the parallel driver's worker processes;
+* :mod:`repro.obs.prof` -- continuous profiling and resource
+  accounting: per-kernel wall/CPU timings at the dispatch boundary,
+  peak-RSS/arena/tensor byte accounts, GC pauses, and folded-stack
+  (flamegraph) export from a span trace;
+* :mod:`repro.obs.progress` -- live heartbeat stream (cases/s, ETA)
+  for long corpus runs, rendered as a TTY status line or JSONL;
 * :mod:`repro.obs.provenance` -- machine-readable reasons for every
   assignment, barrier insertion and merge verdict, surfaced by
   ``repro-sbm explain`` (:mod:`repro.obs.explain` builds the report;
@@ -29,6 +35,22 @@ from repro.obs.metrics import (
     current_registry,
     inc,
     observe,
+)
+from repro.obs.prof import (
+    KernelStat,
+    Profiler,
+    collect_profile,
+    current_profiler,
+    folded_stacks,
+    track_gc,
+    write_folded,
+)
+from repro.obs.progress import (
+    JSONLSink,
+    ProgressMeter,
+    TTYStatusSink,
+    collect_progress,
+    current_meter,
 )
 from repro.obs.provenance import (
     AssignmentDecision,
@@ -58,6 +80,18 @@ __all__ = [
     "current_registry",
     "inc",
     "observe",
+    "KernelStat",
+    "Profiler",
+    "collect_profile",
+    "current_profiler",
+    "folded_stacks",
+    "track_gc",
+    "write_folded",
+    "JSONLSink",
+    "ProgressMeter",
+    "TTYStatusSink",
+    "collect_progress",
+    "current_meter",
     "AssignmentDecision",
     "BarrierDecision",
     "MergeDecision",

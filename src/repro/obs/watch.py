@@ -42,9 +42,12 @@ from pathlib import Path
 from statistics import median
 
 __all__ = [
+    "ExplainReport",
+    "RegressionCause",
     "WatchConfig",
     "SeriesVerdict",
     "WatchReport",
+    "explain_regression",
     "load_trajectory",
     "watch_trajectory",
 ]
@@ -277,6 +280,42 @@ def watch_trajectory(
             )
         )
 
+    # -- throughput series (higher is better; the comparison flips) -------
+    rate_hist = [
+        e.get("cases_per_s")
+        for e, same in zip(prior, same_time_workload)
+        if same and e.get("cases_per_s")
+    ]
+    latest_rate = latest.get("cases_per_s")
+    if (
+        latest_rate
+        and len(rate_hist) >= config.min_history
+        # Sub-second workloads are all noise; same discipline as the
+        # wall floor, expressed on the rate's underlying wall time.
+        and (latest.get("wall_s") or 0.0) >= config.wall_floor_s
+    ):
+        base = median(rate_hist)
+        limit = base / config.factor
+        flagged = latest_rate < limit
+        verdicts.append(
+            SeriesVerdict(
+                name="cases_per_s",
+                kind="throughput",
+                n_prior=len(rate_hist),
+                baseline=base,
+                latest=latest_rate,
+                limit=limit,
+                flagged=flagged,
+                detail=(
+                    f"latest {latest_rate:.1f} cases/s fell below "
+                    f"{limit:.1f} (median of {len(rate_hist)} prior runs "
+                    f"/ {config.factor:.1f})"
+                    if flagged
+                    else ""
+                ),
+            )
+        )
+
     # -- deterministic series ----------------------------------------------
     latest_digest = latest.get("results_digest")
     latest_workload = (latest.get("count"), latest.get("master_seed"))
@@ -340,4 +379,274 @@ def watch_trajectory(
         )
     return WatchReport(
         entries=len(entries), verdicts=tuple(verdicts), notes=tuple(notes)
+    )
+
+
+# -- regression attribution (`repro-sbm watch --explain`) ------------------
+
+
+@dataclass(frozen=True)
+class RegressionCause:
+    """One regressed series: where the latest entry lost its time."""
+
+    kind: str  # "stage" | "kernel" | "gc"
+    name: str
+    baseline: float  # median of comparable prior entries, seconds
+    latest: float
+    delta: float  # latest - baseline, seconds (positive = regressed)
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "delta": self.delta,
+            "note": self.note,
+        }
+
+    def render(self) -> str:
+        text = (
+            f"{self.kind} {self.name}: +{self.delta:.3f}s "
+            f"({self.baseline:.3f}s -> {self.latest:.3f}s)"
+        )
+        if self.note:
+            text += f"  [{self.note}]"
+        return text
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """Top regressed stages/kernels of the latest trajectory entry."""
+
+    workload: str
+    n_prior: int
+    causes: tuple[RegressionCause, ...]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "n_prior": self.n_prior,
+            "causes": [c.as_dict() for c in self.causes],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"explain: latest vs median of {self.n_prior} prior runs "
+            f"({self.workload})"
+        ]
+        for rank, cause in enumerate(self.causes, 1):
+            lines.append(f"  {rank}. {cause.render()}")
+        if not self.causes:
+            lines.append("  nothing regressed against the baseline")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        lines = [
+            "## Regression attribution",
+            "",
+            f"Latest entry vs the median of {self.n_prior} prior runs "
+            f"({self.workload}).",
+            "",
+        ]
+        if self.causes:
+            lines.append("| rank | kind | series | baseline | latest | delta |")
+            lines.append("|---|---|---|---|---|---|")
+            for rank, c in enumerate(self.causes, 1):
+                lines.append(
+                    f"| {rank} | {c.kind} | `{c.name}` | {c.baseline:.3f}s "
+                    f"| {c.latest:.3f}s | +{c.delta:.3f}s |"
+                )
+            for c in self.causes:
+                if c.note:
+                    lines.append("")
+                    lines.append(f"- **{c.name}**: {c.note}")
+        else:
+            lines.append("Nothing regressed against the baseline.")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"- {note}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _median_series(values: list[float]) -> float | None:
+    return median(values) if values else None
+
+
+def explain_regression(
+    entries: list[dict], top: int = 5
+) -> ExplainReport:
+    """Attribute the latest entry's lost time to stages and kernels.
+
+    Compares the latest trajectory entry's per-stage wall times, its
+    per-kernel profile (``profile.kernels.<key>.wall_s``), and its GC
+    pause total against the medians of the prior entries that ran the
+    same workload (``preset``/``count``), and ranks the positive deltas.
+    The result names the top-``top`` regressed series with time deltas
+    -- the "what got slower" answer a flagged
+    :func:`watch_trajectory` verdict leaves open.
+    """
+    if not entries:
+        return ExplainReport(
+            workload="no entries",
+            n_prior=0,
+            causes=(),
+            notes=("empty trajectory; nothing to explain",),
+        )
+    latest = entries[-1]
+    workload = (latest.get("preset"), latest.get("count"))
+    prior = [
+        e
+        for e in entries[:-1]
+        if (e.get("preset"), e.get("count")) == workload
+    ]
+    workload_text = f"preset {workload[0]}, count {workload[1]}"
+    if not prior:
+        return ExplainReport(
+            workload=workload_text,
+            n_prior=0,
+            causes=(),
+            notes=(
+                "no prior entries ran the same workload "
+                f"({workload_text}); nothing to compare",
+            ),
+        )
+    causes: list[RegressionCause] = []
+    notes: list[str] = []
+
+    # Stage wall times, with a compute-vs-stall note from the CPU column.
+    latest_stages = latest.get("stages", {})
+    latest_cpu = latest_stages.get("cpu", {})
+    for name in _STAGE_NAMES:
+        latest_wall = latest_stages.get(name)
+        if latest_wall is None:
+            continue
+        base = _median_series(
+            [
+                e.get("stages", {}).get(name)
+                for e in prior
+                if e.get("stages", {}).get(name) is not None
+            ]
+        )
+        if base is None:
+            continue
+        delta = latest_wall - base
+        if delta <= 0:
+            continue
+        note = ""
+        cpu_base = _median_series(
+            [
+                e.get("stages", {}).get("cpu", {}).get(name)
+                for e in prior
+                if e.get("stages", {}).get("cpu", {}).get(name) is not None
+            ]
+        )
+        if name in latest_cpu and cpu_base is not None:
+            cpu_delta = latest_cpu[name] - cpu_base
+            if cpu_delta < 0.5 * delta:
+                note = (
+                    f"wall grew {delta:.3f}s but cpu only "
+                    f"{max(cpu_delta, 0.0):.3f}s: mostly stall (gc/io), "
+                    "not compute"
+                )
+        causes.append(
+            RegressionCause(
+                kind="stage",
+                name=name,
+                baseline=base,
+                latest=latest_wall,
+                delta=delta,
+                note=note,
+            )
+        )
+
+    # Per-kernel wall times from the trimmed resource profile.
+    latest_kernels = (latest.get("profile") or {}).get("kernels", {})
+    prior_profiles = [
+        (e.get("profile") or {}).get("kernels", {}) for e in prior
+    ]
+    if latest_kernels and not any(prior_profiles):
+        notes.append(
+            "prior entries carry no kernel profile (recorded before "
+            "profiling landed); kernel deltas were not compared"
+        )
+    for key, stat in latest_kernels.items():
+        latest_wall = stat.get("wall_s")
+        if latest_wall is None:
+            continue
+        hist = [
+            p[key].get("wall_s")
+            for p in prior_profiles
+            if key in p and p[key].get("wall_s") is not None
+        ]
+        base = _median_series(hist)
+        if base is None:
+            continue
+        delta = latest_wall - base
+        if delta <= 0:
+            continue
+        note = ""
+        call_hist = [
+            p[key].get("count")
+            for p in prior_profiles
+            if key in p and p[key].get("count") is not None
+        ]
+        call_base = _median_series([float(c) for c in call_hist])
+        calls = stat.get("count")
+        if calls and call_base:
+            per_call = latest_wall / calls
+            per_call_base = base / call_base
+            note = (
+                f"calls {int(call_base)} -> {calls}, per-call "
+                f"{per_call_base * 1e6:.0f}us -> {per_call * 1e6:.0f}us"
+            )
+        causes.append(
+            RegressionCause(
+                kind="kernel",
+                name=key,
+                baseline=base,
+                latest=latest_wall,
+                delta=delta,
+                note=note,
+            )
+        )
+
+    # GC pause total.
+    latest_gc = (latest.get("profile") or {}).get("gc", {})
+    gc_latest = latest_gc.get("pause_s")
+    gc_base = _median_series(
+        [
+            (e.get("profile") or {}).get("gc", {}).get("pause_s")
+            for e in prior
+            if (e.get("profile") or {}).get("gc", {}).get("pause_s")
+            is not None
+        ]
+    )
+    if gc_latest is not None and gc_base is not None:
+        gc_delta = gc_latest - gc_base
+        if gc_delta > 0:
+            causes.append(
+                RegressionCause(
+                    kind="gc",
+                    name="gc.pause_s",
+                    baseline=gc_base,
+                    latest=gc_latest,
+                    delta=gc_delta,
+                    note=f"{latest_gc.get('pauses', 0)} pauses in the "
+                    "latest entry",
+                )
+            )
+
+    causes.sort(key=lambda c: c.delta, reverse=True)
+    return ExplainReport(
+        workload=workload_text,
+        n_prior=len(prior),
+        causes=tuple(causes[:top]),
+        notes=tuple(notes),
     )

@@ -24,6 +24,8 @@ import gc
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.prof import track_gc
+
 __all__ = ["batched_gc"]
 
 #: Generation-0 allocation threshold while a corpus batch runs.  At
@@ -38,7 +40,9 @@ def batched_gc() -> Iterator[None]:
     """Defer cyclic collection while a corpus batch is processed.
 
     Nests cleanly (restores whatever thresholds it found), and is a
-    no-op when the collector is disabled entirely.
+    no-op when the collector is disabled entirely.  When a profiler is
+    active (:func:`repro.obs.prof.collect_profile`) the collections
+    that *do* run inside the batch are recorded as GC pauses.
     """
     if not gc.isenabled():
         yield
@@ -46,6 +50,7 @@ def batched_gc() -> Iterator[None]:
     old = gc.get_threshold()
     gc.set_threshold(BATCH_GEN0_THRESHOLD, old[1], old[2])
     try:
-        yield
+        with track_gc():
+            yield
     finally:
         gc.set_threshold(*old)

@@ -117,6 +117,8 @@ def bench_generate(
 
     best_py = [float("inf")] * len(shapes)
     best_vec = [float("inf")] * len(shapes)
+    best_py_cpu = [float("inf")] * len(shapes)
+    best_vec_cpu = [float("inf")] * len(shapes)
     identical = True
     # Both arms run under the same collector regime as the deployed
     # pipeline (see :mod:`repro.perf.gctune`), and each corpus is
@@ -126,14 +128,22 @@ def bench_generate(
     with batched_gc():
         for rep in range(max(1, reps)):
             for i, config in enumerate(shapes):
+                c0 = time.process_time()
                 t0 = time.perf_counter()
                 py_cases = [compile_case(config, s, timing) for s in seeds]
                 best_py[i] = min(best_py[i], time.perf_counter() - t0)
+                best_py_cpu[i] = min(
+                    best_py_cpu[i], time.process_time() - c0
+                )
                 py_digest = _corpus_digest(py_cases) if rep == 0 else None
                 del py_cases
+                c0 = time.process_time()
                 t0 = time.perf_counter()
                 vec_cases = genvec.compile_cases(config, seeds, timing)
                 best_vec[i] = min(best_vec[i], time.perf_counter() - t0)
+                best_vec_cpu[i] = min(
+                    best_vec_cpu[i], time.process_time() - c0
+                )
                 if rep == 0 and _corpus_digest(vec_cases) != py_digest:
                     identical = False
                 del vec_cases
@@ -148,12 +158,16 @@ def bench_generate(
                 "n_statements": config.n_statements,
                 "n_variables": config.n_variables,
                 "python_s": best_py[i],
+                "python_cpu_s": best_py_cpu[i],
                 "vectorized_s": best_vec[i],
+                "vectorized_cpu_s": best_vec_cpu[i],
             }
             for i, config in enumerate(shapes)
         ],
         "python_s": py_total,
+        "python_cpu_s": sum(best_py_cpu),
         "vectorized_s": vec_total,
+        "vectorized_cpu_s": sum(best_vec_cpu),
         "ratio": py_total / vec_total if vec_total else float("inf"),
         "identical": identical,
     }
@@ -192,8 +206,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(
         f"total ({record['count']} seeds x {len(record['shapes'])} shapes, "
-        f"best of {record['reps']}): python {record['python_s']:.3f}s  "
-        f"vectorized {record['vectorized_s']:.3f}s  "
+        f"best of {record['reps']}): python {record['python_s']:.3f}s "
+        f"({record['python_cpu_s']:.3f}s cpu)  "
+        f"vectorized {record['vectorized_s']:.3f}s "
+        f"({record['vectorized_cpu_s']:.3f}s cpu)  "
         f"speedup {record['ratio']:.2f}x"
     )
     if not record["identical"]:

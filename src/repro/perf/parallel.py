@@ -51,6 +51,8 @@ from repro.core.scheduler import (
 from repro.io import result_summary
 from repro.ir.ops import TimingModel
 from repro.obs import metrics as obs_metrics
+from repro.obs import prof as obs_prof
+from repro.obs import progress as obs_progress
 from repro.obs.spans import collect_trace, current_tracer
 from repro.perf.gctune import batched_gc
 from repro.perf.timers import add_to_current, collect_timings, stage
@@ -141,17 +143,27 @@ def _run_chunk(
         Callable[[BenchmarkCase], bool] | None,
         tuple[int, ...],
         bool,
+        bool,
         str,
     ],
-) -> tuple[list[ScheduleResult | None], dict[str, float], dict, dict | None]:
+) -> tuple[
+    list[ScheduleResult | None],
+    dict[str, float],
+    dict,
+    dict | None,
+    dict | None,
+]:
     """Worker: compile/filter/schedule one chunk of attempt seeds.
 
     Returns one entry per attempt -- ``None`` for rejected attempts, a
     :class:`ScheduleResult` otherwise -- plus the worker's stage timings,
-    its obs metrics, and (when the parent asked for tracing) its span
-    tracer state for :meth:`~repro.obs.spans.SpanTracer.adopt`.
+    its obs metrics, its resource profile (when the parent is
+    profiling), and (when the parent asked for tracing) its span tracer
+    state for :meth:`~repro.obs.spans.SpanTracer.adopt`.
     """
-    generator, timing, scheduler, accept, seeds, trace, backend = payload
+    generator, timing, scheduler, accept, seeds, trace, profile, backend = (
+        payload
+    )
     # Pin the kernel backend explicitly rather than trusting fork-time
     # env inheritance: the parent may scope REPRO_BACKEND per command
     # (``repro-sbm perf --backend``) while the pool outlives that scope.
@@ -159,9 +171,14 @@ def _run_chunk(
     out: list[ScheduleResult | None] = []
     # A fresh per-chunk tracer: fork copies the parent's contextvars, so
     # without this the spans would pile up in a dead copy of the parent's
-    # tracer instead of being shipped back.
+    # tracer instead of being shipped back.  Same story for the metrics
+    # registry and the profiler -- and the profiler must be installed
+    # before ``batched_gc`` so its GC hook finds it.
     tracing = collect_trace() if trace else nullcontext(None)
-    with tracing as tracer, obs_metrics.collect_metrics() as metrics, batched_gc():
+    profiling = obs_prof.collect_profile() if profile else nullcontext(None)
+    with tracing as tracer, obs_metrics.collect_metrics() as metrics, (
+        profiling
+    ) as prof, batched_gc():
         with collect_timings() as timings:
             for seed in seeds:
                 with stage("generate"):
@@ -173,7 +190,13 @@ def _run_chunk(
                 with stage("schedule"):
                     out.append(schedule_dag(case.dag, config))
     trace_state = tracer.export_state() if tracer is not None else None
-    return out, timings.as_dict(), metrics.as_dict(), trace_state
+    return (
+        out,
+        timings.as_dict(),
+        metrics.as_dict(),
+        prof.as_dict() if prof is not None else None,
+        trace_state,
+    )
 
 
 def run_cases_parallel(
@@ -214,6 +237,7 @@ def run_cases_parallel(
 
     results: list[ScheduleResult] = []
     trace = current_tracer() is not None
+    profile = obs_prof.current_profiler() is not None
     context = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         pending = deque()
@@ -222,7 +246,16 @@ def run_cases_parallel(
             pending.append(
                 pool.submit(
                     _run_chunk,
-                    (generator, timing, scheduler, accept, seeds, trace, backend),
+                    (
+                        generator,
+                        timing,
+                        scheduler,
+                        accept,
+                        seeds,
+                        trace,
+                        profile,
+                        backend,
+                    ),
                 )
             )
 
@@ -237,20 +270,28 @@ def run_cases_parallel(
                     f"corpus filter accepted only {len(results)}/{count} cases "
                     f"after {attempts} attempts"
                 )
-            chunk_results, worker_timings, worker_metrics, trace_state = (
-                pending.popleft().result()
-            )
+            (
+                chunk_results,
+                worker_timings,
+                worker_metrics,
+                worker_profile,
+                trace_state,
+            ) = pending.popleft().result()
             add_to_current(worker_timings)
             obs_metrics.add_to_current(worker_metrics)
+            if worker_profile is not None:
+                obs_prof.add_to_current(worker_profile)
             if trace_state is not None:
                 tracer = current_tracer()
                 if tracer is not None:
                     tracer.adopt(trace_state)
+            accepted_before = len(results)
             for item in chunk_results:
                 if item is not None:
                     results.append(item)
                     if len(results) == count:
                         break
+            obs_progress.advance(len(results) - accepted_before)
             if len(results) < count:
                 seeds = next_chunk()
                 if seeds:

@@ -29,7 +29,9 @@ from repro import __version__, kernels
 from repro.core.scheduler import SchedulerConfig
 from repro.machine.program import MachineProgram
 from repro.machine.sbm import simulate_sbm
+from repro.obs import progress as obs_progress
 from repro.obs.metrics import collect_metrics
+from repro.obs.prof import Profiler, collect_profile
 from repro.obs.runtime import analyze_trace
 from repro.perf.parallel import resolve_jobs, results_digest
 from repro.perf.timers import STAGES, collect_timings
@@ -114,16 +116,35 @@ class PerfReport:
 
     def render(self) -> str:
         d = self.data
-        stages = "  ".join(f"{s} {d['stages'][s]:.3f}s" for s in STAGES)
+        stage_cpu = d["stages"].get("cpu", {})
+        stages = "  ".join(
+            f"{s} {d['stages'][s]:.3f}s"
+            + (f"/{stage_cpu[s]:.3f}c" if s in stage_cpu else "")
+            for s in STAGES
+        )
         preset = d.get("preset", "default")
+        wall_line = f"wall {d['wall_s']:.3f}s"
+        if d.get("cases_per_s"):
+            wall_line += f" ({d['cases_per_s']:.1f} cases/s)"
         lines = [
             f"perf report ({d['format']})  repro {d['version']}  "
             f"python {d['python']}  jobs={d['jobs']}/{d['cpu_count']} cpus",
             f"workload: preset {preset}, {len(d['points'])} sweep points "
             f"x {d['count']} benchmarks + {d['simulated_cases']} simulations",
-            f"wall {d['wall_s']:.3f}s   {stages}",
+            f"{wall_line}   {stages}",
             f"results digest {d['results_digest'][:16]}...",
         ]
+        for i, leg in enumerate(d.get("legs", ())):
+            if "wall_s" in leg:
+                lines.append(
+                    f"  leg {i} {leg['axis']}: {leg['cases']} cases  "
+                    f"wall {leg['wall_s']:.3f}s  "
+                    f"{leg['cases_per_s']:.1f} cases/s"
+                )
+        profile = d.get("profile")
+        if profile and (profile.get("kernels") or profile.get("peak_rss")):
+            # An all-zero profile (REPRO_OBS_DISABLE=1) prints nothing.
+            lines.append(Profiler.from_dict(profile).render(top=3))
         backend = d.get("backend")
         if backend:
             calls = backend.get("calls", {})
@@ -161,10 +182,14 @@ def trajectory_entry(data: dict, label: str = "") -> dict:
 
     The trajectory keeps only what the watchdog
     (:mod:`repro.obs.watch`) compares across runs: identity, timings
-    per stage, the headline sweep numbers, and the ``results_digest``
-    that separates behaviour changes from perf changes.  Works on a
-    live report's ``.data`` and on any committed ``BENCH_*.json``.
+    per stage, throughput, the headline sweep numbers, the
+    ``results_digest`` that separates behaviour changes from perf
+    changes, and a trimmed resource profile (per-kernel timings, GC,
+    peak RSS) so ``watch --explain`` can attribute a flagged
+    regression.  Works on a live report's ``.data`` and on any
+    committed ``BENCH_*.json``.
     """
+    profile = data.get("profile") or {}
     return {
         "format": TRAJECTORY_FORMAT,
         "label": label,
@@ -178,7 +203,25 @@ def trajectory_entry(data: dict, label: str = "") -> dict:
         "preset": data.get("preset", "default"),
         "backend": (data.get("backend") or {}).get("resolved"),
         "wall_s": data.get("wall_s"),
+        "cases_per_s": data.get("cases_per_s"),
         "stages": dict(data.get("stages", {})),
+        "legs": [
+            {
+                "axis": leg.get("axis"),
+                "cases": leg.get("cases"),
+                "wall_s": leg.get("wall_s"),
+                "cases_per_s": leg.get("cases_per_s"),
+            }
+            for leg in data.get("legs", ())
+            if "wall_s" in leg
+        ],
+        "profile": {
+            "kernels": profile.get("kernels", {}),
+            "gc": profile.get("gc", {}),
+            "peak_rss": profile.get("peak_rss"),
+        }
+        if profile
+        else None,
         "results_digest": data.get("results_digest"),
         "points": [
             {
@@ -251,7 +294,17 @@ def run_perf_report(
 
     start = time.perf_counter()
     swept: list[tuple[str, object, object]] = []  # (axis, value, stats)
-    with collect_metrics() as metrics, collect_timings() as timings:
+    leg_walls: list[float] = []
+    sim_count = min(count, SIMULATED_CASES)
+    obs_progress.set_total(
+        sum(len(leg_values) for _, leg_values, _ in legs) * count + sim_count
+    )
+    # The profiler is always on for a perf run: its per-kernel timings
+    # and memory accounts go into the report (and, trimmed, into the
+    # trajectory so ``watch --explain`` can attribute regressions).
+    with collect_metrics() as metrics, collect_timings() as timings, (
+        collect_profile()
+    ) as prof:
         sim_base = base
         for leg_index, (axis, leg_values, overrides) in enumerate(legs):
             point = base
@@ -259,13 +312,13 @@ def run_perf_report(
                 point = _set_axis(point, over_axis, over_value)
             if leg_index == 0:
                 sim_base = point
+            leg_start = time.perf_counter()
             for value, stats in sweep(
                 point, axis, leg_values, jobs=jobs, cache=False
             ):
                 swept.append((axis, value, stats))
-        sim_results = run_corpus(
-            sim_base.with_(count=min(count, SIMULATED_CASES)), jobs=jobs
-        )
+            leg_walls.append(time.perf_counter() - leg_start)
+        sim_results = run_corpus(sim_base.with_(count=sim_count), jobs=jobs)
         for result in sim_results:
             program = MachineProgram.from_schedule(result.schedule)
             trace = simulate_sbm(program, rng=master_seed)
@@ -303,14 +356,29 @@ def run_perf_report(
         "axis": legs[0][0],
         "values": legs[0][1],
         "legs": [
-            {"axis": axis, "values": vals, "base": overrides}
-            for axis, vals, overrides in legs
+            {
+                "axis": axis,
+                "values": vals,
+                "base": overrides,
+                "cases": len(vals) * count,
+                "wall_s": leg_walls[i],
+                "cases_per_s": (
+                    len(vals) * count / leg_walls[i] if leg_walls[i] else 0.0
+                ),
+            }
+            for i, (axis, vals, overrides) in enumerate(legs)
         ],
         "backend": kernels.kernels_info(),
         "simulated_cases": len(sim_results),
         "wall_s": wall,
+        "cases_per_s": (
+            (sum(len(vals) for _, vals, _ in legs) * count + sim_count) / wall
+            if wall
+            else 0.0
+        ),
         "stages": timings.as_dict(),
         "metrics": metrics.as_dict(),
+        "profile": prof.as_dict(),
         "results_digest": results_digest(sim_results),
         "points": points,
     }

@@ -53,6 +53,8 @@ from repro import kernels
 from repro.core.scheduler import SchedulerConfig, SyncCounts, schedule_dag
 from repro.ir.ops import TimingModel
 from repro.obs import metrics as obs_metrics
+from repro.obs import prof as obs_prof
+from repro.obs import progress as obs_progress
 from repro.obs.spans import collect_trace, current_tracer
 from repro.perf.parallel import (
     CHUNK_SIZE,
@@ -118,6 +120,11 @@ class CorpusArena:
                 shm.close()
                 shm.unlink()
             raise
+        prof = obs_prof.current_profiler()
+        if prof is not None:
+            prof.add_bytes(
+                "shm.arena", sum(shm.size for shm in blocks.values())
+            )
         return cls(blocks, manifest, owner=True)
 
     @classmethod
@@ -158,24 +165,40 @@ def _run_shm_chunk(
         int,  # slice start
         int,  # slice stop
         bool,  # tracing
+        bool,  # profiling
         str,  # backend
     ],
 ):
     """Worker: compile and schedule ``[start, stop)`` out of the arena.
 
     Returns ``(counts, makespans, processors, records_json)`` compact
-    arrays plus the usual worker timings / metrics / trace state.
+    arrays plus the usual worker timings / metrics / profile / trace
+    state.
     """
-    manifest, generator, timing, scheduler, start, stop, trace, backend = (
-        payload
-    )
+    (
+        manifest,
+        generator,
+        timing,
+        scheduler,
+        start,
+        stop,
+        trace,
+        profile,
+        backend,
+    ) = payload
     os.environ["REPRO_BACKEND"] = backend
     np = kernels.numpy()
     arena, arrays = CorpusArena.attach(manifest)
     try:
         sliced = {name: arr[start:stop] for name, arr in arrays.items()}
         tracing = collect_trace() if trace else nullcontext(None)
-        with tracing as tracer, obs_metrics.collect_metrics() as metrics, batched_gc():
+        # The profiler precedes ``batched_gc`` so its GC hook finds it.
+        profiling = (
+            obs_prof.collect_profile() if profile else nullcontext(None)
+        )
+        with tracing as tracer, obs_metrics.collect_metrics() as metrics, (
+            profiling
+        ) as prof, batched_gc():
             with collect_timings() as timings:
                 with stage("generate"):
                     drawn = genvec.DrawnCorpus.from_arrays(sliced)
@@ -211,6 +234,7 @@ def _run_shm_chunk(
         json.dumps(records),
         timings.as_dict(),
         metrics.as_dict(),
+        prof.as_dict() if prof is not None else None,
         trace_state,
     )
 
@@ -244,6 +268,7 @@ def run_cases_shm(
         arena = CorpusArena.create(drawn.arrays())
 
     trace = current_tracer() is not None
+    profile = obs_prof.current_profiler() is not None
     results: list[CompactResult] = []
     try:
         context = multiprocessing.get_context("fork")
@@ -271,6 +296,7 @@ def run_cases_shm(
                             lo,
                             hi,
                             trace,
+                            profile,
                             backend,
                         ),
                     )
@@ -284,6 +310,7 @@ def run_cases_shm(
                     records_json,
                     worker_timings,
                     worker_metrics,
+                    worker_profile,
                     trace_state,
                 ) = pending.popleft().result()
                 if next_chunk < len(bounds):
@@ -300,12 +327,15 @@ def run_cases_shm(
                                 lo,
                                 hi,
                                 trace,
+                                profile,
                                 backend,
                             ),
                         )
                     )
                 add_to_current(worker_timings)
                 obs_metrics.add_to_current(worker_metrics)
+                if worker_profile is not None:
+                    obs_prof.add_to_current(worker_profile)
                 if trace_state is not None:
                     tracer = current_tracer()
                     if tracer is not None:
@@ -325,6 +355,7 @@ def run_cases_shm(
                             record=record,
                         )
                     )
+                obs_progress.advance(len(records))
     finally:
         arena.destroy()
     return results

@@ -28,9 +28,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from repro.obs.prof import current_profiler
 from repro.obs.spans import current_tracer
 
 __all__ = ["STAGES", "StageTimings", "add_to_current", "collect_timings", "stage"]
@@ -41,34 +42,69 @@ STAGES = ("generate", "schedule", "insert", "merge", "simulate")
 
 @dataclass
 class StageTimings:
-    """Accumulated wall-clock seconds per pipeline stage."""
+    """Accumulated wall-clock (and CPU) seconds per pipeline stage.
+
+    The five stage attributes hold wall time; ``cpu`` holds the
+    matching ``time.process_time`` seconds per stage, so a report can
+    tell compute apart from stalls (GC pauses, page faults, I/O) -- a
+    stage whose wall time grows while its CPU time does not is waiting,
+    not working.
+    """
 
     generate: float = 0.0
     schedule: float = 0.0
     insert: float = 0.0
     merge: float = 0.0
     simulate: float = 0.0
+    cpu: dict[str, float] = field(default_factory=dict)
 
-    def merge_from(self, other: "StageTimings | Mapping[str, float]") -> None:
+    def cpu_of(self, name: str) -> float:
+        """CPU seconds accumulated under a stage (0.0 if never timed)."""
+        return self.cpu.get(name, 0.0)
+
+    def merge_from(self, other: "StageTimings | Mapping") -> None:
         """Accumulate another collector's (or worker's) timings into this one."""
         if isinstance(other, StageTimings):
             other = other.as_dict()
         for name, value in other.items():
+            if name == "cpu":
+                for stage_name, cpu_s in value.items():
+                    if stage_name not in STAGES:
+                        raise ValueError(
+                            f"unknown timing stage {stage_name!r}"
+                        )
+                    self.cpu[stage_name] = self.cpu.get(
+                        stage_name, 0.0
+                    ) + float(cpu_s)
+                continue
             if name not in STAGES:
                 raise ValueError(f"unknown timing stage {name!r}")
             setattr(self, name, getattr(self, name) + float(value))
 
-    def as_dict(self) -> dict[str, float]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+    def as_dict(self) -> dict:
+        data: dict = {name: getattr(self, name) for name in STAGES}
+        data["cpu"] = {
+            name: self.cpu[name] for name in STAGES if name in self.cpu
+        }
+        return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, float]) -> "StageTimings":
+    def from_dict(cls, data: Mapping) -> "StageTimings":
         timings = cls()
         timings.merge_from(data)
         return timings
 
     def render(self) -> str:
-        return "  ".join(f"{name} {getattr(self, name):.3f}s" for name in STAGES)
+        """``stage wall/cpu`` seconds per stage (wall only when a stage
+        never recorded CPU time, e.g. timings loaded from old caches)."""
+        parts = []
+        for name in STAGES:
+            wall = getattr(self, name)
+            if name in self.cpu:
+                parts.append(f"{name} {wall:.3f}s/{self.cpu[name]:.3f}c")
+            else:
+                parts.append(f"{name} {wall:.3f}s")
+        return "  ".join(parts)
 
 
 _collector: ContextVar[StageTimings | None] = ContextVar(
@@ -123,7 +159,14 @@ def stage(name: str) -> Iterator[None]:
     if collector is None and tracer is None:
         yield
         return
+    # The profiler is only consulted once a collector or tracer is
+    # active, keeping the instrumentation-off fast path at two
+    # context-variable lookups; every profiling entry point installs a
+    # collector alongside the profiler anyway.
+    prof = current_profiler()
     sid = tracer.open(name) if tracer is not None else None
+    rss0 = prof.sample_rss() if prof is not None else 0
+    cpu0 = time.process_time() if collector is not None else 0.0
     start = time.perf_counter()
     try:
         yield
@@ -134,5 +177,10 @@ def stage(name: str) -> Iterator[None]:
                 name,
                 getattr(collector, name) + time.perf_counter() - start,
             )
+            collector.cpu[name] = (
+                collector.cpu.get(name, 0.0) + time.process_time() - cpu0
+            )
+        if prof is not None:
+            prof.record_stage_rss(name, prof.sample_rss() - rss0)
         if tracer is not None:
             tracer.close(sid)

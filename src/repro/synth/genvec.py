@@ -41,6 +41,7 @@ import random
 from itertools import accumulate
 
 from repro import kernels
+from repro.obs import prof as obs_prof
 from repro.ir.ast import apply_op
 from repro.ir.dag import ENTRY, EXIT, InstructionDAG, _topological_order
 from repro.timing import ZERO
@@ -394,6 +395,16 @@ def draw_corpus(config: GeneratorConfig, seeds) -> DrawnCorpus:
                     var_rows, config.n_variables
                 )
 
+    prof = obs_prof.current_profiler()
+    if prof is not None:
+        prof.add_bytes(
+            "genvec.drawn",
+            constants.nbytes
+            + targets.nbytes
+            + ops.nbytes
+            + operand_kind.nbytes
+            + operand_idx.nbytes,
+        )
     return DrawnCorpus(
         [int(s) for s in seeds],
         constants.tolist(),
@@ -726,8 +737,8 @@ def compile_cases(
     if not seeds:
         return []
     if supported(config) and kernels.use_numpy("genvec", len(seeds)):
-        kernels.count("genvec", "numpy")
-        cases = _compile_vectorized(config, seeds, timing)
+        with kernels.timed("genvec", "numpy"):
+            cases = _compile_vectorized(config, seeds, timing)
         if kernels.checking():
             for case in cases:
                 expected = compile_case(config, case.seed, timing)
@@ -735,5 +746,5 @@ def compile_cases(
                     "genvec", case.program.tuples, expected.program.tuples
                 )
         return cases
-    kernels.count("genvec", "python")
-    return [compile_case(config, seed, timing) for seed in seeds]
+    with kernels.timed("genvec", "python"):
+        return [compile_case(config, seed, timing) for seed in seeds]

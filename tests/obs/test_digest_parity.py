@@ -100,6 +100,30 @@ class TestDigestParity:
         assert bare.barrier_fire == analyzed.barrier_fire
         assert bare.pe_finish == analyzed.pe_finish
 
+    def test_profiled_serial_matches_unprofiled(self, baseline_digest):
+        """Continuous profiling (kernel timers, RSS sampling, GC hooks,
+        progress heartbeats) is observation-only: the digest is
+        bit-identical with the whole layer armed."""
+        from repro.obs.progress import ProgressMeter, collect_progress
+        from repro.obs.prof import collect_profile
+
+        meter = ProgressMeter(lambda beat: None, interval_s=0.0)
+        with collect_profile() as prof, collect_progress(meter):
+            digest = results_digest(run_corpus(POINT, jobs=1))
+        assert digest == baseline_digest
+        # ... and the profiling actually happened (not vacuous parity).
+        assert prof.kernels
+        assert meter.done == POINT.count
+
+    @needs_fork
+    def test_profiled_parallel_matches_unprofiled_serial(self, baseline_digest):
+        from repro.obs.prof import collect_profile
+
+        with collect_profile() as prof:
+            digest = results_digest(run_corpus(POINT, jobs=2))
+        assert digest == baseline_digest
+        assert prof.kernels, "worker profiles must ship home"
+
     @needs_fork
     def test_worker_metrics_cover_serial_metrics(self):
         """Worker registries are merged into the parent.  The parallel

@@ -10,6 +10,7 @@ import pytest
 
 from repro.obs.watch import (
     WatchConfig,
+    explain_regression,
     load_trajectory,
     watch_trajectory,
 )
@@ -96,6 +97,151 @@ class TestTimeSeries:
         report = watch_trajectory([entry()])
         assert report.ok and not report.verdicts
         assert any("fewer than 2" in n for n in report.notes)
+
+
+def rated(rate, wall=10.0, **kwargs):
+    return dict(entry(wall=wall, **kwargs), cases_per_s=rate)
+
+
+class TestThroughputSeries:
+    def test_steady_throughput_is_ok(self):
+        report = watch_trajectory([rated(5.0), rated(5.0), rated(5.1)])
+        assert report.ok
+        assert [v for v in report.verdicts if v.kind == "throughput"]
+
+    def test_throughput_collapse_flagged(self):
+        # 5/s baseline, factor 2 -> limit 2.5/s; 1.0/s is a regression.
+        report = watch_trajectory([rated(5.0), rated(5.0), rated(1.0)])
+        flagged = [v for v in report.flagged if v.kind == "throughput"]
+        assert flagged and flagged[0].name == "cases_per_s"
+        assert "fell below" in flagged[0].detail
+
+    def test_faster_is_never_flagged(self):
+        report = watch_trajectory([rated(5.0), rated(5.0), rated(50.0)])
+        assert not [v for v in report.flagged if v.kind == "throughput"]
+
+    def test_subsecond_runs_skip_throughput(self):
+        # Rate on a sub-floor wall time is noise, same as the wall series.
+        report = watch_trajectory(
+            [rated(5.0, wall=0.1), rated(5.0, wall=0.1), rated(0.5, wall=0.1)]
+        )
+        assert not [v for v in report.verdicts if v.kind == "throughput"]
+
+    def test_entries_without_rate_skip_series(self):
+        # Entries recorded before throughput landed have no cases_per_s.
+        report = watch_trajectory([entry(), entry(), entry()])
+        assert not [v for v in report.verdicts if v.kind == "throughput"]
+
+
+def profiled(schedule=2.0, kernel_wall=1.0, kernel_calls=100,
+             gc_pause=0.1, rate=5.0, wall=10.0, cpu=None, **kwargs):
+    """A trajectory entry carrying the profile block ``watch --explain``
+    diffs, in the trimmed shape ``trajectory_entry`` records."""
+    e = dict(
+        entry(wall=wall, schedule=schedule, **kwargs),
+        preset="default",
+        count=25,
+        cases_per_s=rate,
+        profile={
+            "kernels": {
+                "paths.python": {
+                    "count": kernel_calls,
+                    "wall_s": kernel_wall,
+                    "cpu_s": kernel_wall,
+                    "max_s": 0.01,
+                }
+            },
+            "gc": {"pauses": 2, "pause_s": gc_pause, "collected": 10},
+            "peak_rss": 1 << 20,
+        },
+    )
+    if cpu is not None:
+        e["stages"] = dict(e["stages"], cpu=cpu)
+    return e
+
+
+class TestExplainRegression:
+    def test_injected_stage_regression_named_top(self):
+        """The pinned acceptance scenario: inject a synthetic regression
+        into one stage and one kernel; --explain must name them, ranked
+        by lost time, with the deltas."""
+        prior = [profiled() for _ in range(4)]
+        slow = profiled(schedule=6.0, kernel_wall=3.5, wall=14.0)
+        report = explain_regression(prior + [slow])
+        assert report.n_prior == 4
+        assert report.causes, "regression must produce causes"
+        top = report.causes[0]
+        assert (top.kind, top.name) == ("stage", "schedule")
+        assert top.delta == pytest.approx(4.0)
+        kinds = {(c.kind, c.name) for c in report.causes}
+        assert ("kernel", "paths.python") in kinds
+        kernel = next(c for c in report.causes if c.kind == "kernel")
+        assert kernel.delta == pytest.approx(2.5)
+
+    def test_stall_note_from_cpu_column(self):
+        # Wall grew 4s but CPU barely moved: the note must call it a
+        # stall, not compute.
+        prior = [profiled(cpu={"schedule": 1.9}) for _ in range(3)]
+        slow = profiled(schedule=6.0, wall=14.0, cpu={"schedule": 2.0})
+        report = explain_regression(prior + [slow])
+        stage = next(c for c in report.causes if c.name == "schedule")
+        assert "stall" in stage.note
+
+    def test_gc_regression_surfaces(self):
+        prior = [profiled() for _ in range(3)]
+        slow = profiled(gc_pause=2.5)
+        report = explain_regression(prior + [slow])
+        assert any(c.kind == "gc" for c in report.causes)
+
+    def test_steady_series_has_no_causes(self):
+        report = explain_regression([profiled() for _ in range(4)])
+        assert report.causes == ()
+        assert "nothing regressed" in report.render()
+
+    def test_other_workloads_excluded_from_baseline(self):
+        other = dict(profiled(schedule=0.1, wall=1.0), preset="scale1024")
+        prior = [profiled() for _ in range(3)]
+        report = explain_regression([other] + prior + [profiled(schedule=2.0)])
+        assert report.n_prior == 3  # the scale1024 run is not comparable
+        assert not any(c.name == "schedule" for c in report.causes)
+
+    def test_empty_and_no_comparable_history(self):
+        assert explain_regression([]).causes == ()
+        lone = explain_regression([profiled()])
+        assert lone.n_prior == 0
+        assert any("no prior" in n for n in lone.notes)
+
+    def test_prior_without_profiles_noted(self):
+        # Entries recorded before profiling landed carry no profile;
+        # kernel deltas are skipped with an explicit note, not compared
+        # against a silent zero baseline.
+        bare = [dict(profiled(), profile=None) for _ in range(3)]
+        report = explain_regression(bare + [profiled(kernel_wall=9.0)])
+        assert not any(c.kind == "kernel" for c in report.causes)
+        assert any("kernel" in n for n in report.notes)
+
+    def test_top_n_truncates(self):
+        prior = [profiled() for _ in range(3)]
+        slow = profiled(
+            schedule=6.0, kernel_wall=3.0, gc_pause=2.0, wall=14.0,
+            generate=3.0, insert=3.0, merge=3.0, simulate=3.0,
+        )
+        report = explain_regression(prior + [slow], top=2)
+        assert len(report.causes) == 2
+        deltas = [c.delta for c in report.causes]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_renderings(self):
+        prior = [profiled() for _ in range(3)]
+        slow = profiled(schedule=6.0, wall=14.0)
+        report = explain_regression(prior + [slow])
+        text = report.render()
+        assert "explain:" in text and "stage schedule" in text
+        md = report.render_markdown()
+        assert md.startswith("## Regression attribution")
+        assert "| 1 | stage | `schedule` |" in md
+        data = json.loads(json.dumps(report.as_dict()))
+        assert data["causes"][0]["name"] == "schedule"
 
 
 class TestDeterministicSeries:

@@ -60,13 +60,14 @@ class TestRunPerfReportPresets:
         report = run_perf_report(count=1, jobs=1, preset="scale1024")
         d = report.data
         assert d["preset"] == "scale1024"
-        assert d["legs"] == [
-            {
-                "axis": PERF_AXIS,
-                "values": list(PRESETS["scale1024"][0][1]),
-                "base": {"scheduler.n_pes": 1024},
-            }
-        ]
+        (leg,) = d["legs"]
+        assert leg["axis"] == PERF_AXIS
+        assert leg["values"] == list(PRESETS["scale1024"][0][1])
+        assert leg["base"] == {"scheduler.n_pes": 1024}
+        # Each leg carries its own throughput account.
+        assert leg["cases"] == len(leg["values"]) * 1
+        assert leg["wall_s"] > 0
+        assert leg["cases_per_s"] > 0
         assert len(d["points"]) == len(PRESETS["scale1024"][0][1])
         assert all(p["axis"] == PERF_AXIS for p in d["points"])
         assert d["backend"]["resolved"] in ("python", "numpy")

@@ -38,6 +38,41 @@ class TestStageTimings:
             assert name in rendered
 
 
+class TestCpuColumn:
+    def test_dict_round_trip_keeps_cpu(self):
+        t = StageTimings(schedule=2.0, cpu={"schedule": 1.5})
+        back = StageTimings.from_dict(t.as_dict())
+        assert back == t
+        assert back.cpu_of("schedule") == pytest.approx(1.5)
+        assert back.cpu_of("merge") == 0.0
+
+    def test_merge_from_sums_cpu(self):
+        t = StageTimings(schedule=1.0, cpu={"schedule": 0.8})
+        t.merge_from({"schedule": 0.5, "cpu": {"schedule": 0.4, "merge": 0.1}})
+        assert t.cpu_of("schedule") == pytest.approx(1.2)
+        assert t.cpu_of("merge") == pytest.approx(0.1)
+        assert t.schedule == pytest.approx(1.5)
+
+    def test_merge_from_rejects_unknown_cpu_stage(self):
+        with pytest.raises(ValueError):
+            StageTimings().merge_from({"cpu": {"compile": 1.0}})
+
+    def test_render_shows_cpu_when_present(self):
+        plain = StageTimings(schedule=2.0).render()
+        assert "c" not in plain.split("schedule ")[1].split()[0]
+        both = StageTimings(schedule=2.0, cpu={"schedule": 1.5}).render()
+        assert "schedule 2.000s/1.500c" in both
+
+    def test_stage_collects_cpu_alongside_wall(self):
+        with collect_timings() as t:
+            with stage("schedule"):
+                sum(i * i for i in range(200_000))
+        assert t.schedule > 0.0
+        assert t.cpu_of("schedule") > 0.0
+        # CPU-bound loop: the two clocks agree to within scheduling noise.
+        assert t.cpu_of("schedule") <= t.schedule * 3 + 0.05
+
+
 class TestCollection:
     def test_stage_is_noop_without_collector(self):
         with stage("generate"):

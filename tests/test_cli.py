@@ -657,3 +657,208 @@ class TestFaultPlanInputHardening:
         assert err.startswith("repro-sbm: error:")
         assert len(err.strip().splitlines()) == 1
         assert needle in err
+
+
+class TestProfileFlag:
+    def test_schedule_writes_folded_stacks(self, capsys, tmp_path, block_file):
+        folded = tmp_path / "run.folded"
+        assert main(
+            ["schedule", block_file, "-q", "--profile", str(folded)]
+        ) == 0
+        err = capsys.readouterr().err
+        lines = folded.read_text().splitlines()
+        assert lines, "a scheduled block must produce at least one stack"
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) >= 1
+        assert any("schedule" in line for line in lines)
+        # The collected accounting surfaces on stderr for non-perf runs.
+        assert "profile: peak rss" in err
+
+    def test_profile_does_not_change_stdout(self, capsys, tmp_path, block_file):
+        assert main(["schedule", block_file, "-q"]) == 0
+        plain = capsys.readouterr().out
+        folded = tmp_path / "run.folded"
+        assert main(
+            ["schedule", block_file, "-q", "--profile", str(folded)]
+        ) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_trace_and_profile_share_one_run(self, capsys, tmp_path, block_file):
+        import json
+
+        trace = tmp_path / "t.json"
+        folded = tmp_path / "t.folded"
+        assert main(
+            ["simulate", block_file, "-q",
+             "--trace", str(trace), "--profile", str(folded)]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert folded.read_text().splitlines()
+
+    def test_unwritable_profile_path_exits_two(self, capsys, block_file):
+        assert main(
+            ["schedule", block_file, "-q", "--profile", "/no/such/dir/p.folded"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-sbm: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_directory_profile_path_exits_two(self, capsys, tmp_path, block_file):
+        assert main(
+            ["schedule", block_file, "-q", "--profile", str(tmp_path)]
+        ) == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_perf_profile_and_report_block(self, capsys, tmp_path):
+        folded = tmp_path / "perf.folded"
+        assert main(
+            ["perf", "--count", "2", "--output", "-", "--no-trajectory",
+             "--profile", str(folded)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profile: peak rss" in out  # the report's own profile block
+        assert folded.read_text().splitlines()
+
+    def test_experiment_profile(self, capsys, tmp_path):
+        folded = tmp_path / "exp.folded"
+        assert main(
+            ["experiment", "fig15", "--count", "2", "--no-cache",
+             "--profile", str(folded)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert folded.read_text().splitlines()
+        assert "profile: peak rss" in err
+
+
+class TestLiveFlag:
+    def test_live_file_streams_jsonl_heartbeats(self, capsys, tmp_path):
+        import json
+
+        live = tmp_path / "live.jsonl"
+        assert main(
+            ["perf", "--count", "2", "--output", "-", "--no-trajectory",
+             "--live", str(live)]
+        ) == 0
+        capsys.readouterr()
+        beats = [json.loads(l) for l in live.read_text().splitlines()]
+        assert beats, "a perf run must emit at least the final heartbeat"
+        assert all(b["event"] == "progress" for b in beats)
+        final = beats[-1]
+        assert final["final"] is True
+        assert final["done"] == final["total"] > 0
+        assert final["cases_per_s"] > 0
+
+    def test_bare_live_without_tty_falls_back_to_jsonl(self, capsys, tmp_path):
+        import json
+
+        # Under capsys stderr is not a terminal: the status line degrades
+        # to machine-readable heartbeats on stderr, with a warning.
+        assert main(
+            ["perf", "--count", "2",
+             "--output", str(tmp_path / "b.json"), "--no-trajectory",
+             "--live"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "not a terminal" in err
+        beats = [
+            json.loads(line)
+            for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        assert beats and beats[-1]["final"] is True
+
+    def test_bare_live_conflicts_with_stdout_json(self, capsys):
+        assert main(
+            ["perf", "--count", "1", "--output", "-", "--no-trajectory",
+             "--live"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-sbm: error:")
+        assert "--live" in err
+
+    def test_unwritable_live_path_exits_two(self, capsys):
+        assert main(
+            ["perf", "--count", "1", "--output", "-", "--no-trajectory",
+             "--live", "/no/such/dir/live.jsonl"]
+        ) == 2
+        assert capsys.readouterr().err.startswith("repro-sbm: error:")
+
+
+class TestWatchExplain:
+    def _series_with_profiles(self, tmp_path, slow=False):
+        import json
+
+        entries = []
+        for i in range(4):
+            entries.append({
+                "wall_s": 10.0,
+                "preset": "default",
+                "count": 25,
+                "cases_per_s": 5.0,
+                "stages": {"schedule": 4.0, "cpu": {"schedule": 3.8}},
+                "results_digest": "d",
+                "points": [],
+                "profile": {
+                    "kernels": {
+                        "paths.python": {
+                            "count": 50, "wall_s": 1.0,
+                            "cpu_s": 1.0, "max_s": 0.05,
+                        }
+                    },
+                    "gc": {"pauses": 1, "pause_s": 0.05, "collected": 5},
+                    "peak_rss": 1 << 20,
+                },
+            })
+        if slow:
+            entries[-1]["wall_s"] = 16.0
+            entries[-1]["stages"] = {"schedule": 9.0, "cpu": {"schedule": 4.0}}
+            entries[-1]["profile"]["kernels"]["paths.python"]["wall_s"] = 4.0
+        path = tmp_path / "traj.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(e) for e in entries) + "\n"
+        )
+        return str(path)
+
+    def test_explain_names_regressed_stage_and_kernel(self, capsys, tmp_path):
+        path = self._series_with_profiles(tmp_path, slow=True)
+        main(["watch", "--trajectory", path, "--explain"])
+        out = capsys.readouterr().out
+        assert "explain:" in out
+        # The injected regression: schedule stage first, kernel named too.
+        assert "1. stage schedule: +5.000s" in out
+        assert "kernel paths.python" in out
+        assert "stall" in out  # wall grew, cpu flat -> attribution note
+
+    def test_explain_json_block(self, capsys, tmp_path):
+        import json
+
+        path = self._series_with_profiles(tmp_path, slow=True)
+        main(["watch", "--trajectory", path, "--explain", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        causes = data["explain"]["causes"]
+        assert causes[0]["kind"] == "stage"
+        assert causes[0]["name"] == "schedule"
+
+    def test_explain_markdown_artifact(self, capsys, tmp_path):
+        path = self._series_with_profiles(tmp_path, slow=True)
+        report = tmp_path / "report.md"
+        main(["watch", "--trajectory", path, "--explain",
+              "--output", str(report)])
+        capsys.readouterr()
+        md = report.read_text()
+        assert "# Perf-trajectory watchdog" in md
+        assert "## Regression attribution" in md
+        assert "`schedule`" in md
+
+    def test_without_flag_no_explain_output(self, capsys, tmp_path):
+        path = self._series_with_profiles(tmp_path, slow=True)
+        main(["watch", "--trajectory", path])
+        assert "explain:" not in capsys.readouterr().out
+
+    def test_steady_series_explains_nothing(self, capsys, tmp_path):
+        path = self._series_with_profiles(tmp_path, slow=False)
+        assert main(["watch", "--trajectory", path, "--explain"]) == 0
+        assert "nothing regressed" in capsys.readouterr().out
